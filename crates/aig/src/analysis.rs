@@ -1,0 +1,409 @@
+//! Structural analyses: levels, fanout, path depths and path counts.
+//!
+//! These are the raw graph quantities from which the paper's Table II
+//! features are derived (see the `features` crate), and the proxy
+//! metrics (level ≈ delay, node count ≈ area) used by the baseline
+//! optimization flow.
+
+use crate::graph::Aig;
+use crate::lit::NodeId;
+
+/// Per-node logic levels of an [`Aig`].
+///
+/// Inputs and the constant node have level 0; an AND node has level
+/// `1 + max(level(fanin0), level(fanin1))`.
+#[derive(Clone, Debug)]
+pub struct Levels {
+    /// `level[id]` for every node id.
+    pub level: Vec<u32>,
+    /// Maximum level over all primary-output drivers.
+    pub max_level: u32,
+}
+
+/// Computes logic levels for every node (the paper's delay proxy).
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, analysis::levels};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let c = g.add_input();
+/// let ab = g.and(a, b);
+/// let abc = g.and(ab, c);
+/// g.add_output(abc, None::<&str>);
+/// assert_eq!(levels(&g).max_level, 2);
+/// ```
+pub fn levels(aig: &Aig) -> Levels {
+    let mut level = vec![0u32; aig.num_nodes()];
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        level[id as usize] = 1 + level[f0.var() as usize].max(level[f1.var() as usize]);
+    }
+    let max_level = aig
+        .outputs()
+        .iter()
+        .map(|o| level[o.lit.var() as usize])
+        .max()
+        .unwrap_or(0);
+    Levels { level, max_level }
+}
+
+/// Computes the fanout count of every node.
+///
+/// Fanout counts include both AND fanins and primary-output drivers,
+/// matching Fig. 4(b) of the paper where output edges contribute to a
+/// node's annotated weight.
+pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
+    let mut fanout = vec![0u32; aig.num_nodes()];
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        fanout[f0.var() as usize] += 1;
+        fanout[f1.var() as usize] += 1;
+    }
+    for o in aig.outputs() {
+        fanout[o.lit.var() as usize] += 1;
+    }
+    fanout
+}
+
+/// How each node contributes to a weighted path depth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepthWeight {
+    /// Every node (inputs included, per Fig. 4(a)) weighs 1.
+    Unit,
+    /// Every node weighs its fanout count (Fig. 4(b)).
+    Fanout,
+    /// Nodes with fanout `>= threshold` weigh 1, others 0
+    /// (Fig. 4(c) uses `threshold = 2`).
+    FanoutAtLeast(u32),
+}
+
+/// Maximum weighted depth seen at each primary output.
+///
+/// Follows the paper's convention (Fig. 4): the depth of a PO counts
+/// the nodes between the PO and a PI, *including* the PI node and
+/// *excluding* the PO itself (the PO is a port, not a gate). The
+/// constant node contributes 0.
+///
+/// Returns one value per primary output, in output order.
+pub fn po_depths(aig: &Aig, weight: DepthWeight) -> Vec<u64> {
+    let fanout;
+    let node_weight: Box<dyn Fn(NodeId) -> u64> = match weight {
+        DepthWeight::Unit => Box::new(|_| 1),
+        DepthWeight::Fanout => {
+            fanout = fanout_counts(aig);
+            let f = fanout;
+            Box::new(move |id| u64::from(f[id as usize]))
+        }
+        DepthWeight::FanoutAtLeast(t) => {
+            let f = fanout_counts(aig);
+            Box::new(move |id| u64::from(f[id as usize] >= t))
+        }
+    };
+    // depth[id] = weighted longest path from any PI down to and
+    // including node id. Constant node = 0, PIs = their own weight.
+    let mut depth = vec![0u64; aig.num_nodes()];
+    for &pi in aig.inputs() {
+        depth[pi as usize] = node_weight(pi);
+    }
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        let d = depth[f0.var() as usize].max(depth[f1.var() as usize]);
+        depth[id as usize] = d + node_weight(id);
+    }
+    aig.outputs()
+        .iter()
+        .map(|o| depth[o.lit.var() as usize])
+        .collect()
+}
+
+/// Number of PI-to-PO paths reaching each primary output.
+///
+/// Counted as in Fig. 4(d): each PI contributes one path, and an AND
+/// node accumulates the path counts of both fanins. Counts are `f64`
+/// and saturate to `f64::MAX` instead of overflowing (deep multiplier
+/// AIGs exceed `u128` path counts easily).
+pub fn po_path_counts(aig: &Aig) -> Vec<f64> {
+    let mut paths = vec![0.0f64; aig.num_nodes()];
+    for &pi in aig.inputs() {
+        paths[pi as usize] = 1.0;
+    }
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        let p = paths[f0.var() as usize] + paths[f1.var() as usize];
+        paths[id as usize] = if p.is_finite() { p } else { f64::MAX };
+    }
+    aig.outputs()
+        .iter()
+        .map(|o| paths[o.lit.var() as usize])
+        .collect()
+}
+
+/// Ids of the nodes lying on at least one topologically *longest* path
+/// (`depth(node) + height(node) == max_level`), the paper's "long
+/// path" node set used for `long_path_fanout_*` features.
+pub fn long_path_nodes(aig: &Aig) -> Vec<NodeId> {
+    let lv = levels(aig);
+    if aig.num_ands() == 0 {
+        return Vec::new();
+    }
+    // height[id]: longest distance (in AND nodes) from id to any PO
+    // driver that it can reach.
+    let n = aig.num_nodes();
+    let mut height = vec![i64::MIN; n];
+    for o in aig.outputs() {
+        height[o.lit.var() as usize] = height[o.lit.var() as usize].max(0);
+    }
+    for id in (1..n as NodeId).rev() {
+        if !aig.is_and(id) || height[id as usize] == i64::MIN {
+            continue;
+        }
+        let h = height[id as usize];
+        let [f0, f1] = aig.fanins(id);
+        for f in [f0, f1] {
+            let v = f.var() as usize;
+            height[v] = height[v].max(h + 1);
+        }
+    }
+    let max = i64::from(lv.max_level);
+    (1..n as NodeId)
+        .filter(|&id| {
+            height[id as usize] != i64::MIN
+                && i64::from(lv.level[id as usize]) + height[id as usize] == max
+        })
+        .collect()
+}
+
+/// Size of the maximum fanout-free cone (MFFC) of `root`: the number
+/// of AND nodes that would become dangling if `root` were removed.
+///
+/// `fanout` must come from [`fanout_counts`] on the same graph.
+pub fn mffc_size(aig: &Aig, root: NodeId, fanout: &[u32]) -> usize {
+    if !aig.is_and(root) {
+        return 0;
+    }
+    // Simulated deref: count nodes whose fanout drops to zero.
+    let mut deref: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+    let mut stack = vec![root];
+    let mut count = 0usize;
+    while let Some(id) = stack.pop() {
+        count += 1;
+        let [f0, f1] = aig.fanins(id);
+        for f in [f0, f1] {
+            let v = f.var();
+            if !aig.is_and(v) {
+                continue;
+            }
+            let d = deref.entry(v).or_insert(0);
+            *d += 1;
+            if *d == fanout[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    count
+}
+
+/// Extracts the transitive fanin cone of the given outputs as a
+/// standalone [`Aig`].
+///
+/// Inputs of the original graph that feed the cone become the inputs
+/// of the extracted graph (in original input order); `output_indices`
+/// select which outputs to keep.
+///
+/// # Panics
+///
+/// Panics if any index in `output_indices` is out of bounds.
+pub fn extract_cone(aig: &Aig, output_indices: &[usize]) -> Aig {
+    let mut live = vec![false; aig.num_nodes()];
+    let mut stack: Vec<NodeId> = output_indices
+        .iter()
+        .map(|&i| aig.outputs()[i].lit.var())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if live[id as usize] {
+            continue;
+        }
+        live[id as usize] = true;
+        if aig.is_and(id) {
+            let [f0, f1] = aig.fanins(id);
+            stack.push(f0.var());
+            stack.push(f1.var());
+        }
+    }
+    let mut out = Aig::new();
+    out.set_name(format!("{}_cone", aig.name()));
+    let mut map = vec![crate::Lit::INVALID; aig.num_nodes()];
+    map[0] = crate::Lit::FALSE;
+    for (idx, &pi) in aig.inputs().iter().enumerate() {
+        if live[pi as usize] {
+            map[pi as usize] = out.add_named_input(aig.input_name(idx).map(str::to_owned));
+        }
+    }
+    for id in aig.and_ids() {
+        if !live[id as usize] {
+            continue;
+        }
+        let [f0, f1] = aig.fanins(id);
+        let a = map[f0.var() as usize].complement_if(f0.is_complement());
+        let b = map[f1.var() as usize].complement_if(f1.is_complement());
+        map[id as usize] = out.and(a, b);
+    }
+    for &i in output_indices {
+        let o = &aig.outputs()[i];
+        let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());
+        out.add_output(l, o.name.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn chain(n: usize) -> Aig {
+        // f = x0 & x1 & ... & x_{n} as a linear chain.
+        let mut g = Aig::new();
+        let mut acc = g.add_input();
+        for _ in 0..n {
+            let x = g.add_input();
+            acc = g.and(acc, x);
+        }
+        g.add_output(acc, None::<&str>);
+        g
+    }
+
+    #[test]
+    fn chain_levels() {
+        let g = chain(5);
+        assert_eq!(levels(&g).max_level, 5);
+    }
+
+    #[test]
+    fn unit_depth_counts_pi() {
+        // Single AND of two PIs: depth per Fig 4(a) = PI + AND = 2.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        assert_eq!(po_depths(&g, DepthWeight::Unit), vec![2]);
+    }
+
+    #[test]
+    fn po_direct_from_pi() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        g.add_output(a, None::<&str>);
+        assert_eq!(po_depths(&g, DepthWeight::Unit), vec![1]);
+        assert_eq!(po_path_counts(&g), vec![1.0]);
+    }
+
+    #[test]
+    fn po_from_const() {
+        let mut g = Aig::new();
+        g.add_output(Lit::TRUE, None::<&str>);
+        assert_eq!(po_depths(&g, DepthWeight::Unit), vec![0]);
+        assert_eq!(po_path_counts(&g), vec![0.0]);
+    }
+
+    #[test]
+    fn fanout_includes_outputs() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        g.add_output(f, None::<&str>);
+        let fo = fanout_counts(&g);
+        assert_eq!(fo[f.var() as usize], 2);
+        assert_eq!(fo[a.var() as usize], 1);
+    }
+
+    #[test]
+    fn binary_weight_zeroes_low_fanout() {
+        let g = chain(4);
+        // Every node has fanout 1, so all weights are 0.
+        let d = po_depths(&g, DepthWeight::FanoutAtLeast(2));
+        assert_eq!(d, vec![0]);
+        // With threshold 1 every node weighs 1 -> same as unit depth.
+        assert_eq!(
+            po_depths(&g, DepthWeight::FanoutAtLeast(1)),
+            po_depths(&g, DepthWeight::Unit)
+        );
+    }
+
+    #[test]
+    fn path_counts_xor_tree() {
+        // xor(a, b) has 2 AND-level paths from each input: 2+2 = 4
+        // paths at the top node... count concretely.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.xor(a, b);
+        g.add_output(x, None::<&str>);
+        let p = po_path_counts(&g);
+        assert_eq!(p, vec![4.0]);
+    }
+
+    #[test]
+    fn long_path_nodes_of_chain() {
+        let g = chain(3);
+        // All 3 AND nodes plus the two PIs on the longest path...
+        // level-based criterion keeps nodes with level+height == max.
+        let nodes = long_path_nodes(&g);
+        let lv = levels(&g);
+        for &id in &nodes {
+            assert!(lv.level[id as usize] <= lv.max_level);
+        }
+        // The final AND is certainly on the longest path.
+        assert!(nodes.contains(&g.outputs()[0].lit.var()));
+    }
+
+    #[test]
+    fn mffc_of_private_cone() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output(abc, None::<&str>);
+        let fo = fanout_counts(&g);
+        assert_eq!(mffc_size(&g, abc.var(), &fo), 2);
+    }
+
+    #[test]
+    fn mffc_stops_at_shared() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output(abc, None::<&str>);
+        g.add_output(ab, None::<&str>); // ab now shared
+        let fo = fanout_counts(&g);
+        assert_eq!(mffc_size(&g, abc.var(), &fo), 1);
+    }
+
+    #[test]
+    fn cone_extraction() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let f0 = g.and(a, b);
+        let f1 = g.and(b, c);
+        g.add_output(f0, Some("f0"));
+        g.add_output(f1, Some("f1"));
+        let cone = extract_cone(&g, &[0]);
+        assert_eq!(cone.num_inputs(), 2); // a, b only
+        assert_eq!(cone.num_outputs(), 1);
+        assert_eq!(cone.num_ands(), 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! BLIF is the other lingua franca of academic logic synthesis
+//! (SIS/ABC/VTR). The reader synthesizes each `.names` table — up to
+//! 10 inputs — into AND/INV logic via an irredundant cover, so
+//! arbitrary LUT-style BLIF maps onto the AIG; the writer emits one
+//! two-input `.names` per AND node. Only combinational models are
+//! supported (`.latch` is rejected).
+
+use crate::error::AigError;
+use crate::graph::Aig;
+use crate::lit::Lit;
+use crate::tt::{isop, Tt};
+use std::collections::HashMap;
+
+/// Maximum `.names` fan-in the reader synthesizes.
+pub const MAX_NAMES_INPUTS: usize = 10;
+
+/// Serializes `aig` as a combinational BLIF model.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, blif};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_named_input(Some("a"));
+/// let b = g.add_named_input(Some("b"));
+/// let f = g.and(a, !b);
+/// g.add_output(f, Some("f"));
+/// let text = blif::to_blif(&g, "demo");
+/// assert!(text.contains(".model demo"));
+/// let back = blif::from_blif(&text)?;
+/// assert!(aig::sim::equiv_exhaustive(&g, &back)?);
+/// # Ok::<(), aig::AigError>(())
+/// ```
+pub fn to_blif(aig: &Aig, model: &str) -> String {
+    let mut s = format!(".model {model}\n");
+    let in_name = |idx: usize| {
+        aig.input_name(idx)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("pi{idx}"))
+    };
+    let names: Vec<String> = (0..aig.num_inputs()).map(in_name).collect();
+    s.push_str(".inputs");
+    for n in &names {
+        s.push(' ');
+        s.push_str(n);
+    }
+    s.push('\n');
+    let out_name = |k: usize| {
+        aig.outputs()[k]
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("po{k}"))
+    };
+    s.push_str(".outputs");
+    for k in 0..aig.num_outputs() {
+        s.push(' ');
+        s.push_str(&out_name(k));
+    }
+    s.push('\n');
+    // Signal name per node.
+    let mut sig: Vec<String> = vec!["$false".to_owned(); aig.num_nodes()];
+    for (idx, &pi) in aig.inputs().iter().enumerate() {
+        sig[pi as usize] = names[idx].clone();
+    }
+    let mut const_used = false;
+    for id in aig.and_ids() {
+        sig[id as usize] = format!("n{id}");
+        let [f0, f1] = aig.fanins(id);
+        let row = |l: Lit| if l.is_complement() { '0' } else { '1' };
+        s.push_str(&format!(
+            ".names {} {} n{id}\n{}{} 1\n",
+            sig[f0.var() as usize],
+            sig[f1.var() as usize],
+            row(f0),
+            row(f1)
+        ));
+        const_used |= f0.var() == 0 || f1.var() == 0;
+    }
+    for (k, o) in aig.outputs().iter().enumerate() {
+        let name = out_name(k);
+        if o.lit.var() == 0 {
+            // Constant output.
+            s.push_str(&format!(".names {name}\n"));
+            if o.lit.is_complement() {
+                s.push_str("1\n");
+            }
+        } else {
+            let pol = if o.lit.is_complement() { "0 1" } else { "1 1" };
+            s.push_str(&format!(".names {} {name}\n{pol}\n", sig[o.lit.var() as usize]));
+        }
+    }
+    if const_used {
+        s.push_str(".names $false\n"); // constant-0 source
+    }
+    s.push_str(".end\n");
+    s
+}
+
+/// Parses a combinational BLIF model into an AIG.
+///
+/// Supports `.model`, `.inputs`, `.outputs`, `.names` (up to
+/// [`MAX_NAMES_INPUTS`] inputs, `-`/`0`/`1` cover rows, on-set `1`
+/// and off-set `0` output columns) and `.end`; line continuations
+/// with `\` and `#` comments are handled.
+///
+/// # Errors
+///
+/// [`AigError::ParseAiger`] (with BLIF line numbers) on malformed
+/// input; [`AigError::Unsupported`] for `.latch`, multiple models, or
+/// over-wide `.names`.
+pub fn from_blif(text: &str) -> Result<Aig, AigError> {
+    // Join continuations and strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (ln, raw) in text.lines().enumerate() {
+        let raw = raw.split('#').next().unwrap_or("").trim_end();
+        if pending.is_empty() {
+            pending_line = ln + 1;
+        }
+        if let Some(stripped) = raw.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+            continue;
+        }
+        pending.push_str(raw);
+        let full = std::mem::take(&mut pending);
+        if !full.trim().is_empty() {
+            lines.push((pending_line, full));
+        }
+    }
+
+    let err = |ln: usize, msg: &str| AigError::ParseAiger {
+        position: ln,
+        msg: msg.to_owned(),
+    };
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut tables: Vec<Names> = Vec::new();
+    let mut saw_model = false;
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (ln, line) = (&lines[i].0, lines[i].1.trim().to_owned());
+        let ln = *ln;
+        i += 1;
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some(".model") => {
+                if saw_model {
+                    return Err(AigError::Unsupported(
+                        "multiple .model sections".to_owned(),
+                    ));
+                }
+                saw_model = true;
+            }
+            Some(".inputs") => inputs.extend(tok.map(str::to_owned)),
+            Some(".outputs") => outputs.extend(tok.map(str::to_owned)),
+            Some(".latch") => {
+                return Err(AigError::Unsupported(
+                    "latches (only combinational BLIF is supported)".to_owned(),
+                ))
+            }
+            Some(".names") => {
+                let ios: Vec<String> = tok.map(str::to_owned).collect();
+                if ios.is_empty() {
+                    return Err(err(ln, ".names needs at least an output"));
+                }
+                if ios.len() - 1 > MAX_NAMES_INPUTS {
+                    return Err(AigError::Unsupported(format!(
+                        ".names with {} inputs (max {MAX_NAMES_INPUTS})",
+                        ios.len() - 1
+                    )));
+                }
+                let mut rows = Vec::new();
+                while i < lines.len() && !lines[i].1.trim_start().starts_with('.') {
+                    let (rln, row) = (&lines[i].0, lines[i].1.trim().to_owned());
+                    i += 1;
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (mask, value) = match parts.as_slice() {
+                        [v] if ios.len() == 1 => (String::new(), *v),
+                        [m, v] => ((*m).to_owned(), *v),
+                        _ => return Err(err(*rln, "bad cover row")),
+                    };
+                    let value = match value {
+                        "1" => '1',
+                        "0" => '0',
+                        _ => return Err(err(*rln, "cover output must be 0 or 1")),
+                    };
+                    if mask.len() != ios.len() - 1 {
+                        return Err(err(*rln, "cover width mismatch"));
+                    }
+                    if !mask.chars().all(|c| matches!(c, '0' | '1' | '-')) {
+                        return Err(err(*rln, "cover entries must be 0, 1 or -"));
+                    }
+                    rows.push((mask, value));
+                }
+                tables.push(Names { line: ln, ios, rows });
+            }
+            Some(".end") => break,
+            Some(other) if other.starts_with('.') => {
+                return Err(AigError::Unsupported(format!("directive `{other}`")))
+            }
+            _ => return Err(err(ln, "unexpected line")),
+        }
+    }
+    if !saw_model {
+        return Err(err(1, "missing .model"));
+    }
+
+    // Build: signals resolve lazily in dependency order.
+    let mut g = Aig::new();
+    let mut sig: HashMap<String, Lit> = HashMap::new();
+    for name in &inputs {
+        let l = g.add_named_input(Some(name.clone()));
+        sig.insert(name.clone(), l);
+    }
+    // Tables may be out of order; iterate until fixpoint.
+    let mut remaining: Vec<&Names> = tables.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|t| {
+            let (ins, out) = t.ios.split_at(t.ios.len() - 1);
+            if !ins.iter().all(|n| sig.contains_key(n)) {
+                return true; // keep for a later pass
+            }
+            let lit = build_names(&mut g, t, ins, &sig);
+            sig.insert(out[0].clone(), lit);
+            false
+        });
+        if remaining.len() == before {
+            let t = remaining[0];
+            return Err(AigError::ParseAiger {
+                position: t.line,
+                msg: format!(
+                    "undriven signal feeding `{}` (cycle or missing .names)",
+                    t.ios.last().expect("nonempty")
+                ),
+            });
+        }
+    }
+    for name in &outputs {
+        let l = *sig
+            .get(name)
+            .ok_or_else(|| err(0, &format!("output `{name}` never defined")))?;
+        g.add_output(l, Some(name.clone()));
+    }
+    Ok(g)
+}
+
+/// Synthesizes one `.names` table: rows with output `1` form the
+/// on-set; rows with output `0` form the off-set of the complement.
+fn build_names(g: &mut Aig, t: &Names, ins: &[String], sig: &HashMap<String, Lit>) -> Lit {
+    // Determine polarity: BLIF tables are single-polarity; output
+    // column is the same for all rows (per spec).
+    let on_set = t.rows.first().map_or('1', |r| r.1) == '1';
+    let nv = ins.len();
+    let mut f = Tt::zero(nv.max(1));
+    if nv == 0 {
+        // Constant: present row with value '1' means constant-1.
+        return if t.rows.iter().any(|r| r.1 == '1') {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        };
+    }
+    for (mask, _) in &t.rows {
+        // Each row is a cube; accumulate into the tt.
+        for m in 0..(1usize << nv) {
+            let matches = mask.chars().enumerate().all(|(j, c)| match c {
+                '1' => m >> j & 1 == 1,
+                '0' => m >> j & 1 == 0,
+                _ => true,
+            });
+            if matches {
+                f.set_bit(m, true);
+            }
+        }
+    }
+    if !on_set {
+        f = f.not();
+    }
+    // Factor the cover into AND/INV logic bound to the input signals.
+    let leaves: Vec<Lit> = ins.iter().map(|n| sig[n]).collect();
+    let cover = isop(&f);
+    let mut terms: Vec<Lit> = Vec::with_capacity(cover.len());
+    for cube in cover {
+        let mut lits = Vec::new();
+        for (j, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> j & 1 == 1 {
+                lits.push(leaf);
+            } else if cube.neg >> j & 1 == 1 {
+                lits.push(!leaf);
+            }
+        }
+        terms.push(g.and_many(&lits));
+    }
+    g.or_many(&terms)
+}
+
+/// One parsed `.names` table: source line, signal names
+/// (inputs then output), and cover rows.
+struct Names {
+    line: usize,
+    ios: Vec<String>,
+    rows: Vec<(String, char)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::equiv_exhaustive;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_named_input(Some("a"));
+        let b = g.add_named_input(Some("b"));
+        let c = g.add_named_input(Some("c"));
+        let x = g.xor(a, b);
+        let f = g.mux(c, x, a);
+        g.add_output(f, Some("f"));
+        g.add_output(!x, Some("nx"));
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let text = to_blif(&g, "sample");
+        let back = from_blif(&text).expect("self-produced blif parses");
+        assert!(equiv_exhaustive(&g, &back).expect("small"));
+        assert_eq!(back.input_name(0), Some("a"));
+        assert_eq!(back.outputs()[0].name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn parses_multi_input_names() {
+        // 3-input majority as a single .names table.
+        let text = "\
+.model maj
+.inputs a b c
+.outputs m
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.end
+";
+        let g = from_blif(text).expect("parses");
+        assert_eq!(g.num_inputs(), 3);
+        let sim = crate::sim::SimTable::exhaustive(&g).expect("3 inputs");
+        for m in 0..8usize {
+            let maj = (m.count_ones() >= 2) as u8 == 1;
+            assert_eq!(sim.lit_bit(g.outputs()[0].lit, m), maj, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn parses_offset_polarity_and_dontcare() {
+        // f defined by its OFF-set: f = 0 iff a=1,b=0 -> f = !a | b.
+        let text = "\
+.model offset
+.inputs a b
+.outputs f
+.names a b f
+10 0
+.end
+";
+        let g = from_blif(text).expect("parses");
+        let sim = crate::sim::SimTable::exhaustive(&g).expect("2 inputs");
+        for m in 0..4usize {
+            let a = m & 1 == 1;
+            let b = m >> 1 & 1 == 1;
+            assert_eq!(sim.lit_bit(g.outputs()[0].lit, m), !a | b);
+        }
+    }
+
+    #[test]
+    fn constants_and_buffers() {
+        let text = "\
+.model k
+.inputs a
+.outputs one zero buf
+.names one
+1
+.names zero
+.names a buf
+1 1
+.end
+";
+        let g = from_blif(text).expect("parses");
+        let sim = crate::sim::SimTable::exhaustive(&g).expect("1 input");
+        assert!(sim.lit_bit(g.outputs()[0].lit, 0));
+        assert!(!sim.lit_bit(g.outputs()[1].lit, 0));
+        assert!(sim.lit_bit(g.outputs()[2].lit, 1));
+    }
+
+    #[test]
+    fn out_of_order_tables_resolve() {
+        let text = "\
+.model ooo
+.inputs a b
+.outputs f
+.names t f
+1 1
+.names a b t
+11 1
+.end
+";
+        let g = from_blif(text).expect("parses");
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn rejects_latches_and_cycles() {
+        assert!(matches!(
+            from_blif(".model l\n.inputs a\n.outputs q\n.latch a q\n.end\n"),
+            Err(AigError::Unsupported(_))
+        ));
+        let cyclic = "\
+.model c
+.inputs a
+.outputs f
+.names f a f
+11 1
+.end
+";
+        assert!(from_blif(cyclic).is_err());
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let text = "\
+.model cmt  # the model
+.inputs a \\
+b
+.outputs f
+.names a b f   # AND
+11 1
+.end
+";
+        let g = from_blif(text).expect("parses");
+        assert_eq!(g.num_inputs(), 2);
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn iwls_style_roundtrip_of_suite_design() {
+        // A larger structural check: write and reparse a real design.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let d = g.add_input();
+        let ab = g.and(a, b);
+        let cd = g.or(c, d);
+        let f = g.xor(ab, cd);
+        g.add_output(f, Some("y"));
+        g.add_output(Lit::FALSE, Some("k0"));
+        let back = from_blif(&to_blif(&g, "bigger")).expect("parses");
+        assert!(equiv_exhaustive(&g, &back).expect("small"));
+    }
+}

@@ -1,0 +1,317 @@
+//! K-feasible cut enumeration with cut functions.
+//!
+//! Cuts are the workhorse of both the rewriting engine (4-input cuts
+//! resynthesized against an NPN cache) and the technology mapper
+//! (4-input cuts Boolean-matched against the cell library).
+
+use crate::graph::Aig;
+use crate::lit::NodeId;
+
+/// A k-feasible cut of a node: a set of leaves plus the function of
+/// the node expressed over those leaves.
+///
+/// `leaves` is sorted ascending; `tt` is the truth table over the
+/// leaves (leaf `i` is variable `i`), valid for cuts of at most six
+/// leaves. The truth table is expressed for the *plain* (uncomplemented)
+/// polarity of the root node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    /// Cut leaves, ascending node ids.
+    pub leaves: Vec<NodeId>,
+    /// Function of the root over the leaves.
+    pub tt: u64,
+}
+
+impl Cut {
+    /// The trivial cut `{node}` with the identity function.
+    pub fn trivial(node: NodeId) -> Cut {
+        Cut {
+            leaves: vec![node],
+            tt: 0b10, // f = x0 over one variable (bits masked per-size)
+        }
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether every leaf of `self` also appears in `other`
+    /// (i.e. `self` dominates `other` and renders it redundant).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        // Both sorted: subset test by merge scan.
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j == other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Masks `tt` to the valid bit width for this cut size.
+    pub fn masked_tt(&self) -> u64 {
+        let bits = 1usize << self.leaves.len();
+        if bits >= 64 {
+            self.tt
+        } else {
+            self.tt & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+/// Per-node cut sets produced by [`enumerate_cuts`].
+#[derive(Clone, Debug)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+    k: usize,
+}
+
+impl CutSet {
+    /// The cuts of node `id` (trivial cut included, first).
+    pub fn cuts(&self, id: NodeId) -> &[Cut] {
+        &self.cuts[id as usize]
+    }
+
+    /// The cut-size bound `k` used during enumeration.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Re-expresses `tt` (over sorted leaf set `from`) over the sorted
+/// superset leaf set `to`.
+///
+/// # Panics
+///
+/// Panics (debug) if `from` is not a subset of `to` or `to.len() > 6`.
+pub fn expand_tt(tt: u64, from: &[NodeId], to: &[NodeId]) -> u64 {
+    debug_assert!(to.len() <= 6);
+    // position map: var j of `from` is var pos[j] of `to`
+    let mut pos = [0usize; 6];
+    let mut j = 0;
+    for (i, &t) in to.iter().enumerate() {
+        if j < from.len() && from[j] == t {
+            pos[j] = i;
+            j += 1;
+        }
+    }
+    debug_assert_eq!(j, from.len(), "`from` leaves must be a subset of `to`");
+    let bits = 1usize << to.len();
+    let mut out = 0u64;
+    for m in 0..bits {
+        let mut src = 0usize;
+        for (jj, &p) in pos.iter().enumerate().take(from.len()) {
+            src |= ((m >> p) & 1) << jj;
+        }
+        out |= ((tt >> src) & 1) << m;
+    }
+    out
+}
+
+/// Merges two sorted leaf sets; `None` if the union exceeds `k`.
+fn merge_leaves(a: &[NodeId], b: &[NodeId], k: usize) -> Option<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        if out.len() == k {
+            return None;
+        }
+        out.push(next);
+    }
+    Some(out)
+}
+
+/// Enumerates up to `max_cuts` k-feasible cuts per node, `k <= 6`.
+///
+/// Every node's cut list begins with its trivial cut. Dominated cuts
+/// (strict supersets of another cut) are filtered; surplus cuts are
+/// pruned preferring fewer leaves.
+///
+/// # Panics
+///
+/// Panics if `k > 6` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, cut::enumerate_cuts};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let c = g.add_input();
+/// let ab = g.and(a, b);
+/// let abc = g.and(ab, c);
+/// g.add_output(abc, None::<&str>);
+/// let cuts = enumerate_cuts(&g, 4, 8);
+/// // abc has the trivial cut, {ab, c} and {a, b, c}.
+/// assert!(cuts.cuts(abc.var()).len() >= 3);
+/// ```
+pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
+    assert!((1..=6).contains(&k), "cut size k must be in 1..=6");
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    // Constant node: single empty cut with constant-false function.
+    cuts[0].push(Cut {
+        leaves: Vec::new(),
+        tt: 0,
+    });
+    for &pi in aig.inputs() {
+        cuts[pi as usize].push(Cut::trivial(pi));
+    }
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        let mut list: Vec<Cut> = vec![Cut::trivial(id)];
+        let c0s = &cuts[f0.var() as usize];
+        let c1s = &cuts[f1.var() as usize];
+        let mut merged: Vec<Cut> = Vec::new();
+        for c0 in c0s {
+            for c1 in c1s {
+                let Some(leaves) = merge_leaves(&c0.leaves, &c1.leaves, k) else {
+                    continue;
+                };
+                let t0 = expand_tt(c0.masked_tt(), &c0.leaves, &leaves);
+                let t1 = expand_tt(c1.masked_tt(), &c1.leaves, &leaves);
+                let bits = 1usize << leaves.len();
+                let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let t0 = if f0.is_complement() { !t0 & mask } else { t0 };
+                let t1 = if f1.is_complement() { !t1 & mask } else { t1 };
+                merged.push(Cut {
+                    leaves,
+                    tt: t0 & t1,
+                });
+            }
+        }
+        // Sort by size (prefer small cuts), filter dominated/duplicate.
+        merged.sort_by_key(|c| c.leaves.len());
+        for c in merged {
+            if list.len() >= max_cuts {
+                break;
+            }
+            if list
+                .iter()
+                .any(|kept| kept.leaves == c.leaves || kept.dominates(&c))
+            {
+                continue;
+            }
+            list.push(c);
+        }
+        cuts[id as usize] = list;
+    }
+    CutSet { cuts, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimTable;
+
+    #[test]
+    fn expand_identity() {
+        let leaves = [3u32, 7, 9];
+        assert_eq!(expand_tt(0b1010_1010, &leaves, &leaves), 0b1010_1010);
+    }
+
+    #[test]
+    fn expand_inserts_var() {
+        // f = x0 over {5}; expand to {2, 5}: x0 becomes var 1.
+        let t = expand_tt(0b10, &[5], &[2, 5]);
+        assert_eq!(t, 0b1100);
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cut {
+            leaves: vec![1, 3],
+            tt: 0,
+        };
+        let big = Cut {
+            leaves: vec![1, 2, 3],
+            tt: 0,
+        };
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+    }
+
+    /// Cut truth tables must agree with simulation: for every cut of
+    /// every node, evaluating the cut function on the leaves'
+    /// simulated values must reproduce the node's simulated value.
+    #[test]
+    fn cut_functions_match_simulation() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let d = g.add_input();
+        let ab = g.and(a, !b);
+        let cd = g.or(c, d);
+        let f = g.xor(ab, cd);
+        let h = g.mux(a, f, cd);
+        g.add_output(h, None::<&str>);
+        let sim = SimTable::exhaustive(&g).expect("4 inputs");
+        let cuts = enumerate_cuts(&g, 4, 12);
+        for id in g.and_ids() {
+            for cut in cuts.cuts(id) {
+                let nbits = 1usize << g.num_inputs();
+                for m in 0..nbits {
+                    // Build the cut minterm from leaf values.
+                    let mut idx = 0usize;
+                    for (j, &leaf) in cut.leaves.iter().enumerate() {
+                        if sim.node_bit(leaf, m) {
+                            idx |= 1 << j;
+                        }
+                    }
+                    let cut_val = cut.masked_tt() >> idx & 1 == 1;
+                    assert_eq!(
+                        cut_val,
+                        sim.node_bit(id, m),
+                        "node {id} cut {:?} minterm {m}",
+                        cut.leaves
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_cut_first() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        let cuts = enumerate_cuts(&g, 4, 8);
+        assert_eq!(cuts.cuts(f.var())[0].leaves, vec![f.var()]);
+        assert_eq!(cuts.k(), 4);
+    }
+}

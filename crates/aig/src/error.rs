@@ -1,0 +1,84 @@
+//! Error type shared by the `aig` crate.
+
+use std::fmt;
+
+/// Errors returned by AIG construction, analysis and I/O.
+#[derive(Debug)]
+pub enum AigError {
+    /// The AIGER input could not be parsed.
+    ParseAiger {
+        /// 1-based line (ASCII) or byte offset (binary) of the error.
+        position: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An exhaustive analysis was requested on an AIG with too many
+    /// inputs.
+    TooManyInputs {
+        /// Inputs present.
+        inputs: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Two AIGs were compared but their interfaces differ.
+    Mismatch(String),
+    /// A supported-format feature is absent (e.g. latches).
+    Unsupported(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::ParseAiger { position, msg } => {
+                write!(f, "invalid AIGER at {position}: {msg}")
+            }
+            AigError::TooManyInputs { inputs, max } => {
+                write!(f, "exhaustive analysis limited to {max} inputs, got {inputs}")
+            }
+            AigError::Mismatch(msg) => write!(f, "{msg}"),
+            AigError::Unsupported(msg) => write!(f, "unsupported feature: {msg}"),
+            AigError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AigError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AigError {
+    fn from(e: std::io::Error) -> Self {
+        AigError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AigError::TooManyInputs { inputs: 20, max: 16 };
+        assert!(format!("{e}").contains("20"));
+        let e = AigError::ParseAiger {
+            position: 3,
+            msg: "bad header".into(),
+        };
+        assert!(format!("{e}").contains("3"));
+        let e = AigError::Unsupported("latches".into());
+        assert!(format!("{e}").contains("latches"));
+    }
+
+    #[test]
+    fn error_trait_impls() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<AigError>();
+    }
+}

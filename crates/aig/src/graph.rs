@@ -1,0 +1,603 @@
+//! The And-Inverter Graph container.
+
+use crate::lit::{Lit, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of an AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The constant-false node (always node 0).
+    Const,
+    /// A primary input.
+    Input,
+    /// A two-input AND gate.
+    And,
+}
+
+/// A primary output: a literal plus an optional symbol name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Output {
+    /// The literal driving this output.
+    pub lit: Lit,
+    /// Optional symbol-table name.
+    pub name: Option<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    fanin: [Lit; 2],
+}
+
+impl Node {
+    #[inline]
+    fn is_and(&self) -> bool {
+        self.fanin[0] != Lit::INVALID
+    }
+}
+
+/// A combinational And-Inverter Graph with structural hashing.
+///
+/// Nodes are stored in a topologically sorted arena: node 0 is the
+/// constant-false node, and every AND node appears after both of its
+/// fanins. Inversion is represented on edges via [`Lit`] complement
+/// bits, so the graph itself only contains AND gates and inputs.
+///
+/// [`Aig::and`] performs constant propagation, trivial simplification
+/// (`a & a = a`, `a & !a = 0`, ...) and structural hashing, so
+/// logically identical AND gates are created only once.
+///
+/// # Examples
+///
+/// Build a full adder and inspect it:
+///
+/// ```
+/// use aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let cin = g.add_input();
+/// let ab = g.xor(a, b);
+/// let sum = g.xor(ab, cin);
+/// let and_ab = g.and(a, b);
+/// let and_c = g.and(cin, ab);
+/// let carry = g.or(and_ab, and_c);
+/// g.add_output(sum, Some("sum"));
+/// g.add_output(carry, Some("carry"));
+///
+/// assert_eq!(g.num_inputs(), 3);
+/// assert_eq!(g.num_outputs(), 2);
+/// assert!(g.num_ands() <= 9);
+/// ```
+#[derive(Clone)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    input_names: Vec<Option<String>>,
+    outputs: Vec<Output>,
+    strash: HashMap<(u32, u32), NodeId>,
+    name: String,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant-false node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node {
+                fanin: [Lit::INVALID, Lit::INVALID],
+            }],
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Creates an empty AIG with `n` primary inputs already added.
+    pub fn with_inputs(n: usize) -> Self {
+        let mut g = Aig::new();
+        for _ in 0..n {
+            g.add_input();
+        }
+        g
+    }
+
+    /// A free-form design name (used in reports and AIGER comments).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the design name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total number of nodes including the constant and inputs.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND nodes (the paper's "node count" proxy for area).
+    #[inline]
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len()
+    }
+
+    /// The primary-input node ids in creation order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The primary outputs in creation order.
+    #[inline]
+    pub fn outputs(&self) -> &[Output] {
+        &self.outputs
+    }
+
+    /// The name of input `idx` (position in [`Aig::inputs`]), if any.
+    pub fn input_name(&self, idx: usize) -> Option<&str> {
+        self.input_names.get(idx).and_then(|n| n.as_deref())
+    }
+
+    /// Kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        if id == 0 {
+            NodeKind::Const
+        } else if self.nodes[id as usize].is_and() {
+            NodeKind::And
+        } else {
+            NodeKind::Input
+        }
+    }
+
+    /// Whether node `id` is an AND gate.
+    #[inline]
+    pub fn is_and(&self, id: NodeId) -> bool {
+        id != 0 && self.nodes[id as usize].is_and()
+    }
+
+    /// Whether node `id` is a primary input.
+    #[inline]
+    pub fn is_input(&self, id: NodeId) -> bool {
+        id != 0 && !self.nodes[id as usize].is_and()
+    }
+
+    /// The two fanin literals of AND node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an AND node.
+    #[inline]
+    pub fn fanins(&self, id: NodeId) -> [Lit; 2] {
+        let n = &self.nodes[id as usize];
+        assert!(n.is_and(), "node {id} is not an AND gate");
+        n.fanin
+    }
+
+    /// Adds a fresh primary input and returns its (plain) literal.
+    pub fn add_input(&mut self) -> Lit {
+        self.add_named_input(None::<String>)
+    }
+
+    /// Adds a named primary input and returns its (plain) literal.
+    pub fn add_named_input(&mut self, name: Option<impl Into<String>>) -> Lit {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node {
+            fanin: [Lit::INVALID, Lit::INVALID],
+        });
+        self.inputs.push(id);
+        self.input_names.push(name.map(Into::into));
+        Lit::new(id, false)
+    }
+
+    /// Registers `lit` as a primary output; returns the output index.
+    pub fn add_output(&mut self, lit: Lit, name: Option<impl Into<String>>) -> usize {
+        debug_assert!((lit.var() as usize) < self.nodes.len());
+        self.outputs.push(Output {
+            lit,
+            name: name.map(Into::into),
+        });
+        self.outputs.len() - 1
+    }
+
+    /// Replaces the literal driving output `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set_output(&mut self, idx: usize, lit: Lit) {
+        self.outputs[idx].lit = lit;
+    }
+
+    /// Renames output `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn rename_output(&mut self, idx: usize, name: Option<String>) {
+        self.outputs[idx].name = name;
+    }
+
+    /// Returns the AND of `a` and `b`, creating a node only if needed.
+    ///
+    /// Applies constant propagation, the trivial rules
+    /// `x & x = x`, `x & !x = 0`, and structural hashing, so the result
+    /// may be an existing literal or even a constant.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let key = (x.raw(), y.raw());
+        if let Some(&id) = self.strash.get(&key) {
+            return Lit::new(id, false);
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node { fanin: [x, y] });
+        self.strash.insert(key, id);
+        Lit::new(id, false)
+    }
+
+    /// Probes for the AND of `a` and `b` without creating a node.
+    ///
+    /// Applies the same constant propagation and trivial rules as
+    /// [`Aig::and`]; returns `Some` when the result is a constant, a
+    /// trivially reduced literal, or an existing strashed node, and
+    /// `None` when [`Aig::and`] would have to allocate a new node.
+    pub fn find_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE || a == b {
+            return Some(a);
+        }
+        let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        self.strash
+            .get(&(x.raw(), y.raw()))
+            .map(|&id| Lit::new(id, false))
+    }
+
+    /// Returns the OR of `a` and `b` (built from AND + inversion).
+    #[inline]
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Returns the XOR of `a` and `b` (three AND nodes or fewer).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, !b);
+        let t1 = self.and(!a, b);
+        self.or(t0, t1)
+    }
+
+    /// Returns the XNOR of `a` and `b`.
+    #[inline]
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Returns `if s { t } else { e }` (a 2:1 multiplexer).
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(s, t);
+        let b = self.and(!s, e);
+        self.or(a, b)
+    }
+
+    /// AND of an arbitrary number of literals (balanced reduction).
+    ///
+    /// Returns [`Lit::TRUE`] for an empty slice.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Self::and)
+    }
+
+    /// OR of an arbitrary number of literals (balanced reduction).
+    ///
+    /// Returns [`Lit::FALSE`] for an empty slice.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::or)
+    }
+
+    /// XOR of an arbitrary number of literals (balanced reduction).
+    ///
+    /// Returns [`Lit::FALSE`] for an empty slice.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        empty: Lit,
+        mut op: impl FnMut(&mut Self, Lit, Lit) -> Lit,
+    ) -> Lit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            _ => {
+                let mut layer: Vec<Lit> = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Iterates over the ids of all AND nodes in topological order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.nodes.len() as NodeId).filter(move |&id| self.nodes[id as usize].is_and())
+    }
+
+    /// Iterates over all node ids (constant, inputs, ANDs) in
+    /// topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.nodes.len() as NodeId
+    }
+
+    /// Rebuilds the AIG keeping only logic reachable from the outputs
+    /// ("sweep"): dangling AND nodes are dropped, inputs are preserved.
+    ///
+    /// Returns the cleaned copy; `self` is untouched.
+    pub fn sweep(&self) -> Aig {
+        let mut out = Aig::new();
+        out.name = self.name.clone();
+        let mut map: Vec<Lit> = vec![Lit::INVALID; self.nodes.len()];
+        map[0] = Lit::FALSE;
+        for (idx, &pi) in self.inputs.iter().enumerate() {
+            let lit = out.add_named_input(self.input_names[idx].clone());
+            map[pi as usize] = lit;
+        }
+        // Mark reachable nodes.
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|o| o.lit.var()).collect();
+        while let Some(id) = stack.pop() {
+            if live[id as usize] {
+                continue;
+            }
+            live[id as usize] = true;
+            if self.is_and(id) {
+                let [f0, f1] = self.nodes[id as usize].fanin;
+                stack.push(f0.var());
+                stack.push(f1.var());
+            }
+        }
+        // Copy live ANDs in topological order.
+        for id in self.and_ids() {
+            if !live[id as usize] {
+                continue;
+            }
+            let [f0, f1] = self.nodes[id as usize].fanin;
+            let a = map[f0.var() as usize].complement_if(f0.is_complement());
+            let b = map[f1.var() as usize].complement_if(f1.is_complement());
+            map[id as usize] = out.and(a, b);
+        }
+        for o in &self.outputs {
+            let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());
+            out.add_output(l, o.name.clone());
+        }
+        out
+    }
+
+    /// Number of AND nodes reachable from the outputs (i.e. the size
+    /// after a [`Aig::sweep`], without building the swept copy).
+    pub fn num_live_ands(&self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|o| o.lit.var()).collect();
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if live[id as usize] {
+                continue;
+            }
+            live[id as usize] = true;
+            if self.is_and(id) {
+                count += 1;
+                let [f0, f1] = self.nodes[id as usize].fanin;
+                stack.push(f0.var());
+                stack.push(f1.var());
+            }
+        }
+        count
+    }
+
+    /// Structural statistics used throughout the crate family.
+    pub fn stats(&self) -> AigStats {
+        AigStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            ands: self.num_ands(),
+            levels: crate::analysis::levels(self).max_level,
+        }
+    }
+}
+
+/// Summary statistics of an [`Aig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AigStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of AND nodes.
+    pub ands: usize,
+    /// Number of AND levels on the longest input-to-output path.
+    pub levels: u32,
+}
+
+impl fmt::Display for AigStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "i/o = {}/{}  and = {}  lev = {}",
+            self.inputs, self.outputs, self.ands, self.levels
+        )
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig({:?}, pi={}, po={}, and={})",
+            self.name,
+            self.num_inputs(),
+            self.num_outputs(),
+            self.num_ands()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_and_rules() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, b), b);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn strashing_dedupes() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn or_demorgan() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let o = g.or(a, b);
+        assert!(o.is_complement());
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_structure() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.xor(a, b);
+        assert_eq!(g.num_ands(), 3);
+        // xor with self is false, xor with complement is true
+        assert_eq!(g.xor(a, a), Lit::FALSE);
+        assert_eq!(g.xor(a, !a), Lit::TRUE);
+        let _ = x;
+    }
+
+    #[test]
+    fn sweep_removes_dangling() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let keep = g.and(a, b);
+        let _dangling = g.and(a, !b);
+        g.add_output(keep, Some("f"));
+        assert_eq!(g.num_ands(), 2);
+        assert_eq!(g.num_live_ands(), 1);
+        let swept = g.sweep();
+        assert_eq!(swept.num_ands(), 1);
+        assert_eq!(swept.num_inputs(), 2);
+        assert_eq!(swept.num_outputs(), 1);
+        assert_eq!(swept.outputs()[0].name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn and_many_balanced() {
+        let mut g = Aig::new();
+        let lits: Vec<Lit> = (0..8).map(|_| g.add_input()).collect();
+        let f = g.and_many(&lits);
+        g.add_output(f, None::<&str>);
+        let lv = crate::analysis::levels(&g);
+        assert_eq!(lv.max_level, 3); // log2(8)
+        assert_eq!(g.num_ands(), 7);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut g = Aig::new();
+        let s = g.add_input();
+        let t = g.add_input();
+        let e = g.add_input();
+        let m = g.mux(s, t, e);
+        g.add_output(m, None::<&str>);
+        let sim = crate::sim::SimTable::exhaustive(&g).expect("3 inputs");
+        for p in 0..8 {
+            let want = if sim.lit_bit(s, p) {
+                sim.lit_bit(t, p)
+            } else {
+                sim.lit_bit(e, p)
+            };
+            assert_eq!(sim.lit_bit(m, p), want, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn stats_display() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        let s = g.stats();
+        assert_eq!(s.ands, 1);
+        assert_eq!(s.levels, 1);
+        assert!(format!("{s}").contains("and = 1"));
+    }
+}

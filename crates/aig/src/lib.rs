@@ -1,0 +1,56 @@
+//! And-Inverter Graphs for logic synthesis research.
+//!
+//! This crate is the structural substrate of the `aig-timing` project,
+//! a reproduction of *"ML-based AIG Timing Prediction to Enhance Logic
+//! Optimization"* (DATE 2025). It provides:
+//!
+//! * [`Aig`] — a structurally hashed And-Inverter Graph with
+//!   constant propagation and edge-complement representation;
+//! * [`analysis`] — levels, fanout, weighted path depths and path
+//!   counts (the raw material for the paper's Table II features);
+//! * [`cut`] — k-feasible cut enumeration with cut truth tables
+//!   (used by rewriting and technology mapping);
+//! * [`tt`] — truth-table arithmetic, ISOP covers, NPN canonization;
+//! * [`sim`] — bit-parallel random/exhaustive simulation and
+//!   equivalence checking;
+//! * [`aiger`] — ASCII and binary AIGER I/O;
+//! * [`blif`] — combinational BLIF read (with `.names` synthesis)
+//!   and write.
+//!
+//! # Examples
+//!
+//! Build a majority gate and verify an optimized rebuild against it:
+//!
+//! ```
+//! use aig::{Aig, sim::equiv_exhaustive};
+//!
+//! let mut g = Aig::new();
+//! let (a, b, c) = (g.add_input(), g.add_input(), g.add_input());
+//! let ab = g.and(a, b);
+//! let bc = g.and(b, c);
+//! let ac = g.and(a, c);
+//! let t = g.or(ab, bc);
+//! let maj = g.or(t, ac);
+//! g.add_output(maj, Some("maj"));
+//!
+//! let swept = g.sweep();
+//! assert!(equiv_exhaustive(&g, &swept)?);
+//! # Ok::<(), aig::AigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aiger;
+pub mod analysis;
+pub mod blif;
+pub mod cut;
+mod error;
+mod graph;
+mod lit;
+pub mod sim;
+pub mod tt;
+
+pub use error::AigError;
+pub use graph::{Aig, AigStats, NodeKind, Output};
+pub use lit::{Lit, NodeId};

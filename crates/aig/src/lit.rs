@@ -1,0 +1,165 @@
+//! Literals and node identifiers.
+//!
+//! An AIG literal packs a node index and a complement flag into a single
+//! `u32`, mirroring the encoding used by the AIGER format: literal
+//! `2 * var + c` refers to node `var`, complemented when `c == 1`.
+
+use std::fmt;
+
+/// Index of a node inside an [`crate::Aig`].
+///
+/// Node `0` is always the constant-false node.
+pub type NodeId = u32;
+
+/// A (possibly complemented) reference to an AIG node.
+///
+/// The constant literals are [`Lit::FALSE`] (node 0, plain) and
+/// [`Lit::TRUE`] (node 0, complemented), matching the AIGER convention
+/// where literal `0` is false and literal `1` is true.
+///
+/// # Examples
+///
+/// ```
+/// use aig::Lit;
+///
+/// let a = Lit::new(3, false);
+/// assert_eq!(a.var(), 3);
+/// assert!(!a.is_complement());
+/// assert_eq!((!a).var(), 3);
+/// assert!((!a).is_complement());
+/// assert_eq!(!!a, a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (AIGER literal `0`).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (AIGER literal `1`).
+    pub const TRUE: Lit = Lit(1);
+    /// Sentinel literal for uninitialized slots (never a valid node
+    /// reference); useful for "not yet mapped" markers in rebuild
+    /// passes.
+    pub const INVALID: Lit = Lit(u32::MAX);
+
+    /// Creates a literal referring to node `var`, complemented if
+    /// `complement` is true.
+    #[inline]
+    pub fn new(var: NodeId, complement: bool) -> Self {
+        debug_assert!(var < u32::MAX / 2);
+        Lit(var << 1 | complement as u32)
+    }
+
+    /// Builds a literal from its raw AIGER encoding (`2 * var + c`).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// Returns the raw AIGER encoding of this literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal refers to.
+    #[inline]
+    pub fn var(self) -> NodeId {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is complemented (inverted).
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns the same literal with the complement bit cleared.
+    #[inline]
+    pub fn regular(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// Returns this literal complemented iff `c` is true.
+    #[inline]
+    pub fn complement_if(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+
+    /// Whether this is one of the two constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.var() == 0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::FALSE {
+            write!(f, "0")
+        } else if *self == Lit::TRUE {
+            write!(f, "1")
+        } else if self.is_complement() {
+            write!(f, "!n{}", self.var())
+        } else {
+            write!(f, "n{}", self.var())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.raw(), 0);
+        assert_eq!(Lit::TRUE.raw(), 1);
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+        assert!(!Lit::new(1, false).is_const());
+    }
+
+    #[test]
+    fn roundtrip_raw() {
+        for raw in 0..100u32 {
+            let l = Lit::from_raw(raw);
+            assert_eq!(l.raw(), raw);
+            assert_eq!(l.var(), raw >> 1);
+            assert_eq!(l.is_complement(), raw & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn complement_if_flips_conditionally() {
+        let l = Lit::new(5, false);
+        assert_eq!(l.complement_if(false), l);
+        assert_eq!(l.complement_if(true), !l);
+        assert_eq!(l.regular(), l);
+        assert_eq!((!l).regular(), l);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Lit::FALSE), "0");
+        assert_eq!(format!("{}", Lit::TRUE), "1");
+        assert_eq!(format!("{}", Lit::new(4, true)), "!n4");
+        assert_eq!(format!("{}", Lit::new(4, false)), "n4");
+    }
+}

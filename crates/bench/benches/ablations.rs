@@ -1,0 +1,104 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! histogram bin counts, mapper cut size, SA hill-climbing, and the
+//! GNN-vs-GBT training cost (paper §III-B).
+
+use bench::library;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::datagen::Target;
+use gbt::GbtParams;
+use gnn::{GnnModel, GnnParams, GraphData};
+use saopt::{optimize, ProxyCost, SaOptions};
+use std::hint::black_box;
+use techmap::{MapGoal, MapOptions, Mapper};
+
+fn bench_ablations(c: &mut Criterion) {
+    let lib = library();
+    let (small, large) = bench::design_pair();
+    let set = bench::small_corpus(&small, &lib, 60, 37);
+    let ds = set.to_dataset(Target::Delay);
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // Histogram bin count vs training time.
+    for bins in [64usize, 128, 256] {
+        g.bench_function(format!("gbt_train_bins_{bins}"), |b| {
+            b.iter(|| {
+                gbt::train(
+                    black_box(&ds),
+                    &GbtParams {
+                        num_rounds: 60,
+                        max_bins: bins,
+                        ..GbtParams::default()
+                    },
+                )
+            })
+        });
+    }
+
+    // Mapper cut size (delay quality vs runtime trade-off).
+    for k in [3usize, 4] {
+        let mapper = Mapper::new(
+            &lib,
+            MapOptions {
+                cut_size: k,
+                ..MapOptions::default()
+            },
+        );
+        g.bench_function(format!("map_ex28_k{k}"), |b| {
+            b.iter(|| mapper.map(black_box(&large.aig)))
+        });
+    }
+
+    // Area-oriented vs delay-oriented mapping.
+    let area_mapper = Mapper::new(
+        &lib,
+        MapOptions {
+            goal: MapGoal::Area,
+            ..MapOptions::default()
+        },
+    );
+    g.bench_function("map_ex28_area_mode", |b| {
+        b.iter(|| area_mapper.map(black_box(&large.aig)))
+    });
+
+    // SA with vs without hill-climbing (initial_temp 0 disables it).
+    let actions = transform::recipes();
+    for (name, temp) in [("hill_climbing", 0.05f64), ("greedy", 0.0)] {
+        let opts = SaOptions {
+            iterations: 6,
+            initial_temp: temp,
+            seed: 11,
+            ..SaOptions::default()
+        };
+        g.bench_function(format!("sa_ex00_{name}"), |b| {
+            b.iter(|| optimize(black_box(&small.aig), &mut ProxyCost, &actions, &opts))
+        });
+    }
+
+    // GNN vs GBT training cost on identical sample counts.
+    let graphs: Vec<(GraphData, f64)> = experiments::datagen::generate_variants(&small.aig, 12, 41)
+        .iter()
+        .zip(experiments::datagen::label_variants(
+            &experiments::datagen::generate_variants(&small.aig, 12, 41),
+            &lib,
+        ))
+        .map(|(a, (d, _))| (GraphData::from_aig(a), d))
+        .collect();
+    g.bench_function("gnn_train_12_graphs_10_epochs", |b| {
+        b.iter(|| {
+            GnnModel::train(
+                black_box(&graphs),
+                &GnnParams {
+                    epochs: 10,
+                    hidden: 16,
+                    ..GnnParams::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Component microbenchmarks: the building blocks whose costs explain
+//! the flow-level numbers in Fig. 2 and Table IV.
+
+use bench::{design_pair, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use techmap::{MapOptions, Mapper};
+
+fn bench_components(c: &mut Criterion) {
+    let (small, large) = design_pair();
+    let lib = library();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let netlist = mapper.map(&large.aig).expect("mappable");
+
+    let mut g = c.benchmark_group("components");
+    g.sample_size(20);
+
+    g.bench_function("cut_enum_k4_ex28", |b| {
+        b.iter(|| aig::cut::enumerate_cuts(black_box(&large.aig), 4, 8))
+    });
+    g.bench_function("cut_enum_k6_ex28", |b| {
+        b.iter(|| aig::cut::enumerate_cuts(black_box(&large.aig), 6, 5))
+    });
+    g.bench_function("feature_extract_ex28", |b| {
+        b.iter(|| features::extract(black_box(&large.aig)))
+    });
+    g.bench_function("map_ex00", |b| b.iter(|| mapper.map(black_box(&small.aig))));
+    g.bench_function("map_ex28", |b| b.iter(|| mapper.map(black_box(&large.aig))));
+    g.bench_function("sta_ex28", |b| {
+        b.iter(|| sta::delay_and_area(black_box(&netlist), &lib))
+    });
+    g.bench_function("balance_ex28", |b| {
+        b.iter(|| transform::balance(black_box(&large.aig)))
+    });
+    g.bench_function("rewrite_ex28", |b| {
+        b.iter(|| transform::rewrite(black_box(&large.aig)))
+    });
+    g.bench_function("refactor_ex28", |b| {
+        b.iter(|| transform::refactor(black_box(&large.aig)))
+    });
+    g.bench_function("resub_ex28", |b| {
+        b.iter(|| transform::resub(black_box(&large.aig)))
+    });
+    g.bench_function("resize_ex28", |b| {
+        b.iter(|| {
+            let mut nl = netlist.clone();
+            techmap::resize_greedy(&mut nl, &lib, 2)
+        })
+    });
+    g.bench_function("verilog_export_ex28", |b| {
+        b.iter(|| techmap::to_verilog(black_box(&netlist), &lib, "bench"))
+    });
+    g.bench_function("exhaustive_sim_ex00", |b| {
+        b.iter(|| aig::sim::SimTable::exhaustive(black_box(&small.aig)).expect("16 pis"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 1 bench: generating and labeling the multiplier variant cloud
+//! that the level/delay correlation scatter is computed from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::datagen::{generate_variants, label_variants};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let design = benchgen::multiplier(8);
+    let lib = bench::library();
+    let variants = generate_variants(&design.aig, 16, 3);
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("generate_16_variants_mult8", |b| {
+        b.iter(|| generate_variants(black_box(&design.aig), 16, 3))
+    });
+    g.bench_function("label_16_variants_mult8", |b| {
+        b.iter(|| label_variants(black_box(&variants), &lib))
+    });
+    g.bench_function("pearson_on_labels", |b| {
+        let labels = label_variants(&variants, &lib);
+        let x: Vec<f64> = variants.iter().map(|v| v.num_ands() as f64).collect();
+        let y: Vec<f64> = labels.iter().map(|&(d, _)| d).collect();
+        b.iter(|| gbt::pearson(black_box(&x), black_box(&y)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 2 bench: one optimization-loop iteration under the baseline
+//! (proxy) evaluator vs the ground-truth (map + STA) evaluator, on a
+//! small and a large design. The ratio is the paper's slowdown.
+
+use bench::{candidate_of, design_pair, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use saopt::{CostEvaluator, GroundTruthCost, ProxyCost};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (small, large) = design_pair();
+    let lib = library();
+    let mut g = c.benchmark_group("fig2_iteration");
+    g.sample_size(15);
+    for design in [&small, &large] {
+        let cand = candidate_of(design);
+        g.bench_function(format!("baseline_eval_{}", design.name), |b| {
+            let mut e = ProxyCost;
+            b.iter(|| e.evaluate(black_box(&cand)))
+        });
+        g.bench_function(format!("ground_truth_eval_{}", design.name), |b| {
+            let mut e = GroundTruthCost::new(&lib);
+            b.iter(|| e.evaluate(black_box(&cand)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 5 bench: one SA sweep run per flow (the unit of work behind
+//! each Pareto point), plus the front computation itself.
+
+use bench::library;
+use criterion::{criterion_group, criterion_main, Criterion};
+use saopt::pareto::{pareto_front, Point};
+use saopt::{optimize, GroundTruthCost, MlCost, ProxyCost, SaOptions};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let lib = library();
+    let design = benchgen::ex00();
+    let set = bench::small_corpus(&design, &lib, 50, 31);
+    let delay_model = bench::small_delay_model(&set, 120);
+    let area_model = bench::small_area_model(&set, 120);
+    let actions = transform::recipes();
+    let opts = SaOptions {
+        iterations: 5,
+        seed: 3,
+        ..SaOptions::default()
+    };
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("sa_run_baseline_ex00", |b| {
+        b.iter(|| optimize(black_box(&design.aig), &mut ProxyCost, &actions, &opts))
+    });
+    g.bench_function("sa_run_ground_truth_ex00", |b| {
+        b.iter(|| {
+            let mut e = GroundTruthCost::new(&lib);
+            optimize(black_box(&design.aig), &mut e, &actions, &opts)
+        })
+    });
+    g.bench_function("sa_run_ml_ex00", |b| {
+        b.iter(|| {
+            let mut e = MlCost::new(&delay_model, &area_model);
+            optimize(black_box(&design.aig), &mut e, &actions, &opts)
+        })
+    });
+    g.bench_function("pareto_front_1000_points", |b| {
+        let pts: Vec<Point> = (0..1000)
+            .map(|i| Point {
+                delay: ((i * 37) % 997) as f64,
+                area: ((i * 61) % 991) as f64,
+            })
+            .collect();
+        b.iter(|| pareto_front(black_box(&pts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

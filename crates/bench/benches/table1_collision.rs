@@ -1,0 +1,21 @@
+//! Table I bench: scanning a labeled variant cloud for proxy-metric
+//! collisions (same levels and node count, different mapped PPA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::table1::find_collisions;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let lib = bench::library();
+    let design = benchgen::multiplier(6);
+    let set = bench::small_corpus(&design, &lib, 60, 17);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("collision_search_60_variants", |b| {
+        b.iter(|| find_collisions(black_box(&set)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

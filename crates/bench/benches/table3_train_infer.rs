@@ -1,0 +1,40 @@
+//! Table III bench: model training and single-AIG inference — the
+//! costs behind the paper's accuracy table and its ML-flow speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::datagen::Target;
+use gbt::GbtParams;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let lib = bench::library();
+    let (small, _) = bench::design_pair();
+    let set = bench::small_corpus(&small, &lib, 80, 23);
+    let ds = set.to_dataset(Target::Delay);
+    let model = bench::small_delay_model(&set, 150);
+    let row: Vec<f32> = ds.row(0).to_vec();
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("train_150_trees_80_rows", |b| {
+        b.iter(|| {
+            gbt::train(
+                black_box(&ds),
+                &GbtParams {
+                    num_rounds: 150,
+                    ..GbtParams::default()
+                },
+            )
+        })
+    });
+    g.bench_function("predict_single_row", |b| {
+        b.iter(|| model.predict(black_box(&row)))
+    });
+    g.bench_function("predict_all_80_rows", |b| {
+        b.iter(|| model.predict_all(black_box(&ds)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

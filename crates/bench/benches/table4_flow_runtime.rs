@@ -1,0 +1,36 @@
+//! Table IV bench: per-iteration cost of the three flows' evaluators
+//! on the same candidate AIG — baseline proxy metrics, ground-truth
+//! mapping + STA, and ML feature extraction + inference.
+
+use bench::{candidate_of, design_pair, library};
+use criterion::{criterion_group, criterion_main, Criterion};
+use saopt::{CostEvaluator, GroundTruthCost, MlCost, ProxyCost};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let (_, large) = design_pair();
+    let lib = library();
+    let set = bench::small_corpus(&large, &lib, 60, 29);
+    let delay_model = bench::small_delay_model(&set, 150);
+    let area_model = bench::small_area_model(&set, 150);
+    let cand = candidate_of(&large);
+
+    let mut g = c.benchmark_group("table4_flows");
+    g.sample_size(15);
+    g.bench_function("proxy_eval_ex28", |b| {
+        let mut e = ProxyCost;
+        b.iter(|| e.evaluate(black_box(&cand)))
+    });
+    g.bench_function("mapping_sta_eval_ex28", |b| {
+        let mut e = GroundTruthCost::new(&lib);
+        b.iter(|| e.evaluate(black_box(&cand)))
+    });
+    g.bench_function("ml_inference_eval_ex28", |b| {
+        let mut e = MlCost::new(&delay_model, &area_model);
+        b.iter(|| e.evaluate(black_box(&cand)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

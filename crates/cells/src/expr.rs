@@ -1,0 +1,293 @@
+//! Boolean expression parsing for liberty-lite `function` strings.
+//!
+//! Grammar (precedence low → high): `|` (OR), `^` (XOR), `&` (AND),
+//! `!` (NOT), parentheses, identifiers. Whitespace is insignificant.
+
+use std::fmt;
+
+/// A parsed Boolean expression over named pins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A pin reference by name.
+    Var(String),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+    /// Logical conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Exclusive or.
+    Xor(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+/// Error produced when a `function` string cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExprError {
+    /// Byte offset of the failure.
+    pub position: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad boolean expression at byte {}: {}", self.position, self.msg)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+impl BoolExpr {
+    /// Parses an expression such as `"!((a & b) | c)"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseExprError`] for malformed input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cells::expr::BoolExpr;
+    ///
+    /// let e = BoolExpr::parse("!(a & b)")?;
+    /// assert_eq!(e.pins(), vec!["a", "b"]);
+    /// assert!(e.eval(&|pin| pin == "a") ); // !(1 & 0) = 1
+    /// # Ok::<(), cells::expr::ParseExprError>(())
+    /// ```
+    pub fn parse(s: &str) -> Result<BoolExpr, ParseExprError> {
+        let mut p = Parser {
+            src: s.as_bytes(),
+            pos: 0,
+        };
+        let e = p.parse_or()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(ParseExprError {
+                position: p.pos,
+                msg: "trailing input".into(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// Evaluates the expression with pin values from `env`.
+    pub fn eval(&self, env: &impl Fn(&str) -> bool) -> bool {
+        match self {
+            BoolExpr::Var(v) => env(v),
+            BoolExpr::Not(e) => !e.eval(env),
+            BoolExpr::And(a, b) => a.eval(env) && b.eval(env),
+            BoolExpr::Or(a, b) => a.eval(env) || b.eval(env),
+            BoolExpr::Xor(a, b) => a.eval(env) ^ b.eval(env),
+        }
+    }
+
+    /// The distinct pin names, in first-appearance order.
+    pub fn pins(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_pins(&mut out);
+        out
+    }
+
+    fn collect_pins<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            BoolExpr::Var(v) => {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+            BoolExpr::Not(e) => e.collect_pins(out),
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) | BoolExpr::Xor(a, b) => {
+                a.collect_pins(out);
+                b.collect_pins(out);
+            }
+        }
+    }
+
+    /// The truth table of the expression over `pin_order`, as the low
+    /// `2^n` bits of a `u16` (pin `i` is variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin_order.len() > 4` or a referenced pin is missing
+    /// from `pin_order`.
+    pub fn to_tt(&self, pin_order: &[&str]) -> u16 {
+        assert!(pin_order.len() <= 4, "library cells limited to 4 inputs");
+        let n = pin_order.len();
+        let mut tt = 0u16;
+        for m in 0..(1u16 << n) {
+            let val = self.eval(&|pin| {
+                let idx = pin_order
+                    .iter()
+                    .position(|&p| p == pin)
+                    .unwrap_or_else(|| panic!("pin `{pin}` not in pin order"));
+                m >> idx & 1 == 1
+            });
+            if val {
+                tt |= 1 << m;
+            }
+        }
+        tt
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::Var(v) => write!(f, "{v}"),
+            BoolExpr::Not(e) => match **e {
+                BoolExpr::Var(_) => write!(f, "!{e}"),
+                _ => write!(f, "!({e})"),
+            },
+            BoolExpr::And(a, b) => write!(f, "({a} & {b})"),
+            BoolExpr::Or(a, b) => write!(f, "({a} | {b})"),
+            BoolExpr::Xor(a, b) => write!(f, "({a} ^ {b})"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn parse_or(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut lhs = self.parse_xor()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let rhs = self.parse_xor()?;
+            lhs = BoolExpr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = BoolExpr::Xor(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<BoolExpr, ParseExprError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = BoolExpr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<BoolExpr, ParseExprError> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(BoolExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(b')') {
+                    return Err(ParseExprError {
+                        position: self.pos,
+                        msg: "expected `)`".into(),
+                    });
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("checked ascii")
+                    .to_owned();
+                Ok(BoolExpr::Var(name))
+            }
+            other => Err(ParseExprError {
+                position: self.pos,
+                msg: format!("unexpected {:?}", other.map(char::from)),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        // a | b & c == a | (b & c)
+        let e = BoolExpr::parse("a | b & c").expect("parse");
+        let tt = e.to_tt(&["a", "b", "c"]);
+        let want = BoolExpr::parse("a | (b & c)").expect("parse").to_tt(&["a", "b", "c"]);
+        assert_eq!(tt, want);
+        let not_want = BoolExpr::parse("(a | b) & c").expect("parse").to_tt(&["a", "b", "c"]);
+        assert_ne!(tt, not_want);
+    }
+
+    #[test]
+    fn xor_level() {
+        let e = BoolExpr::parse("a ^ b").expect("parse");
+        assert_eq!(e.to_tt(&["a", "b"]), 0b0110);
+    }
+
+    #[test]
+    fn not_binding() {
+        let e = BoolExpr::parse("!a & b").expect("parse");
+        assert_eq!(e.to_tt(&["a", "b"]), 0b0100);
+        let e = BoolExpr::parse("!(a & b)").expect("parse");
+        assert_eq!(e.to_tt(&["a", "b"]), 0b0111);
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        for s in ["!(a & b)", "(a | b) ^ c", "!!a", "a & b & c & d"] {
+            let e = BoolExpr::parse(s).expect("parse");
+            let printed = e.to_string();
+            let back = BoolExpr::parse(&printed).expect("reparse");
+            let pins: Vec<&str> = e.pins();
+            assert_eq!(e.to_tt(&pins), back.to_tt(&pins), "{s} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn pin_collection_order() {
+        let e = BoolExpr::parse("b & a | b").expect("parse");
+        assert_eq!(e.pins(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(BoolExpr::parse("").is_err());
+        assert!(BoolExpr::parse("a &").is_err());
+        assert!(BoolExpr::parse("(a").is_err());
+        assert!(BoolExpr::parse("a b").is_err());
+        assert!(BoolExpr::parse("a ~ b").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let err = BoolExpr::parse("a &").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+}

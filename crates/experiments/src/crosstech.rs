@@ -1,0 +1,164 @@
+//! Cross-technology generalization (extension).
+//!
+//! The Table II features describe the AIG only — no library data —
+//! so a timing model trained against one technology should still
+//! *rank* candidate structures correctly under another (the premise
+//! behind cross-technology transfer work the paper cites, e.g. Yu &
+//! Zhou's LSTM transfer study). This experiment trains the delay
+//! model on `sky130ish` labels, then evaluates against `asap7ish`
+//! ground truth on the unseen test designs:
+//!
+//! * **rank fidelity** — Pearson correlation between predictions and
+//!   the other technology's true delays;
+//! * **calibrated accuracy** — mean |%err| after fitting one scale
+//!   factor per design (`y = a·x`) on 20% of its samples — the
+//!   cheapest possible "transfer learning": time a handful of mapped
+//!   candidates once, then reuse the model.
+
+use crate::datagen::{generate_variants, label_variants};
+use crate::table3::{train_models, Corpus};
+use crate::Config;
+use benchgen::{iwls_like_suite, TEST_DESIGNS};
+use cells::asap7ish;
+use features::extract;
+use gbt::{pct_error_stats, pearson, GbtParams};
+
+/// Output of the cross-technology experiment.
+#[derive(Clone, Debug)]
+pub struct CrossTechResult {
+    /// Pearson correlation of sky130ish-trained predictions vs
+    /// asap7ish ground truth, pooled over test designs.
+    pub rank_pearson: f64,
+    /// Mean |%err| after per-design scale recalibration.
+    pub calibrated_mean_pct: f64,
+    /// Fitted per-design scale factors.
+    pub scales: Vec<(String, f64)>,
+    /// Number of pooled evaluation samples.
+    pub num_samples: usize,
+}
+
+/// Least-squares fit of `y ≈ a·x` (scale only — an offset would let
+/// small-delay samples go negative and is not physically meaningful
+/// between technologies).
+fn scale_fit(x: &[f64], y: &[f64]) -> f64 {
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    if sxx == 0.0 {
+        1.0
+    } else {
+        x.iter().zip(y).map(|(a, b)| a * b).sum::<f64>() / sxx
+    }
+}
+
+/// Runs the experiment; writes `crosstech.csv`.
+pub fn run(cfg: &Config) -> CrossTechResult {
+    // Model trained on the 130nm-class labels (the standard corpus).
+    let corpus = Corpus::generate(cfg);
+    let params = GbtParams {
+        seed: cfg.seed,
+        ..GbtParams::default()
+    };
+    let (delay_model, _) = train_models(&corpus, &params);
+
+    // Evaluation variants labeled under the 7nm-class library.
+    let lib7 = asap7ish();
+    let mut all_preds: Vec<f64> = Vec::new();
+    let mut all_truths: Vec<f64> = Vec::new();
+    let mut cal_preds: Vec<f64> = Vec::new();
+    let mut cal_truths: Vec<f64> = Vec::new();
+    let mut scales: Vec<(String, f64)> = Vec::new();
+    for (i, design) in iwls_like_suite().iter().enumerate() {
+        if !TEST_DESIGNS.contains(&design.name.as_str()) {
+            continue;
+        }
+        let count = cfg.samples.clamp(10, 150);
+        let variants = generate_variants(&design.aig, count, cfg.seed.wrapping_add(900 + i as u64));
+        let labels = label_variants(&variants, &lib7);
+        let preds: Vec<f64> = variants
+            .iter()
+            .map(|v| delay_model.predict_f64(extract(v).as_slice()))
+            .collect();
+        let truths: Vec<f64> = labels.iter().map(|&(d, _)| d).collect();
+        all_preds.extend(&preds);
+        all_truths.extend(&truths);
+        // Per-design scale calibration on the first 20% of samples
+        // (a designer would time a handful of candidates once).
+        let cut = (preds.len() / 5).max(2);
+        let a = scale_fit(&preds[..cut], &truths[..cut]);
+        scales.push((design.name.clone(), a));
+        cal_preds.extend(preds[cut..].iter().map(|p| a * p));
+        cal_truths.extend(&truths[cut..]);
+    }
+    let rank_pearson = pearson(&all_preds, &all_truths);
+    let stats = pct_error_stats(&cal_preds, &cal_truths);
+    let result = CrossTechResult {
+        rank_pearson,
+        calibrated_mean_pct: stats.mean,
+        scales,
+        num_samples: all_preds.len(),
+    };
+    let _ = crate::write_csv(
+        cfg,
+        "crosstech.csv",
+        "metric,value",
+        [
+            format!("rank_pearson,{:.4}", result.rank_pearson),
+            format!("calibrated_mean_pct,{:.3}", result.calibrated_mean_pct),
+            format!("num_samples,{}", result.num_samples),
+        ]
+        .into_iter()
+        .chain(
+            result
+                .scales
+                .iter()
+                .map(|(d, a)| format!("scale_{d},{a:.5}")),
+        ),
+    );
+    result
+}
+
+/// Renders a human-readable summary.
+pub fn summarize(r: &CrossTechResult) -> String {
+    let scales = r
+        .scales
+        .iter()
+        .map(|(d, a)| format!("{d}={a:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "Cross-technology transfer (sky130ish-trained model vs asap7ish truth):\n\
+         rank Pearson = {:.3} over {} unseen-design samples\n\
+         after per-design scale calibration ({scales}): mean |%err| = {:.2}%",
+        r.rank_pearson, r.num_samples, r.calibrated_mean_pct
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_fit_recovers_ratio() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((scale_fit(&x, &y) - 2.0).abs() < 1e-9);
+        assert_eq!(scale_fit(&[0.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn smoke_crosstech() {
+        let cfg = Config {
+            samples: 20,
+            out_dir: std::env::temp_dir().join("aig_timing_crosstech_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert!(r.num_samples > 0);
+        assert!(r.rank_pearson.is_finite());
+        assert!(
+            r.scales.iter().all(|(_, a)| *a > 0.0),
+            "technologies scale the same direction"
+        );
+        assert!(summarize(&r).contains("Pearson"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

@@ -1,0 +1,166 @@
+//! Feature-group ablation — which Table II features earn their keep.
+//!
+//! The paper motivates each feature group from a miscorrelation
+//! mechanism (§III-B) but does not report a per-group ablation. This
+//! experiment retrains the delay model with one feature group removed
+//! at a time and reports the test-accuracy change, quantifying each
+//! group's contribution (and, with only the `Proxy` group kept, how
+//! far levels/nodes alone get — the baseline flow's implicit model).
+
+use crate::datagen::Target;
+use crate::table3::Corpus;
+use crate::Config;
+use features::{FeatureGroup, NUM_FEATURES};
+use gbt::{pct_error_stats, train_with_validation, Dataset, GbtParams};
+
+/// Builds a copy of `data` keeping only the columns in `keep`.
+fn project(data: &Dataset, keep: &[usize]) -> Dataset {
+    let mut out = Dataset::new(keep.len());
+    for r in 0..data.len() {
+        let row = data.row(r);
+        let projected: Vec<f32> = keep.iter().map(|&c| row[c]).collect();
+        out.push_row(&projected, data.label(r));
+    }
+    out
+}
+
+fn columns_without(group: Option<FeatureGroup>) -> Vec<usize> {
+    (0..NUM_FEATURES)
+        .filter(|&i| group.is_none_or(|g| !g.indices().contains(&i)))
+        .collect()
+}
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Description of the configuration.
+    pub config: String,
+    /// Mean absolute %error on the test designs.
+    pub test_mean_pct: f64,
+}
+
+/// Output of the feature ablation.
+#[derive(Clone, Debug)]
+pub struct FeatureAblationResult {
+    /// Full model first, then one row per removed group, then the
+    /// proxy-only model.
+    pub rows: Vec<AblationRow>,
+}
+
+impl FeatureAblationResult {
+    /// Test error of the full feature set.
+    pub fn full_error(&self) -> f64 {
+        self.rows[0].test_mean_pct
+    }
+
+    /// The group whose removal hurts the most.
+    pub fn most_important(&self) -> &AblationRow {
+        self.rows[1..self.rows.len() - 1]
+            .iter()
+            .max_by(|a, b| a.test_mean_pct.total_cmp(&b.test_mean_pct))
+            .expect("at least one group row")
+    }
+}
+
+/// Runs the ablation; writes `feature_ablation.csv`.
+pub fn run(cfg: &Config) -> FeatureAblationResult {
+    let corpus = Corpus::generate(cfg);
+    run_on(cfg, &corpus)
+}
+
+/// Runs the ablation on a pre-generated corpus.
+pub fn run_on(cfg: &Config, corpus: &Corpus) -> FeatureAblationResult {
+    let params = GbtParams {
+        seed: cfg.seed,
+        ..GbtParams::default()
+    };
+    let mut rows = Vec::new();
+    let mut eval_with = |name: String, keep: &[usize]| {
+        let full = corpus.train_dataset(Target::Delay);
+        let projected = project(&full, keep);
+        let (tr, va) = projected.shuffle_split(0.9, params.seed.wrapping_add(13));
+        let (model, _) = train_with_validation(&tr, Some(&va), &params);
+        // Pool the test designs.
+        let mut preds = Vec::new();
+        let mut truths = Vec::new();
+        for set in corpus
+            .sets
+            .iter()
+            .filter(|s| !Corpus::is_train(&s.design))
+        {
+            let ds = project(&set.to_dataset(Target::Delay), keep);
+            preds.extend(model.predict_all(&ds));
+            truths.extend(ds.labels().iter().map(|&v| f64::from(v)));
+        }
+        rows.push(AblationRow {
+            config: name,
+            test_mean_pct: pct_error_stats(&preds, &truths).mean,
+        });
+    };
+
+    eval_with("full (22 features)".to_owned(), &columns_without(None));
+    for group in FeatureGroup::ALL {
+        eval_with(format!("without {group:?}"), &columns_without(Some(group)));
+    }
+    // Proxy-only: what the baseline flow implicitly models.
+    let proxy_cols: Vec<usize> = FeatureGroup::Proxy.indices().collect();
+    eval_with("proxy only (nodes, levels)".to_owned(), &proxy_cols);
+
+    let result = FeatureAblationResult { rows };
+    let _ = crate::write_csv(
+        cfg,
+        "feature_ablation.csv",
+        "config,test_mean_pct_err",
+        result
+            .rows
+            .iter()
+            .map(|r| format!("{},{:.3}", r.config, r.test_mean_pct)),
+    );
+    result
+}
+
+/// Renders a human-readable summary.
+pub fn summarize(r: &FeatureAblationResult) -> String {
+    let mut s = String::from("Feature-group ablation (test-design mean %error):\n");
+    for row in &r.rows {
+        let delta = row.test_mean_pct - r.full_error();
+        s.push_str(&format!(
+            "  {:34} {:6.2}%  ({:+.2} vs full)\n",
+            row.config, row.test_mean_pct, delta
+        ));
+    }
+    s.push_str(&format!(
+        "most important group: {}",
+        r.most_important().config
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_produces_all_rows() {
+        let cfg = Config {
+            samples: 25,
+            out_dir: std::env::temp_dir().join("aig_timing_feat_abl_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        // full + 7 groups + proxy-only
+        assert_eq!(r.rows.len(), 9);
+        assert!(r.rows.iter().all(|x| x.test_mean_pct.is_finite()));
+        assert!(summarize(&r).contains("most important"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn projection_keeps_selected_columns() {
+        let mut d = Dataset::new(3);
+        d.push_row(&[1.0, 2.0, 3.0], 9.0);
+        let p = project(&d, &[2, 0]);
+        assert_eq!(p.row(0), &[3.0, 1.0]);
+        assert_eq!(p.label(0), 9.0);
+    }
+}

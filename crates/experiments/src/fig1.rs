@@ -1,0 +1,113 @@
+//! Fig. 1 — post-mapping delay vs AIG level scatter.
+//!
+//! The paper plots mapped delay against AIG levels for thousands of
+//! multiplier-design variants and reports a Pearson correlation of
+//! only 0.74, with the best-delay AIG *not* at the minimum level —
+//! the motivating observation for the whole work.
+
+use crate::datagen::labeled_set;
+use crate::Config;
+use benchgen::multiplier;
+use cells::sky130ish;
+use gbt::pearson;
+
+/// Output of the Fig. 1 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig1Result {
+    /// Pearson correlation between AIG level and mapped delay.
+    pub pearson: f64,
+    /// `(levels, delay_ps)` per variant.
+    pub points: Vec<(f64, f64)>,
+    /// Level count of the best-delay variant.
+    pub best_delay_levels: f64,
+    /// Minimum level count over all variants.
+    pub min_levels: f64,
+    /// Best delay over all variants (ps).
+    pub best_delay_ps: f64,
+    /// Best delay among the variants at minimum level (ps).
+    pub min_level_best_delay_ps: f64,
+}
+
+impl Fig1Result {
+    /// Whether the paper's qualitative claim holds on this run: the
+    /// best-delay AIG does not have the minimum number of levels.
+    pub fn best_delay_not_at_min_level(&self) -> bool {
+        self.best_delay_levels > self.min_levels
+    }
+}
+
+/// Runs the experiment and writes `fig1_scatter.csv`.
+pub fn run(cfg: &Config) -> Fig1Result {
+    let lib = sky130ish();
+    let design = multiplier(8);
+    let set = labeled_set(&design, cfg.fig1_samples, cfg.seed, &lib);
+    let points: Vec<(f64, f64)> = set.samples.iter().map(|s| (s.levels, s.delay_ps)).collect();
+    let levels: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let delays: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let r = pearson(&levels, &delays);
+    let (best_delay_levels, best_delay_ps) = points
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0.0, 0.0));
+    let min_levels = levels.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_level_best_delay_ps = points
+        .iter()
+        .filter(|p| p.0 == min_levels)
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min);
+    let _ = crate::write_csv(
+        cfg,
+        "fig1_scatter.csv",
+        "aig_levels,post_mapping_delay_ps",
+        points.iter().map(|(l, d)| format!("{l},{d}")),
+    );
+    Fig1Result {
+        pearson: r,
+        points,
+        best_delay_levels,
+        min_levels,
+        best_delay_ps,
+        min_level_best_delay_ps,
+    }
+}
+
+/// Renders a human-readable summary.
+pub fn summarize(r: &Fig1Result) -> String {
+    format!(
+        "Fig. 1: {} variants of mult8\n\
+         Pearson(levels, mapped delay) = {:.3}  (paper: 0.74)\n\
+         best delay {:.1} ps at {} levels; min level = {} (best delay there {:.1} ps)\n\
+         best-delay AIG at minimum level? {}  (paper: no)",
+        r.points.len(),
+        r.pearson,
+        r.best_delay_ps,
+        r.best_delay_levels,
+        r.min_levels,
+        r.min_level_best_delay_ps,
+        if r.best_delay_not_at_min_level() { "no" } else { "yes" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_correlation() {
+        let cfg = Config {
+            fig1_samples: 25,
+            out_dir: std::env::temp_dir().join("aig_timing_fig1_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.points.len(), 25);
+        // Levels and delay correlate imperfectly; at smoke scale we
+        // only check the statistic is a sane, non-degenerate value.
+        assert!(r.pearson.is_finite() && r.pearson < 0.9999, "r = {}", r.pearson);
+        assert!(r.pearson > -0.5, "r = {}", r.pearson);
+        assert!(r.best_delay_ps > 0.0);
+        assert!(summarize(&r).contains("Pearson"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig. 2 — per-iteration runtime of the baseline vs the
+//! ground-truth flow across all eight designs.
+//!
+//! One baseline iteration applies a transformation recipe and reads
+//! the proxy metrics from the graph; one ground-truth iteration
+//! additionally runs technology mapping and STA. The paper reports
+//! slowdowns up to ~20×, growing with design size.
+
+use crate::Config;
+use benchgen::iwls_like_suite;
+use cells::sky130ish;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use saopt::{CostEvaluator, GroundTruthCost, ProxyCost};
+use std::time::Instant;
+use transform::recipes;
+
+/// Per-design timing row.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Design name.
+    pub design: String,
+    /// AND-node count of the design.
+    pub nodes: usize,
+    /// Seconds per baseline iteration (transform + proxy metrics).
+    pub baseline_s: f64,
+    /// Seconds per ground-truth iteration (transform + map + STA).
+    pub ground_truth_s: f64,
+}
+
+impl Fig2Row {
+    /// Ground-truth slowdown factor over the baseline.
+    pub fn slowdown(&self) -> f64 {
+        self.ground_truth_s / self.baseline_s
+    }
+}
+
+/// Output of the Fig. 2 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig2Result {
+    /// One row per design, suite order.
+    pub rows: Vec<Fig2Row>,
+}
+
+impl Fig2Result {
+    /// Maximum slowdown across designs (the paper's "20×" headline).
+    pub fn max_slowdown(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Fig2Row::slowdown)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the experiment and writes `fig2_runtime.csv`.
+pub fn run(cfg: &Config) -> Fig2Result {
+    let lib = sky130ish();
+    let actions = recipes();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(2));
+    let mut rows = Vec::new();
+    for design in iwls_like_suite() {
+        let mut gt = GroundTruthCost::new(&lib);
+        let mut proxy = ProxyCost;
+        // Pre-draw the recipes so both flows time identical work.
+        let picks: Vec<usize> = (0..cfg.timing_reps)
+            .map(|_| rng.gen_range(0..actions.len()))
+            .collect();
+        // Warm up the mapper tables outside the timed region.
+        let _ = gt.evaluate(&design.aig);
+
+        let t0 = Instant::now();
+        for &p in &picks {
+            let candidate = actions[p].apply(&design.aig);
+            let _ = proxy.evaluate(&candidate);
+        }
+        let baseline_s = t0.elapsed().as_secs_f64() / cfg.timing_reps as f64;
+
+        let t1 = Instant::now();
+        for &p in &picks {
+            let candidate = actions[p].apply(&design.aig);
+            let _ = gt.evaluate(&candidate);
+        }
+        let ground_truth_s = t1.elapsed().as_secs_f64() / cfg.timing_reps as f64;
+
+        rows.push(Fig2Row {
+            design: design.name.clone(),
+            nodes: design.aig.num_live_ands(),
+            baseline_s,
+            ground_truth_s,
+        });
+    }
+    let result = Fig2Result { rows };
+    let _ = crate::write_csv(
+        cfg,
+        "fig2_runtime.csv",
+        "design,nodes,baseline_s,ground_truth_s,slowdown",
+        result.rows.iter().map(|r| {
+            format!(
+                "{},{},{:.6},{:.6},{:.2}",
+                r.design,
+                r.nodes,
+                r.baseline_s,
+                r.ground_truth_s,
+                r.slowdown()
+            )
+        }),
+    );
+    result
+}
+
+/// Renders a human-readable summary table.
+pub fn summarize(r: &Fig2Result) -> String {
+    let mut s = String::from(
+        "Fig. 2: per-iteration runtime (seconds)\n\
+         design   nodes   baseline     ground-truth  slowdown\n",
+    );
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:7} {:6} {:11.6} {:13.6} {:8.2}x\n",
+            row.design,
+            row.nodes,
+            row.baseline_s,
+            row.ground_truth_s,
+            row.slowdown()
+        ));
+    }
+    s.push_str(&format!(
+        "max slowdown = {:.1}x  (paper: up to ~20x)",
+        r.max_slowdown()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_slower_than_baseline() {
+        let cfg = Config {
+            timing_reps: 2,
+            out_dir: std::env::temp_dir().join("aig_timing_fig2_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 8);
+        // Timing with few reps is noisy on tiny designs; require the
+        // strict ordering in aggregate and on the largest designs.
+        let total_base: f64 = r.rows.iter().map(|x| x.baseline_s).sum();
+        let total_gt: f64 = r.rows.iter().map(|x| x.ground_truth_s).sum();
+        assert!(
+            total_gt > total_base,
+            "mapping+STA must add time in aggregate: {total_base} vs {total_gt}"
+        );
+        assert!(r.max_slowdown() > 1.0);
+        assert!(summarize(&r).contains("slowdown"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

@@ -1,0 +1,155 @@
+//! §III-B ablation — GNN vs decision-tree timing prediction.
+//!
+//! The paper justifies its choice of gradient-boosted trees by
+//! reporting that a GNN baseline predicts maximum delay about 2%
+//! worse on average while costing far more to train. This experiment
+//! trains both models on identical data (train designs) and compares
+//! test-design accuracy and training time.
+
+use crate::datagen::{generate_variants, label_variants};
+use crate::Config;
+use benchgen::{iwls_like_suite, TRAIN_DESIGNS};
+use cells::sky130ish;
+use features::extract;
+use gbt::{pct_error_stats, GbtParams};
+use gnn::{GnnModel, GnnParams, GraphData};
+use std::time::Instant;
+
+/// Output of the GNN-vs-GBT ablation.
+#[derive(Clone, Debug)]
+pub struct GnnAblationResult {
+    /// Mean absolute %error of the boosted-tree model on test designs.
+    pub gbt_test_mean_pct: f64,
+    /// Mean absolute %error of the GNN on test designs.
+    pub gnn_test_mean_pct: f64,
+    /// Boosted-tree training wall time (seconds).
+    pub gbt_train_s: f64,
+    /// GNN training wall time (seconds).
+    pub gnn_train_s: f64,
+}
+
+impl GnnAblationResult {
+    /// Accuracy gap in percentage points (positive = GNN worse, as
+    /// the paper reports ~2).
+    pub fn gap_pct_points(&self) -> f64 {
+        self.gnn_test_mean_pct - self.gbt_test_mean_pct
+    }
+
+    /// GNN training slowdown factor.
+    pub fn train_slowdown(&self) -> f64 {
+        self.gnn_train_s / self.gbt_train_s.max(1e-9)
+    }
+}
+
+/// Runs the ablation; writes `gnn_ablation.csv`.
+pub fn run(cfg: &Config) -> GnnAblationResult {
+    let lib = sky130ish();
+    let mut train_graphs: Vec<(GraphData, f64)> = Vec::new();
+    let mut train_rows = gbt::Dataset::new(features::NUM_FEATURES);
+    let mut test_graphs: Vec<(GraphData, f64)> = Vec::new();
+    let mut test_rows = gbt::Dataset::new(features::NUM_FEATURES);
+
+    for (i, design) in iwls_like_suite().iter().enumerate() {
+        let is_train = TRAIN_DESIGNS.contains(&design.name.as_str());
+        let count = if is_train {
+            cfg.gnn_samples
+        } else {
+            (cfg.gnn_samples / 2).max(4)
+        };
+        let variants = generate_variants(&design.aig, count, cfg.seed.wrapping_add(500 + i as u64));
+        let labels = label_variants(&variants, &lib);
+        for (aig, (delay, _area)) in variants.iter().zip(labels) {
+            let gd = GraphData::from_aig(aig);
+            let fv = extract(aig);
+            if is_train {
+                train_graphs.push((gd, delay));
+                train_rows.push_row_f64(fv.as_slice(), delay);
+            } else {
+                test_graphs.push((gd, delay));
+                test_rows.push_row_f64(fv.as_slice(), delay);
+            }
+        }
+    }
+
+    // Boosted trees.
+    let t0 = Instant::now();
+    let gbt_model = gbt::train(
+        &train_rows,
+        &GbtParams {
+            seed: cfg.seed,
+            ..GbtParams::default()
+        },
+    );
+    let gbt_train_s = t0.elapsed().as_secs_f64();
+    let gbt_preds = gbt_model.predict_all(&test_rows);
+    let truths: Vec<f64> = test_rows.labels().iter().map(|&v| f64::from(v)).collect();
+    let gbt_stats = pct_error_stats(&gbt_preds, &truths);
+
+    // GNN.
+    let t1 = Instant::now();
+    let (gnn_model, _losses) = GnnModel::train(
+        &train_graphs,
+        &GnnParams {
+            seed: cfg.seed,
+            epochs: 40,
+            ..GnnParams::default()
+        },
+    );
+    let gnn_train_s = t1.elapsed().as_secs_f64();
+    let gnn_preds: Vec<f64> = test_graphs.iter().map(|(g, _)| gnn_model.predict(g)).collect();
+    let gnn_truths: Vec<f64> = test_graphs.iter().map(|(_, y)| *y).collect();
+    let gnn_stats = pct_error_stats(&gnn_preds, &gnn_truths);
+
+    let result = GnnAblationResult {
+        gbt_test_mean_pct: gbt_stats.mean,
+        gnn_test_mean_pct: gnn_stats.mean,
+        gbt_train_s,
+        gnn_train_s,
+    };
+    let _ = crate::write_csv(
+        cfg,
+        "gnn_ablation.csv",
+        "model,test_mean_pct_err,train_seconds",
+        [
+            format!("gbt,{:.3},{:.3}", result.gbt_test_mean_pct, result.gbt_train_s),
+            format!("gnn,{:.3},{:.3}", result.gnn_test_mean_pct, result.gnn_train_s),
+        ],
+    );
+    result
+}
+
+/// Renders a human-readable summary.
+pub fn summarize(r: &GnnAblationResult) -> String {
+    format!(
+        "GNN ablation (paper §III-B):\n\
+         boosted trees: test mean %err = {:.2}%, trained in {:.2}s\n\
+         GNN:           test mean %err = {:.2}%, trained in {:.2}s\n\
+         GNN is {:+.2} %-points worse (paper: ~2) and {:.1}x slower to train",
+        r.gbt_test_mean_pct,
+        r.gbt_train_s,
+        r.gnn_test_mean_pct,
+        r.gnn_train_s,
+        r.gap_pct_points(),
+        r.train_slowdown()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablation_runs() {
+        let cfg = Config {
+            gnn_samples: 8,
+            out_dir: std::env::temp_dir().join("aig_timing_gnn_abl_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert!(r.gbt_test_mean_pct.is_finite());
+        assert!(r.gnn_test_mean_pct.is_finite());
+        assert!(r.gbt_train_s > 0.0 && r.gnn_train_s > 0.0);
+        assert!(summarize(&r).contains("GNN"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

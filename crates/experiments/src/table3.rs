@@ -1,0 +1,210 @@
+//! Table III — timing-prediction accuracy with cross-design
+//! generalization.
+//!
+//! Four designs train the model (ex00, ex08, ex28, ex68); four unseen
+//! designs test it (ex02, ex11, ex16, ex54). Accuracy is reported as
+//! the mean / max / standard deviation of the absolute percentage
+//! error, exactly as in the paper (which reports 4.03% average mean
+//! error and 39.85% worst max error at 40k samples per design).
+
+use crate::datagen::{labeled_set, LabeledSet, Target};
+use crate::Config;
+use benchgen::{iwls_like_suite, TRAIN_DESIGNS};
+use cells::sky130ish;
+use gbt::{pct_error_stats, train_with_validation, Dataset, GbtModel, GbtParams, PctErrorStats};
+
+/// The labeled corpus for all eight designs.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// Labeled sets, suite order (train designs first).
+    pub sets: Vec<LabeledSet>,
+}
+
+impl Corpus {
+    /// Generates `cfg.samples` labeled variants per design.
+    pub fn generate(cfg: &Config) -> Corpus {
+        let lib = sky130ish();
+        let sets = iwls_like_suite()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| labeled_set(d, cfg.samples, cfg.seed.wrapping_add(100 + i as u64), &lib))
+            .collect();
+        Corpus { sets }
+    }
+
+    /// Whether `design` belongs to the training split.
+    pub fn is_train(design: &str) -> bool {
+        TRAIN_DESIGNS.contains(&design)
+    }
+
+    /// Concatenated dataset over the training designs.
+    pub fn train_dataset(&self, target: Target) -> Dataset {
+        let mut d = Dataset::new(features::NUM_FEATURES);
+        for set in self.sets.iter().filter(|s| Self::is_train(&s.design)) {
+            d.extend_from(&set.to_dataset(target));
+        }
+        d
+    }
+}
+
+/// Trains the delay and area models on the corpus's training split
+/// (10% of the training rows held out for early stopping).
+pub fn train_models(corpus: &Corpus, params: &GbtParams) -> (GbtModel, GbtModel) {
+    let mut out = Vec::with_capacity(2);
+    for target in [Target::Delay, Target::Area] {
+        let full = corpus.train_dataset(target);
+        let (tr, va) = full.shuffle_split(0.9, params.seed.wrapping_add(13));
+        let (model, _) = train_with_validation(&tr, Some(&va), params);
+        out.push(model);
+    }
+    let area = out.pop().expect("two models");
+    let delay = out.pop().expect("two models");
+    (delay, area)
+}
+
+/// One accuracy row of Table III.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Design name.
+    pub design: String,
+    /// Whether the design was in the training split.
+    pub train: bool,
+    /// AND-node range over the design's variants.
+    pub node_range: (f64, f64),
+    /// Absolute %error statistics of the delay prediction.
+    pub stats: PctErrorStats,
+}
+
+/// Output of the Table III experiment.
+#[derive(Clone, Debug)]
+pub struct Table3Result {
+    /// Per-design rows, suite order.
+    pub rows: Vec<Table3Row>,
+    /// Average of the per-design mean %errors (paper: 4.03%).
+    pub avg_mean: f64,
+    /// Worst max %error (paper: 39.85%).
+    pub max_max: f64,
+    /// Average of the per-design std %errors (paper: 3.27%).
+    pub avg_std: f64,
+    /// The trained delay model.
+    pub delay_model: GbtModel,
+    /// The trained area model.
+    pub area_model: GbtModel,
+    /// The corpus used (reusable by downstream experiments).
+    pub corpus: Corpus,
+}
+
+/// Runs the experiment on a fresh corpus; writes `table3_accuracy.csv`.
+pub fn run(cfg: &Config) -> Table3Result {
+    let corpus = Corpus::generate(cfg);
+    run_on(cfg, corpus)
+}
+
+/// Runs the experiment on a pre-generated corpus.
+pub fn run_on(cfg: &Config, corpus: Corpus) -> Table3Result {
+    let params = GbtParams {
+        seed: cfg.seed,
+        ..GbtParams::default()
+    };
+    let (delay_model, area_model) = train_models(&corpus, &params);
+    let mut rows = Vec::new();
+    for set in &corpus.sets {
+        let ds = set.to_dataset(Target::Delay);
+        let preds = delay_model.predict_all(&ds);
+        let truths: Vec<f64> = ds.labels().iter().map(|&v| f64::from(v)).collect();
+        rows.push(Table3Row {
+            design: set.design.clone(),
+            train: Corpus::is_train(&set.design),
+            node_range: set.node_range(),
+            stats: pct_error_stats(&preds, &truths),
+        });
+    }
+    let n = rows.len() as f64;
+    let avg_mean = rows.iter().map(|r| r.stats.mean).sum::<f64>() / n;
+    let max_max = rows.iter().map(|r| r.stats.max).fold(0.0, f64::max);
+    let avg_std = rows.iter().map(|r| r.stats.std).sum::<f64>() / n;
+    let result = Table3Result {
+        rows,
+        avg_mean,
+        max_max,
+        avg_std,
+        delay_model,
+        area_model,
+        corpus,
+    };
+    let _ = crate::write_csv(
+        cfg,
+        "table3_accuracy.csv",
+        "design,split,nodes_min,nodes_max,mean_pct_err,max_pct_err,std_pct_err",
+        result.rows.iter().map(|r| {
+            format!(
+                "{},{},{:.0},{:.0},{:.3},{:.3},{:.3}",
+                r.design,
+                if r.train { "train" } else { "test" },
+                r.node_range.0,
+                r.node_range.1,
+                r.stats.mean,
+                r.stats.max,
+                r.stats.std
+            )
+        }),
+    );
+    result
+}
+
+/// Renders a human-readable summary table.
+pub fn summarize(r: &Table3Result) -> String {
+    let mut s = String::from(
+        "Table III: delay-prediction accuracy (absolute %error)\n\
+         design  split  #node range     mean%    max%    std%\n",
+    );
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:7} {:5} {:6.0}-{:<7.0} {:7.2} {:7.2} {:7.2}\n",
+            row.design,
+            if row.train { "train" } else { "test" },
+            row.node_range.0,
+            row.node_range.1,
+            row.stats.mean,
+            row.stats.max,
+            row.stats.std
+        ));
+    }
+    s.push_str(&format!(
+        "avg mean = {:.2}%  max = {:.2}%  avg std = {:.2}%  (paper: 4.03 / 39.85 / 3.27)",
+        r.avg_mean, r.max_max, r.avg_std
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_accuracy_pipeline() {
+        let cfg = Config {
+            samples: 30,
+            out_dir: std::env::temp_dir().join("aig_timing_table3_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 8);
+        // Training designs should fit reasonably well even tiny.
+        for row in r.rows.iter().filter(|r| r.train) {
+            assert!(
+                row.stats.mean < 50.0,
+                "{}: train error {:.1}% absurd",
+                row.design,
+                row.stats.mean
+            );
+        }
+        assert!(r.avg_mean.is_finite() && r.max_max.is_finite());
+        assert!(summarize(&r).contains("avg mean"));
+        // Models are reusable.
+        let ds = r.corpus.sets[0].to_dataset(Target::Delay);
+        assert!(r.delay_model.predict(ds.row(0)).is_finite());
+        assert!(r.area_model.predict(ds.row(0)).is_finite());
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

@@ -1,0 +1,204 @@
+//! Table IV — per-iteration runtime of the three flows.
+//!
+//! The paper times one iteration of each flow per design: the
+//! baseline's transform + proxy metrics, the ground-truth flow's
+//! additional mapping + STA, and the ML flow's additional feature
+//! extraction + model inference, reporting the ML flow's runtime
+//! reduction relative to mapping + STA (average −80.83%, best
+//! −88.79%).
+
+use crate::table3::{train_models, Corpus};
+use crate::Config;
+use benchgen::iwls_like_suite;
+use cells::sky130ish;
+use gbt::{GbtModel, GbtParams};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use saopt::{CostEvaluator, GroundTruthCost, MlCost, ProxyCost};
+use std::time::Instant;
+use transform::recipes;
+
+/// Per-design timing row.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Design name.
+    pub design: String,
+    /// Whether the design is in the model's training split.
+    pub train: bool,
+    /// Seconds per baseline iteration.
+    pub baseline_s: f64,
+    /// Seconds per mapping + STA evaluation (ground-truth extra).
+    pub mapping_sta_s: f64,
+    /// Seconds per feature extraction + ML inference (ML extra).
+    pub ml_inference_s: f64,
+}
+
+impl Table4Row {
+    /// Runtime reduction of ML inference vs mapping + STA (percent,
+    /// positive = faster).
+    pub fn reduction_pct(&self) -> f64 {
+        (1.0 - self.ml_inference_s / self.mapping_sta_s) * 100.0
+    }
+}
+
+/// Output of the Table IV experiment.
+#[derive(Clone, Debug)]
+pub struct Table4Result {
+    /// One row per design, suite order.
+    pub rows: Vec<Table4Row>,
+}
+
+impl Table4Result {
+    /// Average reduction across designs (paper: 80.83%).
+    pub fn avg_reduction_pct(&self) -> f64 {
+        self.rows.iter().map(Table4Row::reduction_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Best reduction (paper: 88.79%).
+    pub fn max_reduction_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Table4Row::reduction_pct)
+            .fold(f64::MIN, f64::max)
+    }
+}
+
+/// Runs the experiment: trains models on a corpus, then times each
+/// flow component. Writes `table4_runtime.csv`.
+pub fn run(cfg: &Config) -> Table4Result {
+    let corpus = Corpus::generate(&Config {
+        // A modest corpus is enough for a realistically sized model.
+        samples: cfg.samples.clamp(20, 300),
+        ..cfg.clone()
+    });
+    let params = GbtParams {
+        seed: cfg.seed,
+        ..GbtParams::default()
+    };
+    let (delay_model, area_model) = train_models(&corpus, &params);
+    run_with_models(cfg, &delay_model, &area_model)
+}
+
+/// Times the flows using pre-trained models.
+pub fn run_with_models(
+    cfg: &Config,
+    delay_model: &GbtModel,
+    area_model: &GbtModel,
+) -> Table4Result {
+    let lib = sky130ish();
+    let actions = recipes();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(4));
+    let mut rows = Vec::new();
+    for design in iwls_like_suite() {
+        let mut proxy = ProxyCost;
+        let mut gt = GroundTruthCost::new(&lib);
+        let mut ml = MlCost::new(delay_model, area_model);
+        // Fixed pre-transformed candidates so all flows price the
+        // same graphs; candidate generation is timed as "baseline".
+        let picks: Vec<usize> = (0..cfg.timing_reps)
+            .map(|_| rng.gen_range(0..actions.len()))
+            .collect();
+        let candidates: Vec<aig::Aig> = picks
+            .iter()
+            .map(|&p| actions[p].apply(&design.aig))
+            .collect();
+        let _ = gt.evaluate(&design.aig); // warm tables
+
+        let t0 = Instant::now();
+        for &p in &picks {
+            let cand = actions[p].apply(&design.aig);
+            let _ = proxy.evaluate(&cand);
+        }
+        let baseline_s = t0.elapsed().as_secs_f64() / picks.len() as f64;
+
+        let t1 = Instant::now();
+        for cand in &candidates {
+            let _ = gt.evaluate(cand);
+        }
+        let mapping_sta_s = t1.elapsed().as_secs_f64() / candidates.len() as f64;
+
+        let t2 = Instant::now();
+        for cand in &candidates {
+            let _ = ml.evaluate(cand);
+        }
+        let ml_inference_s = t2.elapsed().as_secs_f64() / candidates.len() as f64;
+
+        rows.push(Table4Row {
+            design: design.name.clone(),
+            train: Corpus::is_train(&design.name),
+            baseline_s,
+            mapping_sta_s,
+            ml_inference_s,
+        });
+    }
+    let result = Table4Result { rows };
+    let _ = crate::write_csv(
+        cfg,
+        "table4_runtime.csv",
+        "design,split,baseline_s,mapping_sta_s,ml_inference_s,reduction_pct",
+        result.rows.iter().map(|r| {
+            format!(
+                "{},{},{:.6},{:.6},{:.6},{:.2}",
+                r.design,
+                if r.train { "train" } else { "test" },
+                r.baseline_s,
+                r.mapping_sta_s,
+                r.ml_inference_s,
+                r.reduction_pct()
+            )
+        }),
+    );
+    result
+}
+
+/// Renders a human-readable summary table.
+pub fn summarize(r: &Table4Result) -> String {
+    let mut s = String::from(
+        "Table IV: per-iteration runtime of the three flows (seconds)\n\
+         design  split  baseline    map+sta     ml-infer    reduction\n",
+    );
+    for row in &r.rows {
+        s.push_str(&format!(
+            "{:7} {:5} {:10.6} {:11.6} {:11.6} ({:+.2}%)\n",
+            row.design,
+            if row.train { "train" } else { "test" },
+            row.baseline_s,
+            row.mapping_sta_s,
+            row.ml_inference_s,
+            -row.reduction_pct()
+        ));
+    }
+    s.push_str(&format!(
+        "avg reduction = {:.2}%  max = {:.2}%  (paper: 80.83% / 88.79%)",
+        r.avg_reduction_pct(),
+        r.max_reduction_pct()
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_inference_much_faster_than_mapping() {
+        let cfg = Config {
+            samples: 20,
+            timing_reps: 2,
+            out_dir: std::env::temp_dir().join("aig_timing_table4_test"),
+            ..Config::smoke()
+        };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), 8);
+        for row in &r.rows {
+            assert!(
+                row.ml_inference_s < row.mapping_sta_s,
+                "{}: ML must be faster than map+STA",
+                row.design
+            );
+        }
+        assert!(r.avg_reduction_pct() > 0.0);
+        assert!(summarize(&r).contains("reduction"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

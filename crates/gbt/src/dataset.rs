@@ -1,0 +1,198 @@
+//! Row-major regression datasets.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense regression dataset: rows of `f32` features plus labels.
+///
+/// # Examples
+///
+/// ```
+/// use gbt::Dataset;
+///
+/// let mut d = Dataset::new(2);
+/// d.push_row(&[1.0, 2.0], 3.0);
+/// d.push_row(&[4.0, 5.0], 9.0);
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.row(1), &[4.0, 5.0]);
+/// assert_eq!(d.label(1), 9.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    num_features: usize,
+    features: Vec<f32>,
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `num_features` columns.
+    pub fn new(num_features: usize) -> Self {
+        Dataset {
+            num_features,
+            features: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != num_features()`.
+    pub fn push_row(&mut self, features: &[f32], label: f32) {
+        assert_eq!(features.len(), self.num_features, "feature arity mismatch");
+        self.features.extend_from_slice(features);
+        self.labels.push(label);
+    }
+
+    /// Appends a row of `f64` features (convenience for callers that
+    /// compute in double precision).
+    pub fn push_row_f64(&mut self, features: &[f64], label: f64) {
+        let row: Vec<f32> = features.iter().map(|&v| v as f32).collect();
+        self.push_row(&row, label as f32);
+    }
+
+    /// The feature row at `idx`.
+    pub fn row(&self, idx: usize) -> &[f32] {
+        let s = idx * self.num_features;
+        &self.features[s..s + self.num_features]
+    }
+
+    /// Value of feature `col` in row `idx`.
+    #[inline]
+    pub fn value(&self, idx: usize, col: usize) -> f32 {
+        self.features[idx * self.num_features + col]
+    }
+
+    /// The label of row `idx`.
+    pub fn label(&self, idx: usize) -> f32 {
+        self.labels[idx]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Mean label (the boosting base score).
+    pub fn label_mean(&self) -> f32 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            (self.labels.iter().map(|&v| f64::from(v)).sum::<f64>() / self.labels.len() as f64)
+                as f32
+        }
+    }
+
+    /// Merges rows of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature arities differ.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.num_features, other.num_features);
+        self.features.extend_from_slice(&other.features);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Splits rows randomly into a `(train, test)` pair, with
+    /// `train_frac` of rows in the first part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is outside `0.0..=1.0`.
+    pub fn shuffle_split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "bad train fraction");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        let mut train = Dataset::new(self.num_features);
+        let mut test = Dataset::new(self.num_features);
+        for (k, &i) in idx.iter().enumerate() {
+            let dst = if k < cut { &mut train } else { &mut test };
+            dst.push_row(self.row(i), self.label(i));
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(3);
+        d.push_row(&[1.0, 2.0, 3.0], 10.0);
+        d.push_row(&[4.0, 5.0, 6.0], 20.0);
+        assert_eq!(d.value(1, 2), 6.0);
+        assert_eq!(d.label_mean(), 15.0);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push_row(&[i as f32], i as f32);
+        }
+        let (tr, te) = d.shuffle_split(0.8, 42);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        // Every label appears exactly once across both parts.
+        let mut seen: Vec<f32> = tr.labels().iter().chain(te.labels()).copied().collect();
+        seen.sort_by(f32::total_cmp);
+        let expect: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push_row(&[i as f32], i as f32);
+        }
+        let (a, _) = d.shuffle_split(0.5, 7);
+        let (b, _) = d.shuffle_split(0.5, 7);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn arity_checked() {
+        let mut d = Dataset::new(2);
+        d.push_row(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Dataset::new(1);
+        a.push_row(&[1.0], 1.0);
+        let mut b = Dataset::new(1);
+        b.push_row(&[2.0], 2.0);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.label(1), 2.0);
+    }
+
+    #[test]
+    fn empty_mean() {
+        assert_eq!(Dataset::new(4).label_mean(), 0.0);
+    }
+}

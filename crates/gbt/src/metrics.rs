@@ -1,0 +1,146 @@
+//! Regression metrics used throughout the evaluation.
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Pearson correlation coefficient (the statistic of the paper's
+/// Fig. 1).
+///
+/// Returns 0.0 when either input is constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Absolute percentage-error statistics, the accuracy metrics of the
+/// paper's Table III: mean, max and standard deviation of
+/// `|pred - truth| / truth` (in percent).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PctErrorStats {
+    /// Mean absolute %error.
+    pub mean: f64,
+    /// Maximum absolute %error.
+    pub max: f64,
+    /// Population standard deviation of the absolute %error.
+    pub std: f64,
+}
+
+/// Computes [`PctErrorStats`]; rows with `truth == 0` are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or every truth
+/// value is zero.
+pub fn pct_error_stats(pred: &[f64], truth: &[f64]) -> PctErrorStats {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let errs: Vec<f64> = pred
+        .iter()
+        .zip(truth)
+        .filter(|(_, t)| **t != 0.0)
+        .map(|(p, t)| (p - t).abs() / t.abs() * 100.0)
+        .collect();
+    assert!(!errs.is_empty(), "no nonzero truth values");
+    let n = errs.len() as f64;
+    let mean = errs.iter().sum::<f64>() / n;
+    let max = errs.iter().copied().fold(0.0, f64::max);
+    let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+    PctErrorStats {
+        mean,
+        max,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pct_stats() {
+        let s = pct_error_stats(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+        assert!((s.max - 10.0).abs() < 1e-12);
+        assert!(s.std.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_stats_skips_zero_truth() {
+        let s = pct_error_stats(&[5.0, 110.0], &[0.0, 100.0]);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

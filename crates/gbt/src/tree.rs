@@ -1,0 +1,410 @@
+//! Regression trees with histogram-based split finding.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One node of a [`Tree`]: either an internal split (`feature`,
+/// `threshold`, children) or a leaf (`value`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// Split feature (internal nodes).
+    pub feature: u32,
+    /// Split threshold: rows with `value < threshold` go left.
+    pub threshold: f32,
+    /// Left child index, 0 if leaf.
+    pub left: u32,
+    /// Right child index, 0 if leaf.
+    pub right: u32,
+    /// Prediction value (leaves; shrinkage already applied).
+    pub value: f32,
+    /// Whether this node is a leaf.
+    pub is_leaf: bool,
+    /// Total split gain accumulated at this node (for importance).
+    pub gain: f32,
+}
+
+/// A single regression tree.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Tree {
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+}
+
+impl Tree {
+    /// Predicts one feature row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut n = 0usize;
+        loop {
+            let node = &self.nodes[n];
+            if node.is_leaf {
+                return node.value;
+            }
+            n = if row[node.feature as usize] < node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf).count()
+    }
+
+    /// Maximum depth (root = 0; empty tree = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Tree, n: usize) -> usize {
+            let node = &t.nodes[n];
+            if node.is_leaf {
+                0
+            } else {
+                1 + rec(t, node.left as usize).max(rec(t, node.right as usize))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(self, 0)
+        }
+    }
+}
+
+/// Feature binning: per-feature quantile thresholds mapping raw
+/// values to at most 256 bins.
+#[derive(Clone, Debug)]
+pub struct Bins {
+    /// `edges[f]` = ascending thresholds; value `v` falls in bin
+    /// `partition_point(edges, v >= e)`.
+    pub edges: Vec<Vec<f32>>,
+}
+
+impl Bins {
+    /// Builds quantile bins (at most `max_bins` per feature) from a
+    /// dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins < 2` or `max_bins > 256`.
+    pub fn build(data: &Dataset, max_bins: usize) -> Bins {
+        assert!((2..=256).contains(&max_bins), "max_bins must be 2..=256");
+        let n = data.len();
+        let mut edges = Vec::with_capacity(data.num_features());
+        for f in 0..data.num_features() {
+            let mut vals: Vec<f32> = (0..n).map(|r| data.value(r, f)).collect();
+            vals.sort_by(f32::total_cmp);
+            vals.dedup();
+            let mut e = Vec::new();
+            if vals.len() > 1 {
+                if vals.len() <= max_bins {
+                    // One bin per distinct value: midpoints as edges.
+                    for w in vals.windows(2) {
+                        e.push((w[0] + w[1]) / 2.0);
+                    }
+                } else {
+                    for k in 1..max_bins {
+                        let idx = k * (vals.len() - 1) / max_bins;
+                        let edge = (vals[idx] + vals[idx + 1]) / 2.0;
+                        if e.last() != Some(&edge) {
+                            e.push(edge);
+                        }
+                    }
+                }
+            }
+            edges.push(e);
+        }
+        Bins { edges }
+    }
+
+    /// Bin index of `v` for feature `f`.
+    #[inline]
+    pub fn bin_of(&self, f: usize, v: f32) -> u16 {
+        self.edges[f].partition_point(|&e| v >= e) as u16
+    }
+
+    /// Number of bins for feature `f`.
+    pub fn num_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+}
+
+/// Training-time parameters for a single tree (shared by boosting).
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularization on leaf weights (XGBoost lambda).
+    pub lambda: f64,
+    /// Minimum gain to accept a split (XGBoost gamma).
+    pub gamma: f64,
+    /// Minimum hessian sum per child (≈ row count for RMSE).
+    pub min_child_weight: f64,
+    /// Shrinkage applied to leaf values.
+    pub learning_rate: f64,
+}
+
+/// Grows one regression tree on (gradient, hessian) targets using
+/// histogram split finding.
+///
+/// `rows` are the in-bag row indices; `cols` are the usable feature
+/// columns (column subsampling); `binned[r * F + f]` is the
+/// precomputed bin of row `r`, feature `f`.
+#[allow(clippy::too_many_arguments)] // mirrors the recursion's context
+pub fn grow_tree(
+    data: &Dataset,
+    bins: &Bins,
+    binned: &[u16],
+    rows: &[u32],
+    cols: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    params: &TreeParams,
+) -> Tree {
+    let mut tree = Tree::default();
+    let mut rows_owned = rows.to_vec();
+    grow_node(
+        data, bins, binned, &mut rows_owned, cols, grad, hess, params, &mut tree, 0,
+    );
+    tree
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_node(
+    data: &Dataset,
+    bins: &Bins,
+    binned: &[u16],
+    rows: &mut [u32],
+    cols: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    params: &TreeParams,
+    tree: &mut Tree,
+    depth: usize,
+) -> u32 {
+    let nf = data.num_features();
+    let g_sum: f64 = rows.iter().map(|&r| grad[r as usize]).sum();
+    let h_sum: f64 = rows.iter().map(|&r| hess[r as usize]).sum();
+    let make_leaf = |tree: &mut Tree| -> u32 {
+        let value = (-g_sum / (h_sum + params.lambda) * params.learning_rate) as f32;
+        tree.nodes.push(TreeNode {
+            feature: 0,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            value,
+            is_leaf: true,
+            gain: 0.0,
+        });
+        (tree.nodes.len() - 1) as u32
+    };
+    if depth >= params.max_depth || rows.len() < 2 {
+        return make_leaf(tree);
+    }
+    // Histogram split search.
+    let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    let mut best: Option<(f64, usize, u16)> = None; // (gain, feature, bin)
+    let mut hist_g = vec![0.0f64; 256];
+    let mut hist_h = vec![0.0f64; 256];
+    for &fc in cols {
+        let f = fc as usize;
+        let nb = bins.num_bins(f);
+        if nb < 2 {
+            continue;
+        }
+        hist_g[..nb].fill(0.0);
+        hist_h[..nb].fill(0.0);
+        for &r in rows.iter() {
+            let b = binned[r as usize * nf + f] as usize;
+            hist_g[b] += grad[r as usize];
+            hist_h[b] += hess[r as usize];
+        }
+        let mut gl = 0.0f64;
+        let mut hl = 0.0f64;
+        for b in 0..nb - 1 {
+            gl += hist_g[b];
+            hl += hist_h[b];
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score)
+                - params.gamma;
+            if gain > 0.0 && best.is_none_or(|(bg, ..)| gain > bg) {
+                best = Some((gain, f, b as u16));
+            }
+        }
+    }
+    let Some((gain, f, split_bin)) = best else {
+        return make_leaf(tree);
+    };
+    let threshold = bins.edges[f][split_bin as usize];
+    // Partition rows in place.
+    let mut lo = 0usize;
+    let mut hi = rows.len();
+    while lo < hi {
+        if binned[rows[lo] as usize * nf + f] <= split_bin {
+            lo += 1;
+        } else {
+            hi -= 1;
+            rows.swap(lo, hi);
+        }
+    }
+    if lo == 0 || lo == rows.len() {
+        return make_leaf(tree);
+    }
+    let node_idx = tree.nodes.len() as u32;
+    tree.nodes.push(TreeNode {
+        feature: f as u32,
+        threshold,
+        left: 0,
+        right: 0,
+        value: 0.0,
+        is_leaf: false,
+        gain: gain as f32,
+    });
+    let (left_rows, right_rows) = rows.split_at_mut(lo);
+    let left = grow_node(
+        data, bins, binned, left_rows, cols, grad, hess, params, tree, depth + 1,
+    );
+    let right = grow_node(
+        data, bins, binned, right_rows, cols, grad, hess, params, tree, depth + 1,
+    );
+    tree.nodes[node_idx as usize].left = left;
+    tree.nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_dataset() -> Dataset {
+        // y = 10 if x >= 5 else 0
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push_row(&[i as f32], if i >= 5 { 10.0 } else { 0.0 });
+        }
+        d
+    }
+
+    fn default_params() -> TreeParams {
+        TreeParams {
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            learning_rate: 1.0,
+        }
+    }
+
+    fn bin_all(d: &Dataset, bins: &Bins) -> Vec<u16> {
+        let nf = d.num_features();
+        let mut out = vec![0u16; d.len() * nf];
+        for r in 0..d.len() {
+            for f in 0..nf {
+                out[r * nf + f] = bins.bin_of(f, d.value(r, f));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let d = step_dataset();
+        let bins = Bins::build(&d, 64);
+        let binned = bin_all(&d, &bins);
+        let rows: Vec<u32> = (0..d.len() as u32).collect();
+        let cols = vec![0u32];
+        // grad for rmse with pred=0: pred - y = -y
+        let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
+        let hess = vec![1.0f64; d.len()];
+        let t = grow_tree(&d, &bins, &binned, &rows, &cols, &grad, &hess, &default_params());
+        // Should split near 4.5 and predict ~0 / ~10 (lambda shrinks).
+        assert!(t.predict_row(&[2.0]) < 1.0);
+        assert!(t.predict_row(&[8.0]) > 7.0);
+        assert!(t.depth() >= 1);
+        assert!(t.num_leaves() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = step_dataset();
+        let bins = Bins::build(&d, 64);
+        let binned = bin_all(&d, &bins);
+        let rows: Vec<u32> = (0..d.len() as u32).collect();
+        let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
+        let hess = vec![1.0f64; d.len()];
+        let mut p = default_params();
+        p.max_depth = 1;
+        let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &p);
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_labels_yield_single_leaf() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push_row(&[i as f32], 5.0);
+        }
+        let bins = Bins::build(&d, 16);
+        let binned = bin_all(&d, &bins);
+        let rows: Vec<u32> = (0..10).collect();
+        // grad with pred = 5 (perfect): zero gradients.
+        let grad = vec![0.0f64; 10];
+        let hess = vec![1.0f64; 10];
+        let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &default_params());
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.predict_row(&[3.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bins_quantiles() {
+        let mut d = Dataset::new(1);
+        for i in 0..1000 {
+            d.push_row(&[(i % 100) as f32], 0.0);
+        }
+        let bins = Bins::build(&d, 16);
+        assert!(bins.num_bins(0) <= 16);
+        assert!(bins.num_bins(0) >= 8);
+        // Monotone binning.
+        let b1 = bins.bin_of(0, 3.0);
+        let b2 = bins.bin_of(0, 80.0);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn binary_feature_bins() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push_row(&[(i % 2) as f32], 0.0);
+        }
+        let bins = Bins::build(&d, 256);
+        assert_eq!(bins.num_bins(0), 2);
+        assert_eq!(bins.bin_of(0, 0.0), 0);
+        assert_eq!(bins.bin_of(0, 1.0), 1);
+    }
+
+    #[test]
+    fn empty_tree_predicts_zero() {
+        assert_eq!(Tree::default().predict_row(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = step_dataset();
+        let bins = Bins::build(&d, 64);
+        let binned = bin_all(&d, &bins);
+        let rows: Vec<u32> = (0..d.len() as u32).collect();
+        let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
+        let hess = vec![1.0f64; d.len()];
+        let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &default_params());
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: Tree = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.predict_row(&[7.0]), t.predict_row(&[7.0]));
+    }
+}

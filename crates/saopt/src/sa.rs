@@ -1,0 +1,274 @@
+//! The simulated-annealing optimization loop (paper §IV, following
+//! the SA paradigm of Hillier et al. [5]).
+
+use crate::cost::{CostEvaluator, CostMetrics};
+use aig::Aig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use transform::Recipe;
+
+/// SA hyperparameters.
+///
+/// `weight_delay`/`weight_area` are the cost-blend weights the
+/// paper's hyperparameter sweep varies, and `decay` is the annealing
+/// temperature decay rate it sweeps alongside.
+#[derive(Clone, Copy, Debug)]
+pub struct SaOptions {
+    /// Number of SA iterations (moves attempted).
+    pub iterations: usize,
+    /// Initial temperature (in normalized-cost units).
+    pub initial_temp: f64,
+    /// Multiplicative temperature decay per iteration.
+    pub decay: f64,
+    /// Weight of normalized delay in the scalar cost.
+    pub weight_delay: f64,
+    /// Weight of normalized area in the scalar cost.
+    pub weight_area: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        SaOptions {
+            iterations: 60,
+            initial_temp: 0.05,
+            decay: 0.95,
+            weight_delay: 0.7,
+            weight_area: 0.3,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of one SA run.
+#[derive(Clone, Debug)]
+pub struct SaResult {
+    /// The best AIG seen (by scalar cost).
+    pub best: Aig,
+    /// Evaluator metrics of `best`.
+    pub best_metrics: CostMetrics,
+    /// Scalar cost of `best` (normalized units).
+    pub best_cost: f64,
+    /// Metrics of every evaluated candidate, in order (the point
+    /// cloud behind the paper's Fig. 5 Pareto fronts).
+    pub evaluated: Vec<CostMetrics>,
+    /// Number of accepted moves.
+    pub accepted: usize,
+    /// Scalar cost after each iteration (current state).
+    pub history: Vec<f64>,
+}
+
+/// Runs simulated annealing from `aig` under the given evaluator.
+///
+/// Each iteration draws a random [`Recipe`] from `actions`, applies
+/// it, prices the candidate, and accepts with the Metropolis rule
+/// (hill-climbing allowed while the temperature is high). Cost is
+/// `weight_delay * delay / delay0 + weight_area * area / area0`,
+/// normalized by the initial metrics so different evaluators'
+/// units are comparable.
+///
+/// # Panics
+///
+/// Panics if `actions` is empty, `iterations` is 0, or the initial
+/// evaluation returns non-positive metrics.
+///
+/// # Examples
+///
+/// ```
+/// use saopt::{optimize, ProxyCost, SaOptions};
+/// use transform::recipes;
+///
+/// let mut g = aig::Aig::new();
+/// let mut acc = g.add_input();
+/// for _ in 0..15 {
+///     let x = g.add_input();
+///     acc = g.and(acc, x);
+/// }
+/// g.add_output(acc, None::<&str>);
+///
+/// let actions = recipes();
+/// let opts = SaOptions { iterations: 10, ..SaOptions::default() };
+/// let result = optimize(&g, &mut ProxyCost, &actions, &opts);
+/// // The chain balances to logarithmic depth.
+/// assert!(result.best_metrics.delay <= 5.0);
+/// ```
+pub fn optimize(
+    aig: &Aig,
+    evaluator: &mut dyn CostEvaluator,
+    actions: &[Recipe],
+    opts: &SaOptions,
+) -> SaResult {
+    assert!(!actions.is_empty(), "need at least one action");
+    assert!(opts.iterations > 0, "iterations must be positive");
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let initial = evaluator.evaluate(aig);
+    assert!(
+        initial.delay > 0.0 && initial.area > 0.0,
+        "initial metrics must be positive for normalization, got {initial:?}"
+    );
+    let scalar = |m: &CostMetrics| {
+        opts.weight_delay * m.delay / initial.delay + opts.weight_area * m.area / initial.area
+    };
+    let mut current = aig.clone();
+    let mut current_cost = scalar(&initial);
+    let mut best = current.clone();
+    let mut best_metrics = initial;
+    let mut best_cost = current_cost;
+    let mut temp = opts.initial_temp;
+    let mut evaluated = vec![initial];
+    let mut accepted = 0usize;
+    let mut history = Vec::with_capacity(opts.iterations);
+
+    for _ in 0..opts.iterations {
+        let recipe = &actions[rng.gen_range(0..actions.len())];
+        let candidate = recipe.apply(&current);
+        let metrics = evaluator.evaluate(&candidate);
+        evaluated.push(metrics);
+        let cost = scalar(&metrics);
+        let delta = cost - current_cost;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp();
+        if accept {
+            current = candidate;
+            current_cost = cost;
+            accepted += 1;
+            if cost < best_cost {
+                best_cost = cost;
+                best = current.clone();
+                best_metrics = metrics;
+            }
+        }
+        temp *= opts.decay;
+        history.push(current_cost);
+    }
+    SaResult {
+        best,
+        best_metrics,
+        best_cost,
+        evaluated,
+        accepted,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ProxyCost;
+    use transform::recipes;
+
+    fn messy_graph(seed: u64) -> Aig {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<aig::Lit> = (0..10).map(|_| g.add_input()).collect();
+        for _ in 0..150 {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        for k in 0..5 {
+            let l = lits[lits.len() - 1 - 7 * k];
+            g.add_output(l, None::<&str>);
+        }
+        g
+    }
+
+    #[test]
+    fn sa_improves_proxy_cost() {
+        let g = messy_graph(5);
+        let actions = recipes();
+        let opts = SaOptions {
+            iterations: 25,
+            seed: 9,
+            ..SaOptions::default()
+        };
+        let res = optimize(&g, &mut ProxyCost, &actions, &opts);
+        let initial = ProxyCost.evaluate(&g);
+        assert!(
+            res.best_cost
+                <= opts.weight_delay + opts.weight_area + 1e-9,
+            "best must not be worse than start"
+        );
+        assert!(
+            res.best_metrics.area <= initial.area,
+            "optimization should not grow the graph: {} -> {}",
+            initial.area,
+            res.best_metrics.area
+        );
+        assert_eq!(res.evaluated.len(), opts.iterations + 1);
+        assert_eq!(res.history.len(), opts.iterations);
+        assert!(res.accepted >= 1);
+    }
+
+    #[test]
+    fn sa_preserves_function() {
+        let g = messy_graph(6);
+        let actions = recipes();
+        let res = optimize(
+            &g,
+            &mut ProxyCost,
+            &actions,
+            &SaOptions {
+                iterations: 12,
+                ..SaOptions::default()
+            },
+        );
+        assert!(aig::sim::equiv_exhaustive(&g, &res.best).expect("10 inputs"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = messy_graph(7);
+        let actions = recipes();
+        let opts = SaOptions {
+            iterations: 8,
+            seed: 123,
+            ..SaOptions::default()
+        };
+        let r1 = optimize(&g, &mut ProxyCost, &actions, &opts);
+        let r2 = optimize(&g, &mut ProxyCost, &actions, &opts);
+        assert_eq!(r1.best_cost, r2.best_cost);
+        assert_eq!(r1.accepted, r2.accepted);
+    }
+
+    #[test]
+    fn weights_steer_the_search() {
+        let g = messy_graph(8);
+        let actions = recipes();
+        let delay_first = optimize(
+            &g,
+            &mut ProxyCost,
+            &actions,
+            &SaOptions {
+                iterations: 30,
+                weight_delay: 1.0,
+                weight_area: 0.0,
+                seed: 4,
+                ..SaOptions::default()
+            },
+        );
+        let area_first = optimize(
+            &g,
+            &mut ProxyCost,
+            &actions,
+            &SaOptions {
+                iterations: 30,
+                weight_delay: 0.0,
+                weight_area: 1.0,
+                seed: 4,
+                ..SaOptions::default()
+            },
+        );
+        assert!(delay_first.best_metrics.delay <= area_first.best_metrics.delay + 1.0);
+        assert!(area_first.best_metrics.area <= delay_first.best_metrics.area + 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one action")]
+    fn empty_actions_panic() {
+        let g = messy_graph(9);
+        let _ = optimize(&g, &mut ProxyCost, &[], &SaOptions::default());
+    }
+}

@@ -1,0 +1,44 @@
+//! Technology mapping: covering an [`aig::Aig`] with standard cells.
+//!
+//! This crate substitutes for ABC's `map` command in the paper's
+//! flows: k-feasible cuts are enumerated over the AIG, each cut
+//! function is Boolean-matched against the cell library
+//! ([`Matcher`]), and a topological dynamic program selects a
+//! delay- or area-optimal cover ([`Mapper`]), producing a gate-level
+//! [`Netlist`] for static timing analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use aig::Aig;
+//! use cells::sky130ish;
+//! use techmap::{MapOptions, Mapper};
+//!
+//! let mut g = Aig::new();
+//! let a = g.add_input();
+//! let b = g.add_input();
+//! let c = g.add_input();
+//! let ab = g.and(a, b);
+//! let f = g.or(ab, c);
+//! g.add_output(f, Some("y"));
+//!
+//! let lib = sky130ish();
+//! let netlist = Mapper::new(&lib, MapOptions::default()).map(&g)?;
+//! assert!(netlist.area_um2(&lib) > 0.0);
+//! # Ok::<(), techmap::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod mapper;
+mod matcher;
+mod netlist;
+mod sizing;
+mod verilog;
+
+pub use mapper::{MapError, MapGoal, MapOptions, Mapper};
+pub use sizing::resize_greedy;
+pub use verilog::{library_models, to_verilog};
+pub use matcher::{CellMatch, Matcher};
+pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, OutputPort};

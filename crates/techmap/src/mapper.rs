@@ -1,0 +1,530 @@
+//! Cut-based technology mapping (delay- or area-oriented).
+//!
+//! The mapper mirrors the classic ABC `map` structure: enumerate
+//! 4-feasible cuts, Boolean-match each cut function against the
+//! library, run a topological dynamic program selecting the best match
+//! per node (arrival time for delay mode, area flow for area mode),
+//! then extract the cover from the outputs and instantiate gates,
+//! inserting shared inverters for complemented connections.
+
+use crate::matcher::{CellMatch, Matcher};
+use crate::netlist::{NetId, Netlist};
+use aig::cut::{enumerate_cuts, Cut};
+use aig::{Aig, NodeId};
+use cells::Library;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Mapping objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MapGoal {
+    /// Minimize estimated critical-path arrival (paper's delay flows).
+    #[default]
+    Delay,
+    /// Minimize area flow, with arrival as tie-break.
+    Area,
+}
+
+/// Options controlling [`Mapper`].
+#[derive(Clone, Copy, Debug)]
+pub struct MapOptions {
+    /// Cut size for matching; must be 2..=4.
+    pub cut_size: usize,
+    /// Cuts kept per node during enumeration.
+    pub max_cuts: usize,
+    /// Nominal load (fF) assumed while ranking matches; the final
+    /// netlist is re-timed with true loads by the `sta` crate.
+    pub est_load_ff: f64,
+    /// Delay- or area-oriented selection.
+    pub goal: MapGoal,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            cut_size: 4,
+            max_cuts: 8,
+            est_load_ff: 9.0,
+            goal: MapGoal::Delay,
+        }
+    }
+}
+
+/// Errors from [`Mapper::map`].
+#[derive(Debug)]
+pub enum MapError {
+    /// A node's cut functions matched no library cell. Cannot happen
+    /// with a library covering all two-input AND-class functions.
+    NoMatch {
+        /// The unmappable node.
+        node: NodeId,
+    },
+    /// Invalid [`MapOptions`].
+    BadOptions(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoMatch { node } => write!(f, "no library match for node {node}"),
+            MapError::BadOptions(m) => write!(f, "bad mapping options: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Clone, Debug)]
+struct Chosen {
+    m: CellMatch,
+    leaves: Vec<NodeId>,
+    arrival_ps: f64,
+    area_flow: f64,
+}
+
+/// A reusable technology mapper bound to a library.
+///
+/// Construction precomputes the Boolean match tables, so a `Mapper`
+/// should be created once and reused across many mapping calls — the
+/// ground-truth optimization flow maps thousands of candidate AIGs.
+///
+/// # Examples
+///
+/// ```
+/// use aig::Aig;
+/// use cells::sky130ish;
+/// use techmap::{Mapper, MapOptions};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let f = g.xor(a, b);
+/// g.add_output(f, Some("y"));
+///
+/// let lib = sky130ish();
+/// let mapper = Mapper::new(&lib, MapOptions::default());
+/// let netlist = mapper.map(&g)?;
+/// assert!(netlist.num_gates() >= 1);
+/// // The mapped netlist computes the same function.
+/// assert_eq!(netlist.eval(&lib, &[true, false]), vec![true]);
+/// assert_eq!(netlist.eval(&lib, &[true, true]), vec![false]);
+/// # Ok::<(), techmap::MapError>(())
+/// ```
+pub struct Mapper<'a> {
+    lib: &'a Library,
+    matcher: Matcher,
+    opts: MapOptions,
+}
+
+impl<'a> Mapper<'a> {
+    /// Creates a mapper for `lib`, precomputing match tables.
+    pub fn new(lib: &'a Library, opts: MapOptions) -> Self {
+        Mapper {
+            lib,
+            matcher: Matcher::new(lib),
+            opts,
+        }
+    }
+
+    /// The library this mapper targets.
+    pub fn library(&self) -> &Library {
+        self.lib
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &MapOptions {
+        &self.opts
+    }
+
+    /// Maps `aig` to a gate-level [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::BadOptions`] for out-of-range options;
+    /// [`MapError::NoMatch`] if some node cannot be matched (possible
+    /// only with an incomplete user library).
+    pub fn map(&self, aig: &Aig) -> Result<Netlist, MapError> {
+        if !(2..=4).contains(&self.opts.cut_size) {
+            return Err(MapError::BadOptions(format!(
+                "cut_size must be 2..=4, got {}",
+                self.opts.cut_size
+            )));
+        }
+        if self.opts.max_cuts < 2 {
+            return Err(MapError::BadOptions("max_cuts must be >= 2".into()));
+        }
+        let cuts = enumerate_cuts(aig, self.opts.cut_size, self.opts.max_cuts);
+        let fanout = aig::analysis::fanout_counts(aig);
+        let inv = self.lib.cell(self.lib.smallest_inverter());
+        let inv_delay = inv.pins[0].intrinsic_ps + inv.drive_res * self.opts.est_load_ff;
+        let inv_area = inv.area_um2;
+
+        let mut chosen: Vec<Option<Chosen>> = vec![None; aig.num_nodes()];
+        let mut arrival = vec![0.0f64; aig.num_nodes()];
+        let mut flow = vec![0.0f64; aig.num_nodes()];
+
+        for id in aig.and_ids() {
+            let mut best: Option<Chosen> = None;
+            for cut in cuts.cuts(id) {
+                if cut.leaves.len() == 1 && cut.leaves[0] == id {
+                    continue; // trivial cut: a node cannot implement itself
+                }
+                let Some((tt, leaves)) = shrink_support(cut) else {
+                    continue; // constant function over the cut
+                };
+                let nv = leaves.len();
+                for m in self.matcher.matches(nv, tt) {
+                    let cell = self.lib.cell(m.cell);
+                    let mut arr: f64 = 0.0;
+                    let mut extra_area = 0.0;
+                    for (j, &leaf) in leaves.iter().enumerate() {
+                        let mut a = arrival[leaf as usize];
+                        if m.input_compl >> j & 1 == 1 {
+                            a += inv_delay;
+                            extra_area += inv_area;
+                        }
+                        a += cell.delay_ps(m.pin_of_var[j] as usize, self.opts.est_load_ff);
+                        arr = arr.max(a);
+                    }
+                    if m.output_compl {
+                        arr += inv_delay;
+                        extra_area += inv_area;
+                    }
+                    let leaf_flow: f64 = leaves
+                        .iter()
+                        .map(|&l| flow[l as usize] / f64::from(fanout[l as usize].max(1)))
+                        .sum();
+                    let af = cell.area_um2 + extra_area + leaf_flow;
+                    let cand = Chosen {
+                        m: *m,
+                        leaves: leaves.clone(),
+                        arrival_ps: arr,
+                        area_flow: af,
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => match self.opts.goal {
+                            MapGoal::Delay => {
+                                (cand.arrival_ps, cand.area_flow) < (b.arrival_ps, b.area_flow)
+                            }
+                            MapGoal::Area => {
+                                (cand.area_flow, cand.arrival_ps) < (b.area_flow, b.arrival_ps)
+                            }
+                        },
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let best = best.ok_or(MapError::NoMatch { node: id })?;
+            arrival[id as usize] = best.arrival_ps;
+            flow[id as usize] = best.area_flow;
+            chosen[id as usize] = Some(best);
+        }
+
+        Ok(self.build_netlist(aig, &chosen))
+    }
+
+    /// Instantiates the selected cover into a netlist.
+    fn build_netlist(&self, aig: &Aig, chosen: &[Option<Chosen>]) -> Netlist {
+        let mut nl = Netlist::new();
+        let inv_cell = self.lib.smallest_inverter();
+        let mut pi_net: HashMap<NodeId, NetId> = HashMap::new();
+        for &pi in aig.inputs() {
+            pi_net.insert(pi, nl.add_input());
+        }
+        let mut pos_net: HashMap<NodeId, NetId> = HashMap::new();
+        let mut inv_net: HashMap<NetId, NetId> = HashMap::new();
+
+        // Iterative post-order construction of needed nodes.
+        let mut stack: Vec<(NodeId, bool)> = aig
+            .outputs()
+            .iter()
+            .filter(|o| aig.is_and(o.lit.var()))
+            .map(|o| (o.lit.var(), false))
+            .collect();
+        while let Some((node, expanded)) = stack.pop() {
+            if pos_net.contains_key(&node) {
+                continue;
+            }
+            let ch = chosen[node as usize]
+                .as_ref()
+                .expect("cover reaches only mapped AND nodes");
+            if !expanded {
+                stack.push((node, true));
+                for &leaf in &ch.leaves {
+                    if aig.is_and(leaf) && !pos_net.contains_key(&leaf) {
+                        stack.push((leaf, false));
+                    }
+                }
+                continue;
+            }
+            let cell = self.lib.cell(ch.m.cell);
+            let mut inputs: Vec<Option<NetId>> = vec![None; cell.num_inputs()];
+            for (j, &leaf) in ch.leaves.iter().enumerate() {
+                let base = if aig.is_input(leaf) {
+                    pi_net[&leaf]
+                } else {
+                    pos_net[&leaf]
+                };
+                let sig = if ch.m.input_compl >> j & 1 == 1 {
+                    *inv_net
+                        .entry(base)
+                        .or_insert_with(|| nl.add_gate(inv_cell, vec![base]))
+                } else {
+                    base
+                };
+                inputs[ch.m.pin_of_var[j] as usize] = Some(sig);
+            }
+            let inputs: Vec<NetId> = inputs
+                .into_iter()
+                .map(|n| n.expect("all pins assigned by match"))
+                .collect();
+            let mut out = nl.add_gate(ch.m.cell, inputs);
+            if ch.m.output_compl {
+                out = *inv_net
+                    .entry(out)
+                    .or_insert_with(|| nl.add_gate(inv_cell, vec![out]));
+            }
+            pos_net.insert(node, out);
+        }
+
+        for o in aig.outputs() {
+            let var = o.lit.var();
+            let base = if var == 0 {
+                nl.const_net(false)
+            } else if aig.is_input(var) {
+                pi_net[&var]
+            } else {
+                pos_net[&var]
+            };
+            let net = if o.lit.is_complement() {
+                if let aig::NodeKind::Const = aig.node_kind(var) {
+                    nl.const_net(true)
+                } else {
+                    *inv_net
+                        .entry(base)
+                        .or_insert_with(|| nl.add_gate(inv_cell, vec![base]))
+                }
+            } else {
+                base
+            };
+            nl.add_output(net, o.name.clone());
+        }
+        nl
+    }
+}
+
+/// Removes non-support leaves from a cut; returns the compacted
+/// (tt, leaves), or `None` if the function is constant.
+fn shrink_support(cut: &Cut) -> Option<(u16, Vec<NodeId>)> {
+    let nv = cut.leaves.len();
+    debug_assert!(nv <= 4);
+    let tt = cut.masked_tt();
+    let mut kept = Vec::with_capacity(nv);
+    for (i, &leaf) in cut.leaves.iter().enumerate() {
+        if depends_u64(tt, nv, i) {
+            kept.push((i, leaf));
+        }
+    }
+    if kept.is_empty() {
+        return None;
+    }
+    // Compact the tt onto the kept variables.
+    let knv = kept.len();
+    let mut out = 0u16;
+    for m in 0..(1usize << knv) {
+        let mut src = 0usize;
+        for (jj, &(orig, _)) in kept.iter().enumerate() {
+            src |= ((m >> jj) & 1) << orig;
+        }
+        out |= (((tt >> src) & 1) as u16) << m;
+    }
+    Some((out, kept.into_iter().map(|(_, l)| l).collect()))
+}
+
+/// Dependence test for a `u64` truth table over `nv <= 6` variables.
+fn depends_u64(tt: u64, nv: usize, i: usize) -> bool {
+    debug_assert!(i < nv && nv <= 6);
+    let bits = 1usize << nv;
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    const KEEP: [u64; 6] = [
+        0x5555_5555_5555_5555,
+        0x3333_3333_3333_3333,
+        0x0F0F_0F0F_0F0F_0F0F,
+        0x00FF_00FF_00FF_00FF,
+        0x0000_FFFF_0000_FFFF,
+        0x0000_0000_FFFF_FFFF,
+    ];
+    let shift = 1usize << i;
+    let lo = tt & KEEP[i] & mask;
+    let hi = (tt >> shift) & KEEP[i] & mask;
+    lo != hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::SimTable;
+    use cells::sky130ish;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn verify_mapping(aig: &Aig, nl: &Netlist, lib: &Library) {
+        assert!(aig.num_inputs() <= 12, "test helper uses exhaustive sim");
+        let sim = SimTable::exhaustive(aig).expect("small");
+        let n = aig.num_inputs();
+        for m in 0..(1usize << n) {
+            let pis: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            let got = nl.eval(lib, &pis);
+            for (k, o) in aig.outputs().iter().enumerate() {
+                assert_eq!(
+                    got[k],
+                    sim.lit_bit(o.lit, m),
+                    "output {k} pattern {m:b} differs"
+                );
+            }
+        }
+    }
+
+    fn random_aig(seed: u64, num_inputs: usize, num_nodes: usize) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<aig::Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+        for _ in 0..num_nodes {
+            let a = lits[rng.gen_range(0..lits.len())];
+            let b = lits[rng.gen_range(0..lits.len())];
+            let a = a.complement_if(rng.gen());
+            let b = b.complement_if(rng.gen());
+            let f = g.and(a, b);
+            lits.push(f);
+        }
+        for _ in 0..3 {
+            let l = lits[rng.gen_range(0..lits.len())];
+            g.add_output(l.complement_if(rng.gen()), None::<&str>);
+        }
+        g
+    }
+
+    #[test]
+    fn maps_simple_functions() {
+        let lib = sky130ish();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let f = g.or(ab, c); // AO21 shape
+        let x = g.xor(a, c);
+        g.add_output(f, Some("f"));
+        g.add_output(x, Some("x"));
+        g.add_output(!f, None::<&str>);
+        let nl = mapper.map(&g).expect("mappable");
+        verify_mapping(&g, &nl, &lib);
+        // XOR should map to a single XOR cell rather than 3 gates.
+        let hist = nl.cell_histogram(&lib);
+        assert!(
+            hist.iter().any(|(n, _)| n.starts_with("XOR") || n.starts_with("XNOR")),
+            "expected an XOR-family cell, got {hist:?}"
+        );
+    }
+
+    #[test]
+    fn maps_random_graphs_correctly() {
+        let lib = sky130ish();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        for seed in 0..8 {
+            let g = random_aig(seed, 6, 40);
+            let nl = mapper.map(&g).expect("mappable");
+            verify_mapping(&g, &nl, &lib);
+        }
+    }
+
+    #[test]
+    fn area_mode_not_larger_than_delay_mode() {
+        let lib = sky130ish();
+        let delay = Mapper::new(&lib, MapOptions::default());
+        let area = Mapper::new(
+            &lib,
+            MapOptions {
+                goal: MapGoal::Area,
+                ..MapOptions::default()
+            },
+        );
+        let mut total_d = 0.0;
+        let mut total_a = 0.0;
+        for seed in 0..4 {
+            let g = random_aig(100 + seed, 8, 80);
+            total_d += delay.map(&g).expect("ok").area_um2(&lib);
+            total_a += area.map(&g).expect("ok").area_um2(&lib);
+        }
+        assert!(
+            total_a <= total_d * 1.05,
+            "area mode {total_a} should not exceed delay mode {total_d}"
+        );
+    }
+
+    #[test]
+    fn po_edge_cases() {
+        let lib = sky130ish();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        g.add_output(aig::Lit::TRUE, Some("tie1"));
+        g.add_output(aig::Lit::FALSE, Some("tie0"));
+        g.add_output(a, Some("pass"));
+        g.add_output(!a, Some("inv"));
+        let f = g.and(a, b);
+        g.add_output(f, Some("f"));
+        g.add_output(f, Some("f_again"));
+        let nl = mapper.map(&g).expect("mappable");
+        verify_mapping(&g, &nl, &lib);
+    }
+
+    #[test]
+    fn shared_inverters() {
+        let lib = sky130ish();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let mut g = Aig::new();
+        let a = g.add_input();
+        g.add_output(!a, None::<&str>);
+        g.add_output(!a, None::<&str>);
+        let nl = mapper.map(&g).expect("mappable");
+        assert_eq!(nl.num_gates(), 1, "inverter must be shared");
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let lib = sky130ish();
+        let m = Mapper::new(
+            &lib,
+            MapOptions {
+                cut_size: 6,
+                ..MapOptions::default()
+            },
+        );
+        let g = random_aig(1, 4, 10);
+        assert!(matches!(m.map(&g), Err(MapError::BadOptions(_))));
+    }
+
+    #[test]
+    fn shrink_support_drops_redundant() {
+        // f = x0 over 2 leaves (leaf 1 redundant).
+        let cut = Cut {
+            leaves: vec![4, 9],
+            tt: 0b1010,
+        };
+        let (tt, leaves) = shrink_support(&cut).expect("non-const");
+        assert_eq!(leaves, vec![4]);
+        assert_eq!(tt & 0b11, 0b10);
+        // constant cut
+        let cut = Cut {
+            leaves: vec![4, 9],
+            tt: 0b0000,
+        };
+        assert!(shrink_support(&cut).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! Gate-level netlists produced by technology mapping.
+
+use cells::{CellId, Library};
+use std::fmt;
+
+/// Index of a net (signal) in a [`Netlist`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+/// Index of a gate instance in a [`Netlist`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub u32);
+
+/// What drives a net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Constant logic value.
+    Const(bool),
+    /// Primary input (index into [`Netlist::inputs`]).
+    Input(usize),
+    /// Output of a gate.
+    Gate(GateId),
+}
+
+/// One standard-cell instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    /// Which library cell is instantiated.
+    pub cell: CellId,
+    /// Input nets in cell pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A primary output port.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputPort {
+    /// The net exposed at this port.
+    pub net: NetId,
+    /// Optional port name.
+    pub name: Option<String>,
+}
+
+/// A combinational gate-level netlist over a [`Library`].
+///
+/// Gates are stored in topological order (every gate appears after the
+/// gates driving its inputs), which downstream timing analysis relies
+/// on. Instances refer to cells by [`CellId`]; the library itself is
+/// passed alongside the netlist to analyses so one library can serve
+/// many netlists.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    drivers: Vec<NetDriver>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<OutputPort>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The driver of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of bounds.
+    pub fn driver(&self, net: NetId) -> &NetDriver {
+        &self.drivers[net.0 as usize]
+    }
+
+    /// All gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0 as usize]
+    }
+
+    /// Primary-input nets in port order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary-output ports in port order.
+    pub fn outputs(&self) -> &[OutputPort] {
+        &self.outputs
+    }
+
+    /// Adds a primary input, returning its net.
+    pub fn add_input(&mut self) -> NetId {
+        let idx = self.inputs.len();
+        let net = self.fresh_net(NetDriver::Input(idx));
+        self.inputs.push(net);
+        net
+    }
+
+    /// Adds (or reuses) a constant net.
+    pub fn const_net(&mut self, value: bool) -> NetId {
+        // Constants are rare; linear scan keeps the structure simple.
+        for (i, d) in self.drivers.iter().enumerate() {
+            if *d == NetDriver::Const(value) {
+                return NetId(i as u32);
+            }
+        }
+        self.fresh_net(NetDriver::Const(value))
+    }
+
+    /// Instantiates a gate; returns its output net.
+    ///
+    /// Inputs must already exist; this preserves topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input net is out of bounds.
+    pub fn add_gate(&mut self, cell: CellId, inputs: Vec<NetId>) -> NetId {
+        for n in &inputs {
+            assert!((n.0 as usize) < self.drivers.len(), "undefined input net");
+        }
+        let gid = GateId(self.gates.len() as u32);
+        let out = self.fresh_net(NetDriver::Gate(gid));
+        self.gates.push(Gate {
+            cell,
+            inputs,
+            output: out,
+        });
+        out
+    }
+
+    /// Declares a primary output.
+    pub fn add_output(&mut self, net: NetId, name: Option<impl Into<String>>) {
+        self.outputs.push(OutputPort {
+            net,
+            name: name.map(Into::into),
+        });
+    }
+
+    /// Swaps the cell of gate `id` for a pin-compatible variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds. The caller must ensure the new
+    /// cell has the same arity and pin semantics (use
+    /// [`cells::Library::drive_variants`]).
+    pub fn set_gate_cell(&mut self, id: GateId, cell: CellId) {
+        self.gates[id.0 as usize].cell = cell;
+    }
+
+    fn fresh_net(&mut self, driver: NetDriver) -> NetId {
+        let id = NetId(self.drivers.len() as u32);
+        self.drivers.push(driver);
+        id
+    }
+
+    /// Total cell area (µm²).
+    pub fn area_um2(&self, lib: &Library) -> f64 {
+        self.gates.iter().map(|g| lib.cell(g.cell).area_um2).sum()
+    }
+
+    /// Fanout count per net: number of gate input pins plus output
+    /// ports connected to the net.
+    pub fn net_fanouts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.num_nets()];
+        for g in &self.gates {
+            for n in &g.inputs {
+                fo[n.0 as usize] += 1;
+            }
+        }
+        for o in &self.outputs {
+            fo[o.net.0 as usize] += 1;
+        }
+        fo
+    }
+
+    /// Capacitive load (fF) per net: connected pin caps plus the
+    /// library's per-fanout wire capacitance.
+    pub fn net_loads_ff(&self, lib: &Library) -> Vec<f64> {
+        let mut load = vec![0.0f64; self.num_nets()];
+        for g in &self.gates {
+            let cell = lib.cell(g.cell);
+            for (pin, n) in g.inputs.iter().enumerate() {
+                load[n.0 as usize] += cell.pins[pin].cap_ff + lib.wire_cap_per_fanout_ff();
+            }
+        }
+        for o in &self.outputs {
+            // Output port load: one wire segment.
+            load[o.net.0 as usize] += lib.wire_cap_per_fanout_ff();
+        }
+        load
+    }
+
+    /// Evaluates the netlist on one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len() != num_inputs()`.
+    pub fn eval(&self, lib: &Library, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.num_inputs());
+        let mut val = vec![false; self.num_nets()];
+        for (i, d) in self.drivers.iter().enumerate() {
+            match d {
+                NetDriver::Const(v) => val[i] = *v,
+                NetDriver::Input(idx) => val[i] = pi_values[*idx],
+                NetDriver::Gate(_) => {}
+            }
+        }
+        for g in &self.gates {
+            let cell = lib.cell(g.cell);
+            let mut minterm = 0usize;
+            for (pin, n) in g.inputs.iter().enumerate() {
+                if val[n.0 as usize] {
+                    minterm |= 1 << pin;
+                }
+            }
+            val[g.output.0 as usize] = cell.tt >> minterm & 1 == 1;
+        }
+        self.outputs.iter().map(|o| val[o.net.0 as usize]).collect()
+    }
+
+    /// Histogram of instantiated cell names (for reports).
+    pub fn cell_histogram(&self, lib: &Library) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for g in &self.gates {
+            *counts.entry(&lib.cell(g.cell).name).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} gates, {} nets, {}/{} ports",
+            self.num_gates(),
+            self.num_nets(),
+            self.num_inputs(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::sky130ish;
+
+    #[test]
+    fn build_and_eval_nand() {
+        let lib = sky130ish();
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let y = nl.add_gate(nand, vec![a, b]);
+        nl.add_output(y, Some("y"));
+        assert_eq!(nl.eval(&lib, &[true, true]), vec![false]);
+        assert_eq!(nl.eval(&lib, &[true, false]), vec![true]);
+        assert_eq!(nl.num_gates(), 1);
+        assert!(nl.area_um2(&lib) > 0.0);
+    }
+
+    #[test]
+    fn const_nets_are_shared() {
+        let mut nl = Netlist::new();
+        let c0 = nl.const_net(false);
+        let c0b = nl.const_net(false);
+        let c1 = nl.const_net(true);
+        assert_eq!(c0, c0b);
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn fanouts_and_loads() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(inv, vec![a]);
+        let _y = nl.add_gate(inv, vec![x]);
+        let z = nl.add_gate(inv, vec![x]);
+        nl.add_output(z, None::<&str>);
+        let fo = nl.net_fanouts();
+        assert_eq!(fo[x.0 as usize], 2);
+        let loads = nl.net_loads_ff(&lib);
+        let inv_cap = lib.cell(inv).pins[0].cap_ff;
+        let expect = 2.0 * (inv_cap + lib.wire_cap_per_fanout_ff());
+        assert!((loads[x.0 as usize] - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(inv, vec![a]);
+        let y = nl.add_gate(inv, vec![x]);
+        nl.add_output(y, None::<&str>);
+        assert_eq!(nl.cell_histogram(&lib), vec![("INV_X1".to_owned(), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined input net")]
+    fn bad_input_net_panics() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let mut nl = Netlist::new();
+        let _ = lib;
+        nl.add_gate(inv, vec![NetId(5)]);
+    }
+}

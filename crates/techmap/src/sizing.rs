@@ -1,0 +1,177 @@
+//! Greedy gate sizing: post-mapping drive-strength selection.
+//!
+//! The mapper picks cells by function; this pass revisits every
+//! instance and swaps it for the drive variant (same function,
+//! different area/resistance/input capacitance) that minimizes its
+//! worst pin-to-output delay under the *current* load. Because
+//! resizing a gate changes the load seen by its fanins, the pass
+//! iterates a few times to a fixpoint.
+//!
+//! This mirrors the sizing step every industrial flow runs between
+//! mapping and STA; with it, high-fanout nets get strong drivers and
+//! the ground-truth delay labels become less fanout-pessimistic.
+
+use crate::netlist::{GateId, Netlist};
+use cells::Library;
+
+/// Re-selects drive strengths in place; returns the number of gates
+/// changed in the final pass (0 means a fixpoint was reached).
+///
+/// `passes` bounds the number of sweeps (2–3 is typically enough).
+///
+/// # Examples
+///
+/// ```
+/// use aig::Aig;
+/// use cells::sky130ish;
+/// use techmap::{resize_greedy, MapOptions, Mapper};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let f = g.and(a, b);
+/// // A high-fanout output: many sinks.
+/// for _ in 0..6 {
+///     g.add_output(f, None::<&str>);
+/// }
+/// let lib = sky130ish();
+/// let mut nl = Mapper::new(&lib, MapOptions::default()).map(&g)?;
+/// resize_greedy(&mut nl, &lib, 3);
+/// // The heavily loaded driver is now a stronger variant.
+/// # Ok::<(), techmap::MapError>(())
+/// ```
+pub fn resize_greedy(nl: &mut Netlist, lib: &Library, passes: usize) -> usize {
+    let mut changed_last = 0;
+    for _ in 0..passes.max(1) {
+        let loads = nl.net_loads_ff(lib);
+        let mut changed = 0;
+        for gi in 0..nl.num_gates() {
+            let gid = GateId(gi as u32);
+            let current = nl.gate(gid).cell;
+            let load = loads[nl.gate(gid).output.0 as usize];
+            let mut best = current;
+            let mut best_score = score(lib, current, load);
+            for variant in lib.drive_variants(current) {
+                let s = score(lib, variant, load);
+                if s < best_score {
+                    best_score = s;
+                    best = variant;
+                }
+            }
+            if best != current {
+                nl.set_gate_cell(gid, best);
+                changed += 1;
+            }
+        }
+        changed_last = changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    changed_last
+}
+
+/// Effective upstream resistance (ps/fF) used to price a variant's
+/// own input capacitance: a bigger cell is faster into its load but
+/// slows whatever drives it. A typical X1 output resistance is a
+/// reasonable stand-in for the unknown driver.
+const UPSTREAM_RES_PS_PER_FF: f64 = 9.0;
+
+/// Sizing objective: worst pin-to-output delay at the given load,
+/// plus the upstream penalty of the variant's input capacitance and a
+/// small area tie-break so equal-delay variants prefer the smaller
+/// cell.
+fn score(lib: &Library, cell: cells::CellId, load_ff: f64) -> f64 {
+    let c = lib.cell(cell);
+    let max_cap = c.pins.iter().map(|p| p.cap_ff).fold(0.0, f64::max);
+    c.worst_delay_ps(load_ff) + UPSTREAM_RES_PS_PER_FF * max_cap + 1e-3 * c.area_um2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::sky130ish;
+
+    /// A weak inverter driving a heavy load must be upsized, and the
+    /// critical delay must improve.
+    #[test]
+    fn upsized_driver_improves_delay() {
+        let lib = sky130ish();
+        let inv_x1 = lib.find("INV_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(inv_x1, vec![a]);
+        // 10 sinks: big load.
+        for _ in 0..10 {
+            let y = nl.add_gate(inv_x1, vec![x]);
+            nl.add_output(y, None::<&str>);
+        }
+        let before = sta_delay(&nl, &lib);
+        let changed = resize_greedy(&mut nl, &lib, 3);
+        assert!(changed <= nl.num_gates());
+        let driver = nl.gate(GateId(0)).cell;
+        assert_ne!(driver, inv_x1, "driver should be upsized");
+        let after = sta_delay(&nl, &lib);
+        assert!(
+            after < before * 0.8,
+            "sizing should clearly help: {before:.1} -> {after:.1}"
+        );
+    }
+
+    /// Sizing preserves function (it only swaps drive variants).
+    #[test]
+    fn function_unchanged() {
+        let lib = sky130ish();
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let y = nl.add_gate(nand, vec![a, b]);
+        for _ in 0..8 {
+            let z = nl.add_gate(nand, vec![y, a]);
+            nl.add_output(z, None::<&str>);
+        }
+        let before: Vec<Vec<bool>> = (0..4)
+            .map(|m| nl.eval(&lib, &[m & 1 == 1, m >> 1 & 1 == 1]))
+            .collect();
+        resize_greedy(&mut nl, &lib, 2);
+        let after: Vec<Vec<bool>> = (0..4)
+            .map(|m| nl.eval(&lib, &[m & 1 == 1, m >> 1 & 1 == 1]))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    /// Light loads keep the small cells (no pointless upsizing).
+    #[test]
+    fn light_load_keeps_small_cell() {
+        let lib = sky130ish();
+        let inv_x1 = lib.find("INV_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(inv_x1, vec![a]);
+        nl.add_output(x, None::<&str>);
+        resize_greedy(&mut nl, &lib, 2);
+        assert_eq!(nl.gate(GateId(0)).cell, inv_x1);
+    }
+
+    fn sta_delay(nl: &Netlist, lib: &Library) -> f64 {
+        // Local copy of the arrival computation to avoid a dev-dep
+        // cycle on the sta crate.
+        let loads = nl.net_loads_ff(lib);
+        let mut arrival = vec![0.0f64; nl.num_nets()];
+        let mut max = 0.0f64;
+        for g in nl.gates() {
+            let cell = lib.cell(g.cell);
+            let load = loads[g.output.0 as usize];
+            let mut arr: f64 = 0.0;
+            for (pin, n) in g.inputs.iter().enumerate() {
+                arr = arr.max(arrival[n.0 as usize] + cell.delay_ps(pin, load));
+            }
+            arrival[g.output.0 as usize] = arr;
+        }
+        for o in nl.outputs() {
+            max = max.max(arrival[o.net.0 as usize]);
+        }
+        max
+    }
+}

@@ -1,0 +1,213 @@
+//! Structural Verilog export for mapped netlists.
+//!
+//! Downstream physical-design and signoff tools consume gate-level
+//! Verilog; this module emits the mapped [`Netlist`] as a module of
+//! cell instances, plus (optionally) behavioral models of the library
+//! cells so the output simulates standalone.
+
+use crate::netlist::{NetDriver, NetId, Netlist};
+use cells::Library;
+use std::fmt::Write as _;
+
+/// Emits `netlist` as a structural Verilog module named `module_name`.
+///
+/// Net `n` becomes wire `n<n>`; ports use their recorded names when
+/// present (`in<i>` / `out<i>` otherwise). Constant nets become
+/// `1'b0` / `1'b1` assigns. Cell pins use the library's pin names
+/// with the output pin conventionally called `y`.
+///
+/// # Examples
+///
+/// ```
+/// use aig::Aig;
+/// use cells::sky130ish;
+/// use techmap::{to_verilog, MapOptions, Mapper};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let f = g.and(a, b);
+/// g.add_output(f, Some("y"));
+/// let lib = sky130ish();
+/// let nl = Mapper::new(&lib, MapOptions::default()).map(&g)?;
+/// let v = to_verilog(&nl, &lib, "and_gate");
+/// assert!(v.contains("module and_gate"));
+/// assert!(v.contains("AND2_X1"));
+/// # Ok::<(), techmap::MapError>(())
+/// ```
+pub fn to_verilog(netlist: &Netlist, lib: &Library, module_name: &str) -> String {
+    let mut v = String::new();
+    let input_names: Vec<String> = (0..netlist.num_inputs())
+        .map(|i| format!("in{i}"))
+        .collect();
+    let output_names: Vec<String> = netlist
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, o)| sanitize(o.name.as_deref().unwrap_or(&format!("out{i}"))))
+        .collect();
+    let _ = writeln!(
+        v,
+        "module {module_name} ({}, {});",
+        input_names.join(", "),
+        output_names.join(", ")
+    );
+    for n in &input_names {
+        let _ = writeln!(v, "  input {n};");
+    }
+    for n in &output_names {
+        let _ = writeln!(v, "  output {n};");
+    }
+    // Wires for every gate output and constant.
+    for g in netlist.gates() {
+        let _ = writeln!(v, "  wire {};", net_name(netlist, g.output, &input_names));
+    }
+    for i in 0..netlist.num_nets() {
+        if let NetDriver::Const(val) = netlist.driver(NetId(i as u32)) {
+            let _ = writeln!(v, "  wire n{i};");
+            let _ = writeln!(v, "  assign n{i} = 1'b{};", u8::from(*val));
+        }
+    }
+    // Instances.
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        let cell = lib.cell(g.cell);
+        let mut pins: Vec<String> = g
+            .inputs
+            .iter()
+            .zip(&cell.pin_names)
+            .map(|(n, pin)| format!(".{pin}({})", net_name(netlist, *n, &input_names)))
+            .collect();
+        pins.push(format!(".y({})", net_name(netlist, g.output, &input_names)));
+        let _ = writeln!(v, "  {} g{gi} ({});", cell.name, pins.join(", "));
+    }
+    // Output port bindings.
+    for (o, name) in netlist.outputs().iter().zip(&output_names) {
+        let src = net_name(netlist, o.net, &input_names);
+        if src != *name {
+            let _ = writeln!(v, "  assign {name} = {src};");
+        }
+    }
+    v.push_str("endmodule\n");
+    v
+}
+
+/// Emits behavioral Verilog models for every cell of `lib` (one
+/// `module` per cell with a single `assign`), so [`to_verilog`]
+/// output can be simulated without a vendor library.
+pub fn library_models(lib: &Library) -> String {
+    let mut v = String::new();
+    for cell in lib.cells() {
+        let ports: Vec<&str> = cell.pin_names.iter().map(String::as_str).collect();
+        let _ = writeln!(v, "module {} ({}, y);", cell.name, ports.join(", "));
+        for p in &ports {
+            let _ = writeln!(v, "  input {p};");
+        }
+        v.push_str("  output y;\n");
+        let _ = writeln!(v, "  assign y = {};", verilog_expr(&cell.function));
+        v.push_str("endmodule\n\n");
+    }
+    v
+}
+
+fn verilog_expr(e: &cells::BoolExpr) -> String {
+    use cells::BoolExpr::*;
+    match e {
+        Var(n) => n.clone(),
+        Not(x) => format!("~({})", verilog_expr(x)),
+        And(a, b) => format!("({} & {})", verilog_expr(a), verilog_expr(b)),
+        Or(a, b) => format!("({} | {})", verilog_expr(a), verilog_expr(b)),
+        Xor(a, b) => format!("({} ^ {})", verilog_expr(a), verilog_expr(b)),
+    }
+}
+
+fn net_name(netlist: &Netlist, net: NetId, input_names: &[String]) -> String {
+    match netlist.driver(net) {
+        NetDriver::Input(idx) => input_names[*idx].clone(),
+        _ => format!("n{}", net.0),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("p_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{MapOptions, Mapper};
+    use aig::Aig;
+    use cells::sky130ish;
+
+    fn mapped_sample() -> (Netlist, Library) {
+        let lib = sky130ish();
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let f = g.xor(ab, c);
+        g.add_output(f, Some("f"));
+        g.add_output(!ab, Some("nab"));
+        g.add_output(aig::Lit::TRUE, Some("tie"));
+        let nl = Mapper::new(&lib, MapOptions::default()).map(&g).expect("ok");
+        (nl, lib)
+    }
+
+    #[test]
+    fn module_structure() {
+        let (nl, lib) = mapped_sample();
+        let v = to_verilog(&nl, &lib, "sample");
+        assert!(v.starts_with("module sample (in0, in1, in2, f, nab, tie);"));
+        assert!(v.contains("input in0;"));
+        assert!(v.contains("output f;"));
+        assert!(v.trim_end().ends_with("endmodule"));
+        // One instance per gate.
+        let instances = v.matches(" g").count();
+        assert!(instances >= nl.num_gates());
+        // Constant output assigned.
+        assert!(v.contains("= 1'b1;"));
+    }
+
+    #[test]
+    fn every_gate_instantiated_with_named_pins() {
+        let (nl, lib) = mapped_sample();
+        let v = to_verilog(&nl, &lib, "sample");
+        for g in nl.gates() {
+            let cell = lib.cell(g.cell);
+            assert!(v.contains(&cell.name), "missing instance of {}", cell.name);
+        }
+        assert!(v.contains(".a("));
+        assert!(v.contains(".y("));
+    }
+
+    #[test]
+    fn models_cover_library() {
+        let lib = sky130ish();
+        let models = library_models(&lib);
+        for cell in lib.cells() {
+            assert!(
+                models.contains(&format!("module {} (", cell.name)),
+                "missing model for {}",
+                cell.name
+            );
+        }
+        // Expressions use Verilog operators.
+        assert!(models.contains("~("));
+        assert!(models.contains("assign y ="));
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("a.b[3]"), "a_b_3_");
+        assert_eq!(sanitize("3x"), "p_3x");
+        assert_eq!(sanitize("ok_name"), "ok_name");
+    }
+}

@@ -1,0 +1,346 @@
+//! AND-tree balancing (ABC's `balance` analog).
+//!
+//! Maximal single-fanout AND trees are collapsed into supergates and
+//! rebuilt as minimum-depth trees over their leaves, combining the
+//! two lowest-level operands first (Huffman order).
+
+use aig::analysis::fanout_counts;
+use aig::{Aig, Lit, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a supergate's leaves are recombined into a tree.
+enum TreeMode {
+    /// Huffman order: minimum depth (ABC `balance`).
+    Balanced,
+    /// Seeded random binary trees: structural diversification.
+    Random(SmallRng),
+}
+
+/// Rebuilds `aig` with balanced AND trees, reducing logic depth while
+/// preserving function.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, analysis::levels};
+/// use transform::balance;
+///
+/// // A linear chain x0 & x1 & ... & x7 has depth 7.
+/// let mut g = Aig::new();
+/// let mut acc = g.add_input();
+/// for _ in 0..7 {
+///     let x = g.add_input();
+///     acc = g.and(acc, x);
+/// }
+/// g.add_output(acc, None::<&str>);
+/// assert_eq!(levels(&g).max_level, 7);
+///
+/// let b = balance(&g);
+/// assert_eq!(levels(&b).max_level, 3); // ceil(log2(8))
+/// ```
+pub fn balance(aig: &Aig) -> Aig {
+    rebuild_trees(aig, TreeMode::Balanced, false)
+}
+
+/// Depth-priority balancing with logic duplication: supergate
+/// collection expands through *shared* AND nodes as well, flattening
+/// larger trees at the cost of duplicated logic (ABC `balance -d`
+/// analog). Reduces depth further than [`balance`] but may grow the
+/// node count — the area-for-delay trade-off move of the SA flows.
+pub fn balance_dup(aig: &Aig) -> Aig {
+    rebuild_trees(aig, TreeMode::Balanced, true)
+}
+
+/// Rebuilds `aig` with *randomly shaped* AND trees, preserving
+/// function while diversifying structure (depth, sharing, fanout).
+///
+/// This is the structural perturbation used when generating the
+/// paper's "40,000 unique AIGs per design" (§III-C): optimizing
+/// transforms alone converge to a fixpoint, so random re-association
+/// provides the variety the training corpus needs. Different seeds
+/// give different shapes.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, sim::equiv_exhaustive};
+/// use transform::reshape;
+///
+/// let mut g = Aig::new();
+/// let lits: Vec<aig::Lit> = (0..8).map(|_| g.add_input()).collect();
+/// let f = g.and_many(&lits);
+/// g.add_output(f, None::<&str>);
+/// let r = reshape(&g, 1234);
+/// assert!(equiv_exhaustive(&g, &r)?);
+/// # Ok::<(), aig::AigError>(())
+/// ```
+pub fn reshape(aig: &Aig, seed: u64) -> Aig {
+    rebuild_trees(aig, TreeMode::Random(SmallRng::seed_from_u64(seed)), false)
+}
+
+fn rebuild_trees(aig: &Aig, mode: TreeMode, expand_shared: bool) -> Aig {
+    let old = aig.sweep();
+    let fanout = fanout_counts(&old);
+    let mut st = State {
+        old: &old,
+        fanout: &fanout,
+        new: Aig::new(),
+        level: vec![0u32; 1],
+        memo: vec![None; old.num_nodes()],
+        input_map: vec![Lit::INVALID; old.num_nodes()],
+        mode,
+        expand_shared,
+    };
+    st.new.set_name(old.name());
+    for (idx, &pi) in old.inputs().iter().enumerate() {
+        let l = st
+            .new
+            .add_named_input(old.input_name(idx).map(str::to_owned));
+        st.input_map[pi as usize] = l;
+        st.level.push(0);
+    }
+    let outs: Vec<(Lit, Option<String>)> = old
+        .outputs()
+        .iter()
+        .map(|o| (o.lit, o.name.clone()))
+        .collect();
+    for (lit, name) in outs {
+        let l = st.map_lit(lit);
+        st.new.add_output(l, name);
+    }
+    st.new
+}
+
+struct State<'a> {
+    old: &'a Aig,
+    fanout: &'a [u32],
+    new: Aig,
+    /// Level per node of the *new* graph.
+    level: Vec<u32>,
+    memo: Vec<Option<Lit>>,
+    input_map: Vec<Lit>,
+    mode: TreeMode,
+    expand_shared: bool,
+}
+
+impl State<'_> {
+    fn map_lit(&mut self, l: Lit) -> Lit {
+        let base = match self.old.node_kind(l.var()) {
+            aig::NodeKind::Const => Lit::FALSE,
+            aig::NodeKind::Input => self.input_map[l.var() as usize],
+            aig::NodeKind::And => self.bal(l.var()),
+        };
+        base.complement_if(l.is_complement())
+    }
+
+    fn lit_level(&self, l: Lit) -> u32 {
+        self.level[l.var() as usize]
+    }
+
+    /// AND in the new graph with level bookkeeping.
+    fn and_tracked(&mut self, a: Lit, b: Lit) -> Lit {
+        let before = self.new.num_nodes();
+        let r = self.new.and(a, b);
+        if self.new.num_nodes() > before {
+            self.level.push(1 + self.lit_level(a).max(self.lit_level(b)));
+        }
+        r
+    }
+
+    fn bal(&mut self, node: NodeId) -> Lit {
+        if let Some(l) = self.memo[node as usize] {
+            return l;
+        }
+        // Collect supergate leaves: expand non-complemented AND fanins
+        // that have a single fanout (their only user is this tree).
+        let mut leaves: Vec<Lit> = Vec::new();
+        let [f0, f1] = self.old.fanins(node);
+        let mut stack = vec![f0, f1];
+        while let Some(l) = stack.pop() {
+            let expandable = !l.is_complement()
+                && self.old.is_and(l.var())
+                && (self.expand_shared || self.fanout[l.var() as usize] == 1);
+            if expandable && leaves.len() + stack.len() < 64 {
+                let [g0, g1] = self.old.fanins(l.var());
+                stack.push(g0);
+                stack.push(g1);
+            } else {
+                leaves.push(l);
+            }
+        }
+        // Map leaves into the new graph (recursing on shared subtrees)
+        // and simplify duplicates / complementary pairs.
+        let mut mapped: Vec<Lit> = leaves.iter().map(|&l| self.map_lit(l)).collect();
+        mapped.sort_by_key(|l| l.raw());
+        mapped.dedup();
+        let contradictory = mapped
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1]);
+        let result = if contradictory || mapped.contains(&Lit::FALSE) {
+            Lit::FALSE
+        } else {
+            mapped.retain(|&l| l != Lit::TRUE);
+            match mapped.len() {
+                0 => Lit::TRUE,
+                _ if matches!(self.mode, TreeMode::Balanced) => {
+                    {
+                        // Huffman combine: always AND the two shallowest.
+                        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = mapped
+                            .iter()
+                            .map(|l| Reverse((self.lit_level(*l), l.raw())))
+                            .collect();
+                        while heap.len() > 1 {
+                            let Reverse((_, ra)) = heap.pop().expect("len > 1");
+                            let Reverse((_, rb)) = heap.pop().expect("len > 1");
+                            let r = self.and_tracked(Lit::from_raw(ra), Lit::from_raw(rb));
+                            heap.push(Reverse((self.lit_level(r), r.raw())));
+                        }
+                        let Reverse((_, raw)) = heap.pop().expect("nonempty");
+                        Lit::from_raw(raw)
+                    }
+                }
+                _ => {
+                    // Random binary tree: repeatedly AND two random
+                    // elements.
+                    {
+                        let mut pool = mapped;
+                        while pool.len() > 1 {
+                            let (i, j) = {
+                                let TreeMode::Random(rng) = &mut self.mode else {
+                                    unreachable!("mode checked above");
+                                };
+                                let i = rng.gen_range(0..pool.len());
+                                let mut j = rng.gen_range(0..pool.len() - 1);
+                                if j >= i {
+                                    j += 1;
+                                }
+                                (i.min(j), i.max(j))
+                            };
+                            let b = pool.swap_remove(j);
+                            let a = pool.swap_remove(i);
+                            let r = self.and_tracked(a, b);
+                            pool.push(r);
+                        }
+                        pool[0]
+                    }
+                }
+            }
+        };
+        self.memo[node as usize] = Some(result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::analysis::levels;
+    use aig::sim::equiv_exhaustive;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_aig(seed: u64, num_inputs: usize, num_nodes: usize) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+        for _ in 0..num_nodes {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        for _ in 0..4 {
+            let l = lits[rng.gen_range(0..lits.len())];
+            g.add_output(l.complement_if(rng.gen()), None::<&str>);
+        }
+        g
+    }
+
+    #[test]
+    fn preserves_function_on_random_graphs() {
+        for seed in 0..10 {
+            let g = random_aig(seed, 7, 60);
+            let b = balance(&g);
+            assert!(
+                equiv_exhaustive(&g, &b).expect("small"),
+                "seed {seed} not equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn does_not_blow_up_size() {
+        for seed in 0..6 {
+            let g = random_aig(seed + 50, 8, 100);
+            let b = balance(&g);
+            assert!(
+                b.num_live_ands() <= g.num_live_ands() + g.num_live_ands() / 4,
+                "seed {seed}: {} -> {}",
+                g.num_live_ands(),
+                b.num_live_ands()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_subtrees_stay_shared() {
+        let mut g = Aig::new();
+        let lits: Vec<Lit> = (0..4).map(|_| g.add_input()).collect();
+        let shared = g.and(lits[0], lits[1]);
+        let f0 = g.and(shared, lits[2]);
+        let f1 = g.and(shared, lits[3]);
+        g.add_output(f0, None::<&str>);
+        g.add_output(f1, None::<&str>);
+        let b = balance(&g);
+        assert!(equiv_exhaustive(&g, &b).expect("small"));
+        assert!(b.num_ands() <= 3);
+    }
+
+    #[test]
+    fn handles_complement_pairs_in_tree() {
+        // (a & !a) & b must fold to constant false.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        // Force a chain that balance collapses: (a & b) & !a
+        let ab = g.and(a, b);
+        let f = g.and(ab, !a);
+        g.add_output(f, None::<&str>);
+        let bal = balance(&g);
+        assert!(equiv_exhaustive(&g, &bal).expect("small"));
+        assert_eq!(bal.num_ands(), 0, "should fold to constant");
+    }
+
+    #[test]
+    fn reduces_mixed_chain_depth() {
+        // OR chain (complemented edges) also balances because each OR
+        // is an AND of complemented inputs under a complement.
+        let mut g = Aig::new();
+        let mut acc = g.add_input();
+        for _ in 0..15 {
+            let x = g.add_input();
+            acc = g.or(acc, x);
+        }
+        g.add_output(acc, None::<&str>);
+        let before = levels(&g).max_level;
+        let b = balance(&g);
+        let after = levels(&b).max_level;
+        assert!(equiv_exhaustive(&g, &b).expect("small"));
+        assert!(after < before, "depth {before} -> {after}");
+        assert_eq!(after, 4); // ceil(log2(16))
+    }
+
+    #[test]
+    fn idempotent_on_balanced_tree() {
+        let mut g = Aig::new();
+        let lits: Vec<Lit> = (0..8).map(|_| g.add_input()).collect();
+        let f = g.and_many(&lits);
+        g.add_output(f, None::<&str>);
+        let b1 = balance(&g);
+        let b2 = balance(&b1);
+        assert_eq!(b1.num_ands(), b2.num_ands());
+        assert_eq!(levels(&b1).max_level, levels(&b2).max_level);
+    }
+}

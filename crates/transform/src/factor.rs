@@ -1,0 +1,254 @@
+//! Algebraic factoring of SOP covers into AND/INV structures.
+//!
+//! Rewriting resynthesizes each cut function from its irredundant
+//! cover ([`aig::tt::isop`]): the cover is factored greedily on the
+//! most frequent literal (a lightweight take on kernel extraction)
+//! and lowered into a [`SmallStructure`] with balanced AND/OR trees.
+
+use crate::structure::{SRef, SmallStructure};
+use aig::tt::{isop, Cube, Tt};
+
+/// Synthesizes an AND/INV structure computing `f`, choosing the
+/// better of factoring `f` directly or factoring `!f` and inverting.
+///
+/// # Panics
+///
+/// Panics if `f` has more than 16 variables (a [`Tt`] invariant).
+///
+/// # Examples
+///
+/// ```
+/// use aig::tt::Tt;
+/// use transform::factor::synthesize;
+///
+/// // f = (a & b) | c
+/// let f = Tt::var(3, 0).and(&Tt::var(3, 1)).or(&Tt::var(3, 2));
+/// let s = synthesize(&f);
+/// assert_eq!(s.to_tt(3) & 0xFF, f.as_u64() & 0xFF);
+/// assert!(s.num_ands() <= 3);
+/// ```
+pub fn synthesize(f: &Tt) -> SmallStructure {
+    if f.is_zero() {
+        return constant(false);
+    }
+    if f.is_ones() {
+        return constant(true);
+    }
+    let pos = structure_of_cover(&isop(f), false);
+    let neg = structure_of_cover(&isop(&f.not()), true);
+    if neg.num_ands() < pos.num_ands() {
+        neg
+    } else {
+        pos
+    }
+}
+
+fn constant(v: bool) -> SmallStructure {
+    SmallStructure {
+        ops: Vec::new(),
+        out: SRef::Const(v),
+    }
+}
+
+fn structure_of_cover(cover: &[Cube], complement_out: bool) -> SmallStructure {
+    let mut s = SmallStructure::default();
+    let expr = factor_cubes(cover.to_vec());
+    let out = lower(&expr, &mut s);
+    s.out = out.complement_if(complement_out);
+    s
+}
+
+/// A factored Boolean expression over cube literals.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(bool),
+    Lit(u8, bool),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+}
+
+/// Greedy literal factoring: pull out the literal shared by the most
+/// cubes, recurse on quotient and remainder.
+fn factor_cubes(cubes: Vec<Cube>) -> Expr {
+    if cubes.is_empty() {
+        return Expr::Const(false);
+    }
+    if cubes.iter().any(|c| c.num_lits() == 0) {
+        return Expr::Const(true);
+    }
+    if cubes.len() == 1 {
+        return cube_expr(cubes[0]);
+    }
+    // Count literal occurrences across cubes.
+    let mut best: Option<(u8, bool, usize)> = None;
+    for var in 0..32u8 {
+        for phase in [false, true] {
+            let mask = 1u32 << var;
+            let count = cubes
+                .iter()
+                .filter(|c| {
+                    if phase {
+                        c.pos & mask != 0
+                    } else {
+                        c.neg & mask != 0
+                    }
+                })
+                .count();
+            if count >= 2 && best.is_none_or(|(_, _, bc)| count > bc) {
+                best = Some((var, phase, count));
+            }
+        }
+    }
+    match best {
+        Some((var, phase, _)) => {
+            let mask = 1u32 << var;
+            let mut quotient = Vec::new();
+            let mut remainder = Vec::new();
+            for c in cubes {
+                let has = if phase {
+                    c.pos & mask != 0
+                } else {
+                    c.neg & mask != 0
+                };
+                if has {
+                    let mut c2 = c;
+                    if phase {
+                        c2.pos &= !mask;
+                    } else {
+                        c2.neg &= !mask;
+                    }
+                    quotient.push(c2);
+                } else {
+                    remainder.push(c);
+                }
+            }
+            let lit = Expr::Lit(var, !phase);
+            let q = factor_cubes(quotient);
+            let factored = Expr::And(vec![lit, q]);
+            if remainder.is_empty() {
+                factored
+            } else {
+                Expr::Or(vec![factored, factor_cubes(remainder)])
+            }
+        }
+        None => Expr::Or(cubes.into_iter().map(cube_expr).collect()),
+    }
+}
+
+fn cube_expr(c: Cube) -> Expr {
+    let mut lits = Vec::new();
+    for var in 0..32u8 {
+        let mask = 1u32 << var;
+        if c.pos & mask != 0 {
+            lits.push(Expr::Lit(var, false));
+        }
+        if c.neg & mask != 0 {
+            lits.push(Expr::Lit(var, true));
+        }
+    }
+    match lits.len() {
+        0 => Expr::Const(true),
+        1 => lits.pop().expect("len 1"),
+        _ => Expr::And(lits),
+    }
+}
+
+fn lower(e: &Expr, s: &mut SmallStructure) -> SRef {
+    match e {
+        Expr::Const(v) => SRef::Const(*v),
+        Expr::Lit(var, neg) => SRef::Leaf {
+            idx: *var,
+            compl: *neg,
+        },
+        Expr::And(children) => {
+            let refs: Vec<SRef> = children.iter().map(|c| lower(c, s)).collect();
+            s.and_many(&refs)
+        }
+        Expr::Or(children) => {
+            let refs: Vec<SRef> = children.iter().map(|c| lower(c, s)).collect();
+            s.or_many(&refs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(f: &Tt) {
+        let s = synthesize(f);
+        let nv = f.num_vars();
+        let bits = 1usize << nv;
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        assert_eq!(
+            s.to_tt(nv) & mask,
+            f.as_u64() & mask,
+            "synthesized structure differs for {f:?}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_3var() {
+        for bits in 0..256u64 {
+            check(&Tt::from_u64(3, bits));
+        }
+    }
+
+    #[test]
+    fn sampled_4var() {
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..300 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            check(&Tt::from_u64(4, x & 0xFFFF));
+        }
+    }
+
+    #[test]
+    fn sampled_6var() {
+        let mut x = 0xDEAD_BEEFu64;
+        for _ in 0..50 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            check(&Tt::from_u64(6, x));
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(synthesize(&Tt::zero(4)).num_ands(), 0);
+        assert_eq!(synthesize(&Tt::ones(4)).num_ands(), 0);
+    }
+
+    #[test]
+    fn single_literal() {
+        let s = synthesize(&Tt::var(4, 2));
+        assert_eq!(s.num_ands(), 0);
+        let s = synthesize(&Tt::var(4, 2).not());
+        assert_eq!(s.num_ands(), 0);
+    }
+
+    #[test]
+    fn factoring_helps_shared_literal() {
+        // f = a&b | a&c | a&d: factored as a & (b|c|d) = 3 ANDs
+        // (unfactored SOP would cost 3 ANDs + OR tree = 5).
+        let a = Tt::var(4, 0);
+        let f = a
+            .and(&Tt::var(4, 1))
+            .or(&a.and(&Tt::var(4, 2)))
+            .or(&a.and(&Tt::var(4, 3)));
+        let s = synthesize(&f);
+        check(&f);
+        assert!(s.num_ands() <= 3, "got {}", s.num_ands());
+    }
+
+    #[test]
+    fn xor_structure_cost() {
+        let f = Tt::var(2, 0).xor(&Tt::var(2, 1));
+        let s = synthesize(&f);
+        check(&f);
+        assert!(s.num_ands() <= 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Function-preserving AIG transformations.
+//!
+//! This crate substitutes for ABC's logic-optimization commands in
+//! the paper's flows. It provides the primitives
+//! ([`balance`], [`rewrite`], [`rewrite_zero`], [`refactor`],
+//! [`refactor_zero`], plus sweep via [`aig::Aig::sweep`]), the
+//! [`Transform`]/[`Recipe`] action abstraction, and [`recipes`] — the
+//! 103-entry action space matching the industry flow the paper cites.
+//!
+//! All transforms preserve Boolean function; the test suites verify
+//! this with exhaustive simulation on every transform and on sampled
+//! recipes.
+//!
+//! # Examples
+//!
+//! ```
+//! use aig::{Aig, sim::equiv_exhaustive};
+//! use transform::{recipes, Recipe, Transform};
+//!
+//! let mut g = Aig::new();
+//! let a = g.add_input();
+//! let b = g.add_input();
+//! let c = g.add_input();
+//! let ab = g.and(a, b);
+//! let abc = g.and(ab, c);
+//! g.add_output(abc, None::<&str>);
+//!
+//! let script = Recipe(vec![Transform::Balance, Transform::Rewrite]);
+//! let h = script.apply(&g);
+//! assert!(equiv_exhaustive(&g, &h)?);
+//! assert_eq!(recipes().len(), 103);
+//! # Ok::<(), aig::AigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod balance;
+pub mod factor;
+mod recipes;
+mod resub;
+mod rewrite;
+pub mod structure;
+
+pub use balance::{balance, balance_dup, reshape};
+pub use resub::resub;
+pub use recipes::{apply, recipes, ParseRecipeError, Recipe, Transform};
+pub use rewrite::{perturb, refactor, refactor_zero, resynthesize, rewrite, rewrite_zero, ResynthOptions};

@@ -1,0 +1,241 @@
+//! Cone-internal resubstitution (0-resub).
+//!
+//! For each node `n` and each of its k-feasible cuts `C`, the truth
+//! tables of *every* node inside the cone between `C` and `n` are
+//! computed over the cut variables. If an interior node `m` computes
+//! the same function as `n` (or its complement) over `C`, then `m`
+//! and `n` are globally equivalent — both are the same Boolean
+//! function of the same cut signals — and `n` can be replaced by
+//! (the copy of) `m`, letting `n`'s now-exclusive logic die.
+//!
+//! This catches reconvergent redundancies that cut rewriting misses
+//! because the shared function appears at different depths of the
+//! same cone. The replacement is *exact* (truth-table equality over a
+//! complete cut), so no SAT or fraiging is needed for soundness.
+
+use aig::cut::{enumerate_cuts, expand_tt};
+use aig::{Aig, Lit, NodeId};
+
+/// Applies cone-internal resubstitution with 6-input cuts.
+///
+/// Function-preserving; never increases the live node count (every
+/// replacement redirects a node to an existing equivalent driver).
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, sim::equiv_exhaustive};
+/// use transform::resub;
+///
+/// // f = (a & b) | (a & b & c) == a & b: the outer OR is redundant.
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let c = g.add_input();
+/// let ab = g.and(a, b);
+/// let abc = g.and(ab, c);
+/// let f = g.or(ab, abc);
+/// g.add_output(f, None::<&str>);
+///
+/// let r = resub(&g);
+/// assert!(equiv_exhaustive(&g, &r)?);
+/// assert!(r.num_ands() < g.num_live_ands());
+/// # Ok::<(), aig::AigError>(())
+/// ```
+pub fn resub(aig: &Aig) -> Aig {
+    let old = aig.sweep();
+    let cuts = enumerate_cuts(&old, 6, 5);
+    let mut new = Aig::new();
+    new.set_name(old.name());
+    let mut map: Vec<Lit> = vec![Lit::INVALID; old.num_nodes()];
+    map[0] = Lit::FALSE;
+    for (idx, &pi) in old.inputs().iter().enumerate() {
+        map[pi as usize] = new.add_named_input(old.input_name(idx).map(str::to_owned));
+    }
+    // Scratch buffers reused across nodes.
+    let mut cone: Vec<NodeId> = Vec::new();
+    let mut tts: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+
+    for id in old.and_ids() {
+        let [f0, f1] = old.fanins(id);
+        let a = map[f0.var() as usize].complement_if(f0.is_complement());
+        let b = map[f1.var() as usize].complement_if(f1.is_complement());
+        let mut replacement: Option<Lit> = None;
+        'cuts: for cut in cuts.cuts(id) {
+            if cut.leaves.len() < 2 || (cut.leaves.len() == 1 && cut.leaves[0] == id) {
+                continue;
+            }
+            let nv = cut.leaves.len();
+            let bits = 1usize << nv;
+            let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            // Collect the cone between the cut and `id` (DFS).
+            cone.clear();
+            tts.clear();
+            for (j, &leaf) in cut.leaves.iter().enumerate() {
+                let mut t = 0u64;
+                for m in 0..bits {
+                    if m >> j & 1 == 1 {
+                        t |= 1 << m;
+                    }
+                }
+                tts.insert(leaf, t);
+            }
+            collect_cone(&old, id, &cut.leaves, &mut cone);
+            // Evaluate cone nodes bottom-up (cone is in topo order
+            // because ids are topologically sorted).
+            cone.sort_unstable();
+            let root_tt = cut.masked_tt();
+            debug_assert_eq!(
+                root_tt,
+                expand_tt(root_tt, &cut.leaves, &cut.leaves) & mask
+            );
+            for &m in &cone {
+                let [g0, g1] = old.fanins(m);
+                let t0 = tts[&g0.var()];
+                let t1 = tts[&g1.var()];
+                let t0 = if g0.is_complement() { !t0 & mask } else { t0 };
+                let t1 = if g1.is_complement() { !t1 & mask } else { t1 };
+                let t = t0 & t1;
+                if m != id {
+                    if t == root_tt {
+                        replacement = Some(Lit::new(m, false));
+                        break 'cuts;
+                    }
+                    if (!t & mask) == root_tt {
+                        replacement = Some(Lit::new(m, true));
+                        break 'cuts;
+                    }
+                }
+                tts.insert(m, t);
+            }
+            // A leaf itself may equal the root function (buffer).
+            for (&leaf, &t) in tts.iter() {
+                if leaf != id && !old.is_and(leaf) {
+                    if t == root_tt {
+                        replacement = Some(Lit::new(leaf, false));
+                        break 'cuts;
+                    }
+                    if (!t & mask) == root_tt {
+                        replacement = Some(Lit::new(leaf, true));
+                        break 'cuts;
+                    }
+                }
+            }
+        }
+        map[id as usize] = match replacement {
+            Some(l) => map[l.var() as usize].complement_if(l.is_complement()),
+            None => new.and(a, b),
+        };
+    }
+    for o in old.outputs() {
+        let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());
+        new.add_output(l, o.name.clone());
+    }
+    new.sweep()
+}
+
+/// Collects the AND nodes strictly inside the cone of `root` over
+/// `leaves` (excluding the leaves, including `root`).
+fn collect_cone(aig: &Aig, root: NodeId, leaves: &[NodeId], out: &mut Vec<NodeId>) {
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if out.contains(&n) || leaves.contains(&n) && n != root {
+            continue;
+        }
+        if leaves.contains(&n) {
+            continue;
+        }
+        out.push(n);
+        if aig.is_and(n) {
+            let [f0, f1] = aig.fanins(n);
+            for f in [f0, f1] {
+                if !leaves.contains(&f.var()) && aig.is_and(f.var()) {
+                    stack.push(f.var());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::equiv_exhaustive;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_aig(seed: u64, num_inputs: usize, num_nodes: usize) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+        for _ in 0..num_nodes {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        for _ in 0..4 {
+            let l = lits[rng.gen_range(0..lits.len())];
+            g.add_output(l.complement_if(rng.gen()), None::<&str>);
+        }
+        g
+    }
+
+    #[test]
+    fn preserves_function_on_random_graphs() {
+        for seed in 0..12 {
+            let g = random_aig(seed, 7, 90);
+            let r = resub(&g);
+            assert!(
+                equiv_exhaustive(&g, &r).expect("small"),
+                "seed {seed} not equivalent"
+            );
+            assert!(r.num_live_ands() <= g.num_live_ands(), "seed {seed} grew");
+        }
+    }
+
+    #[test]
+    fn removes_absorbed_term() {
+        // x | (x & y) == x with x itself a gate.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let x = g.and(a, b);
+        let xy = g.and(x, c);
+        let f = g.or(x, xy);
+        g.add_output(f, None::<&str>);
+        let r = resub(&g);
+        assert!(equiv_exhaustive(&g, &r).expect("small"));
+        assert_eq!(r.num_ands(), 1, "absorption should leave only a&b");
+    }
+
+    #[test]
+    fn buffer_through_cone_detected() {
+        // f = (a & b) | (a & !b) == a: root equals a *leaf*.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let t0 = g.and(a, b);
+        let t1 = g.and(a, !b);
+        let f = g.or(t0, t1);
+        g.add_output(f, None::<&str>);
+        let r = resub(&g);
+        assert!(equiv_exhaustive(&g, &r).expect("small"));
+        assert_eq!(r.num_ands(), 0, "f == a needs no gates");
+    }
+
+    #[test]
+    fn idempotent_on_irredundant_logic() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let f = g.xor(ab, c);
+        g.add_output(f, None::<&str>);
+        let r1 = resub(&g);
+        let r2 = resub(&r1);
+        assert_eq!(r1.num_ands(), r2.num_ands());
+        assert!(equiv_exhaustive(&g, &r2).expect("small"));
+    }
+}

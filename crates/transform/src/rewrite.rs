@@ -1,0 +1,460 @@
+//! Cut-based rewriting and refactoring.
+//!
+//! Both transforms share one engine: enumerate k-feasible cuts on the
+//! source graph, resynthesize each cut function from its factored
+//! irredundant cover ([`crate::factor::synthesize`]), estimate the
+//! replacement's cost against the graph under reconstruction
+//! (DAG-aware: existing nodes are free), and keep whichever of
+//! {original structure, best replacement} is cheaper.
+//!
+//! * `rewrite`  — 4-input cuts (ABC `rewrite` analog);
+//! * `refactor` — 6-input cuts (ABC `refactor` analog, larger cones);
+//! * `*_zero`   — also accept equal-cost replacements when they
+//!   reduce estimated depth (ABC's `-z` flag analog), diversifying
+//!   the search space for the optimization flows.
+
+use crate::factor::synthesize;
+use crate::structure::SmallStructure;
+use aig::analysis::levels;
+use aig::cut::enumerate_cuts;
+use aig::tt::Tt;
+use aig::{Aig, Lit, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Options for the resynthesis engine.
+#[derive(Clone, Copy, Debug)]
+pub struct ResynthOptions {
+    /// Cut size (2..=6).
+    pub cut_size: usize,
+    /// Cuts kept per node.
+    pub max_cuts: usize,
+    /// Accept equal-cost replacements that reduce estimated depth.
+    pub zero_cost: bool,
+    /// When set, each node is (with the given probability) replaced
+    /// by the resynthesis of a *random* cut regardless of cost —
+    /// a function-preserving structural perturbation.
+    pub perturb: Option<(u64, f64)>,
+}
+
+/// Rewrites `aig` using 4-input cuts; never increases live node count.
+pub fn rewrite(aig: &Aig) -> Aig {
+    resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 4,
+            max_cuts: 8,
+            zero_cost: false,
+            perturb: None,
+        },
+    )
+}
+
+/// Zero-cost-accepting variant of [`rewrite`].
+pub fn rewrite_zero(aig: &Aig) -> Aig {
+    resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 4,
+            max_cuts: 8,
+            zero_cost: true,
+            perturb: None,
+        },
+    )
+}
+
+/// Refactors `aig` using 6-input cuts (larger resynthesis cones).
+pub fn refactor(aig: &Aig) -> Aig {
+    resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 6,
+            max_cuts: 5,
+            zero_cost: false,
+            perturb: None,
+        },
+    )
+}
+
+/// Function-preserving structural perturbation: every node is, with
+/// probability ~0.35, re-implemented from the factored cover of a
+/// randomly chosen cut, regardless of node-count cost.
+///
+/// Unlike the optimizing transforms this can *grow* the graph; it is
+/// the diversification move behind the training-data generation
+/// (paper §III-C needs 40k structurally distinct variants per
+/// design, spanning a ~3x node-count range).
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, sim::equiv_exhaustive};
+/// use transform::perturb;
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let c = g.add_input();
+/// let x = g.xor(a, b);
+/// let f = g.xor(x, c);
+/// g.add_output(f, None::<&str>);
+/// let p = perturb(&g, 99);
+/// assert!(equiv_exhaustive(&g, &p)?);
+/// # Ok::<(), aig::AigError>(())
+/// ```
+pub fn perturb(aig: &Aig, seed: u64) -> Aig {
+    resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 5,
+            max_cuts: 6,
+            zero_cost: false,
+            perturb: Some((seed, 0.35)),
+        },
+    )
+}
+
+/// Zero-cost-accepting variant of [`refactor`].
+pub fn refactor_zero(aig: &Aig) -> Aig {
+    resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 6,
+            max_cuts: 5,
+            zero_cost: true,
+            perturb: None,
+        },
+    )
+}
+
+enum Candidate {
+    /// The node's function over some cut is constant.
+    Const(bool),
+    /// A resynthesized structure over mapped leaves.
+    Structure {
+        cost: usize,
+        depth: u32,
+        s: SmallStructure,
+        leaves: Vec<Lit>,
+    },
+}
+
+/// The shared rewriting engine.
+///
+/// Returns a functionally equivalent AIG whose live node count never
+/// exceeds the input's: each node keeps its original structure unless
+/// a strictly cheaper (or, with `zero_cost`, equally cheap but
+/// shallower) replacement is found, and cost estimates upper-bound
+/// the nodes actually created.
+///
+/// # Panics
+///
+/// Panics if `opts.cut_size` is outside `2..=6`.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, sim::equiv_exhaustive};
+/// use transform::rewrite;
+///
+/// // A redundant mux-of-equal-branches structure shrinks.
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let t0 = g.and(a, b);
+/// let t1 = g.and(a, !b);
+/// let f = g.or(t0, t1); // == a
+/// g.add_output(f, None::<&str>);
+///
+/// let r = rewrite(&g);
+/// assert!(equiv_exhaustive(&g, &r)?);
+/// assert!(r.num_ands() < g.num_ands());
+/// # Ok::<(), aig::AigError>(())
+/// ```
+pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
+    assert!(
+        (2..=6).contains(&opts.cut_size),
+        "cut size must be 2..=6, got {}",
+        opts.cut_size
+    );
+    let old = aig.sweep();
+    let cuts = enumerate_cuts(&old, opts.cut_size, opts.max_cuts);
+    let old_levels = levels(&old);
+    let mut new = Aig::new();
+    new.set_name(old.name());
+    let mut map: Vec<Lit> = vec![Lit::INVALID; old.num_nodes()];
+    map[0] = Lit::FALSE;
+    for (idx, &pi) in old.inputs().iter().enumerate() {
+        map[pi as usize] = new.add_named_input(old.input_name(idx).map(str::to_owned));
+    }
+    let mut cache: HashMap<(u8, u64), SmallStructure> = HashMap::new();
+    let mut rng = opts.perturb.map(|(seed, prob)| (SmallRng::seed_from_u64(seed), prob));
+
+    for id in old.and_ids() {
+        let [f0, f1] = old.fanins(id);
+        let a = map[f0.var() as usize].complement_if(f0.is_complement());
+        let b = map[f1.var() as usize].complement_if(f1.is_complement());
+        let default_cost = usize::from(new.find_and(a, b).is_none());
+        let default_depth = old_levels.level[id as usize];
+
+        let mut best: Option<Candidate> = None;
+        let mut best_rank = (usize::MAX, u32::MAX);
+        let mut pool: Vec<(SmallStructure, Vec<Lit>)> = Vec::new();
+        let perturb_here = match &mut rng {
+            Some((r, prob)) => r.gen::<f64>() < *prob,
+            None => false,
+        };
+        for cut in cuts.cuts(id) {
+            if cut.leaves.len() == 1 && cut.leaves[0] == id {
+                continue; // trivial cut: a node cannot define itself
+            }
+            match shrink_support_u64(cut.masked_tt(), &cut.leaves) {
+                None => {
+                    best = Some(Candidate::Const(cut.masked_tt() & 1 == 1));
+                    break;
+                }
+                Some((tt, kept)) => {
+                    let nv = kept.len();
+                    let mapped: Vec<Lit> = kept.iter().map(|&l| map[l as usize]).collect();
+                    debug_assert!(mapped.iter().all(|&l| l != Lit::INVALID));
+                    let structure = cache
+                        .entry((nv as u8, tt))
+                        .or_insert_with(|| synthesize(&Tt::from_u64(nv, tt)));
+                    let cost = structure.dry_cost(&new, &mapped);
+                    let depth = structure.depth()
+                        + kept
+                            .iter()
+                            .map(|&l| old_levels.level[l as usize])
+                            .max()
+                            .unwrap_or(0);
+                    if perturb_here {
+                        pool.push((structure.clone(), mapped.clone()));
+                    }
+                    if (cost, depth) < best_rank {
+                        best_rank = (cost, depth);
+                        best = Some(Candidate::Structure {
+                            cost,
+                            depth,
+                            s: structure.clone(),
+                            leaves: mapped,
+                        });
+                    }
+                }
+            }
+        }
+        if perturb_here && !pool.is_empty() {
+            if let Some((r, _)) = &mut rng {
+                let (s, leaves) = pool.swap_remove(r.gen_range(0..pool.len()));
+                map[id as usize] = s.instantiate(&mut new, &leaves);
+                continue;
+            }
+        }
+
+        let new_lit = match best {
+            Some(Candidate::Const(v)) => {
+                if v {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            }
+            Some(Candidate::Structure {
+                cost,
+                depth,
+                s,
+                leaves,
+            }) if cost < default_cost
+                || (opts.zero_cost && cost == default_cost && depth < default_depth) =>
+            {
+                s.instantiate(&mut new, &leaves)
+            }
+            _ => new.and(a, b),
+        };
+        map[id as usize] = new_lit;
+    }
+    for o in old.outputs() {
+        let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());
+        new.add_output(l, o.name.clone());
+    }
+    new.sweep()
+}
+
+/// Drops non-support variables from a `u64` truth table over sorted
+/// leaves; `None` when the function is constant.
+fn shrink_support_u64(tt: u64, leaves: &[NodeId]) -> Option<(u64, Vec<NodeId>)> {
+    let nv = leaves.len();
+    debug_assert!(nv <= 6);
+    const KEEP: [u64; 6] = [
+        0x5555_5555_5555_5555,
+        0x3333_3333_3333_3333,
+        0x0F0F_0F0F_0F0F_0F0F,
+        0x00FF_00FF_00FF_00FF,
+        0x0000_FFFF_0000_FFFF,
+        0x0000_0000_FFFF_FFFF,
+    ];
+    let bits = 1usize << nv;
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut kept = Vec::with_capacity(nv);
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let shift = 1usize << i;
+        let lo = tt & KEEP[i] & mask;
+        let hi = (tt >> shift) & KEEP[i] & mask;
+        if lo != hi {
+            kept.push((i, leaf));
+        }
+    }
+    if kept.is_empty() {
+        return None;
+    }
+    let knv = kept.len();
+    let mut out = 0u64;
+    for m in 0..(1usize << knv) {
+        let mut src = 0usize;
+        for (jj, &(orig, _)) in kept.iter().enumerate() {
+            src |= ((m >> jj) & 1) << orig;
+        }
+        out |= ((tt >> src) & 1) << m;
+    }
+    Some((out, kept.into_iter().map(|(_, l)| l).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::sim::equiv_exhaustive;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_aig(seed: u64, num_inputs: usize, num_nodes: usize) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+        for _ in 0..num_nodes {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        for _ in 0..4 {
+            let l = lits[rng.gen_range(0..lits.len())];
+            g.add_output(l.complement_if(rng.gen()), None::<&str>);
+        }
+        g
+    }
+
+    #[test]
+    fn rewrite_preserves_function() {
+        for seed in 0..10 {
+            let g = random_aig(seed, 7, 80);
+            let r = rewrite(&g);
+            assert!(
+                equiv_exhaustive(&g, &r).expect("small"),
+                "seed {seed} not equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_preserves_function() {
+        for seed in 0..10 {
+            let g = random_aig(seed + 1000, 8, 80);
+            let r = refactor(&g);
+            assert!(
+                equiv_exhaustive(&g, &r).expect("small"),
+                "seed {seed} not equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_variants_preserve_function() {
+        for seed in 0..6 {
+            let g = random_aig(seed + 2000, 7, 60);
+            let rz = rewrite_zero(&g);
+            let fz = refactor_zero(&g);
+            assert!(equiv_exhaustive(&g, &rz).expect("small"));
+            assert!(equiv_exhaustive(&g, &fz).expect("small"));
+        }
+    }
+
+    #[test]
+    fn rewrite_never_grows_live_nodes() {
+        for seed in 0..10 {
+            let g = random_aig(seed + 3000, 8, 120);
+            let before = g.num_live_ands();
+            for r in [rewrite(&g), refactor(&g), rewrite_zero(&g)] {
+                assert!(
+                    r.num_live_ands() <= before,
+                    "seed {seed}: {before} -> {}",
+                    r.num_live_ands()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_shrinks_redundant_logic() {
+        // Build (a&b)|(a&!b)|(!a&b) == a|b, structurally 8 nodes.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let t0 = g.and(a, b);
+        let t1 = g.and(a, !b);
+        let t2 = g.and(!a, b);
+        let o1 = g.or(t0, t1);
+        let f = g.or(o1, t2);
+        g.add_output(f, None::<&str>);
+        let r = rewrite(&g);
+        assert!(equiv_exhaustive(&g, &r).expect("small"));
+        assert!(
+            r.num_ands() <= 2,
+            "a|b needs at most 2 ANDs greedily, got {}",
+            r.num_ands()
+        );
+        // The zero-cost variant also restructures cost ties and finds
+        // the single-AND form.
+        let rz = rewrite_zero(&g);
+        assert!(equiv_exhaustive(&g, &rz).expect("small"));
+        assert_eq!(rz.num_ands(), 1, "a|b is one AND");
+    }
+
+    #[test]
+    fn constant_cone_detected() {
+        // f = (a & b) & (a & !b) == 0 via a 4-cut.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let y = g.and(a, !b);
+        let f = g.and(x, y);
+        g.add_output(f, None::<&str>);
+        let r = refactor(&g);
+        assert!(equiv_exhaustive(&g, &r).expect("small"));
+        assert_eq!(r.num_ands(), 0);
+    }
+
+    #[test]
+    fn shrink_support_examples() {
+        // f = x1 over leaves {10, 20}: drops leaf 10.
+        let (tt, kept) = shrink_support_u64(0b1100, &[10, 20]).expect("non-const");
+        assert_eq!(kept, vec![20]);
+        assert_eq!(tt & 0b11, 0b10);
+        assert!(shrink_support_u64(0b1111, &[10, 20]).is_none());
+        assert!(shrink_support_u64(0, &[10, 20]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cut size")]
+    fn bad_cut_size_panics() {
+        let g = random_aig(1, 4, 10);
+        let _ = resynthesize(
+            &g,
+            &ResynthOptions {
+                cut_size: 7,
+                max_cuts: 4,
+                zero_cost: false,
+                perturb: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! AIGER interoperability: read, optimize, verify, write.
+//!
+//! The AIGER format is the lingua franca of AIG tooling (ABC, the
+//! IWLS contests, model checkers). This example round-trips a design
+//! through ASCII and binary AIGER, optimizing in between, so the
+//! library can slot into an existing synthesis pipeline.
+//!
+//! ```sh
+//! cargo run --release --example aiger_workflow
+//! ```
+
+use aig::{aiger, sim::equiv_exhaustive};
+use aig_timing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A majority-of-XORs circuit in hand-written ASCII AIGER.
+    let source = "\
+aag 11 4 0 2 7
+2
+4
+6
+8
+18
+22
+10 3 5
+12 2 4
+14 11 13
+16 14 9
+18 17 15
+20 6 8
+22 21 15
+i0 a
+i1 b
+i2 c
+i3 d
+o0 f
+o1 g
+";
+    let g = aiger::from_ascii(source)?;
+    println!("parsed: {} ({} inputs, {} outputs)", g.stats(), g.num_inputs(), g.num_outputs());
+
+    // Optimize with an ABC-style script.
+    let script = Recipe(vec![
+        Transform::Balance,
+        Transform::Rewrite,
+        Transform::RewriteZero,
+        Transform::Refactor,
+    ]);
+    let opt = script.apply(&g);
+    println!("after `{script}`: {}", opt.stats());
+    assert!(equiv_exhaustive(&g, &opt)?, "optimization must preserve function");
+
+    // Write both flavors into a temp dir and read them back.
+    let dir = std::env::temp_dir();
+    let ascii_path = dir.join("aig_timing_example.aag");
+    let binary_path = dir.join("aig_timing_example.aig");
+    aiger::write_file(&opt, &ascii_path)?;
+    aiger::write_file(&opt, &binary_path)?;
+    let back_ascii = aiger::read_file(&ascii_path)?;
+    let back_binary = aiger::read_file(&binary_path)?;
+    assert!(equiv_exhaustive(&opt, &back_ascii)?);
+    assert!(equiv_exhaustive(&opt, &back_binary)?);
+    println!(
+        "round-tripped through {} ({} bytes) and {} ({} bytes)",
+        ascii_path.display(),
+        std::fs::metadata(&ascii_path)?.len(),
+        binary_path.display(),
+        std::fs::metadata(&binary_path)?.len(),
+    );
+
+    // Map the optimized design and report timing.
+    let lib = sky130ish();
+    let netlist = Mapper::new(&lib, MapOptions::default()).map(&opt)?;
+    let (delay, area) = sta::delay_and_area(&netlist, &lib);
+    println!("mapped: {:.1} ps, {:.1} um2, {} gates", delay, area, netlist.num_gates());
+
+    let _ = std::fs::remove_file(ascii_path);
+    let _ = std::fs::remove_file(binary_path);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Run all three optimization flows on a multiplier and compare.
+//!
+//! Demo-scale version of the paper's headline experiment (Fig. 5):
+//! the ML-guided SA flow should track the ground-truth flow's quality
+//! at a fraction of its per-iteration cost, and both should beat the
+//! proxy-metric baseline.
+//!
+//! ```sh
+//! cargo run --release --example optimize_multiplier
+//! ```
+
+use aig_timing::prelude::*;
+use saopt::CostEvaluator;
+use experiments::datagen::{labeled_set, Target};
+use std::time::Instant;
+
+fn main() {
+    let lib = sky130ish();
+    let design = benchgen::multiplier(6);
+    println!("optimizing {} ({})", design.name, design.aig.stats());
+    let actions = recipes();
+    let opts = SaOptions {
+        iterations: 25,
+        weight_delay: 0.7,
+        weight_area: 0.3,
+        seed: 5,
+        ..SaOptions::default()
+    };
+    let mut gt_eval = GroundTruthCost::new(&lib);
+
+    // Baseline flow: proxy metrics in the loop.
+    let t0 = Instant::now();
+    let base = optimize(&design.aig, &mut ProxyCost, &actions, &opts);
+    let base_time = t0.elapsed();
+
+    // Ground-truth flow: mapping + STA in the loop.
+    let t1 = Instant::now();
+    let gt = optimize(&design.aig, &mut gt_eval, &actions, &opts);
+    let gt_time = t1.elapsed();
+
+    // ML flow: train quick models on multiplier variants, then use
+    // inference in the loop.
+    let t2 = Instant::now();
+    let corpus = labeled_set(&design, 150, 42, &lib);
+    let delay_model = gbt::train(
+        &corpus.to_dataset(Target::Delay),
+        &GbtParams { num_rounds: 200, ..GbtParams::default() },
+    );
+    let area_model = gbt::train(
+        &corpus.to_dataset(Target::Area),
+        &GbtParams { num_rounds: 200, ..GbtParams::default() },
+    );
+    let train_time = t2.elapsed();
+    let t3 = Instant::now();
+    let mut ml_eval = MlCost::new(&delay_model, &area_model);
+    let ml = optimize(&design.aig, &mut ml_eval, &actions, &opts);
+    let ml_time = t3.elapsed();
+
+    // Final comparison is always in ground-truth units.
+    println!("\nflow          loop time   final delay   final area");
+    for (name, result, time) in [
+        ("baseline", &base, base_time),
+        ("ground-truth", &gt, gt_time),
+        ("ml", &ml, ml_time),
+    ] {
+        let m = gt_eval.evaluate(&result.best);
+        println!(
+            "{name:13} {:8.2}s {:10.1} ps {:10.1} um2",
+            time.as_secs_f64(),
+            m.delay,
+            m.area
+        );
+    }
+    println!("(ml model training took {:.2}s, amortized across all future runs)", train_time.as_secs_f64());
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a circuit, optimize it, map it, and time it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use aig_timing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build an 8-bit ripple adder AIG with the word-level helpers.
+    let mut g = Aig::new();
+    let a = benchgen::word::input_word(&mut g, 8, "a");
+    let b = benchgen::word::input_word(&mut g, 8, "b");
+    let (sum, carry) = benchgen::word::add(&mut g, &a, &b);
+    for (i, &s) in sum.iter().enumerate() {
+        g.add_output(s, Some(format!("s{i}")));
+    }
+    g.add_output(carry, Some("cout"));
+    println!("built: {}", g.stats());
+
+    // 2. Optimize with a classic script (balance; rewrite; refactor).
+    let script = Recipe(vec![Transform::Balance, Transform::Rewrite, Transform::Refactor]);
+    let opt = script.apply(&g);
+    println!("after `{script}`: {}", opt.stats());
+
+    // 3. The transforms are function-preserving — verify exhaustively.
+    assert!(aig::sim::equiv_exhaustive(&g, &opt)?);
+
+    // 4. Map onto the builtin 130nm-class library and run STA.
+    let lib = sky130ish();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let netlist = mapper.map(&opt)?;
+    let report = sta::analyze(&netlist, &lib);
+    println!(
+        "mapped: {} gates, {:.1} um2, critical path {:.1} ps",
+        netlist.num_gates(),
+        report.area_um2,
+        report.max_delay_ps
+    );
+    println!("cell usage:");
+    for (cell, n) in netlist.cell_histogram(&lib) {
+        println!("  {cell:12} x{n}");
+    }
+    println!("critical path:");
+    for stage in &report.critical_path {
+        println!(
+            "  {:12} pin {} -> arrival {:8.1} ps (load {:.1} fF)",
+            stage.cell_name, stage.pin, stage.arrival_ps, stage.load_ff
+        );
+    }
+
+    // 5. The paper's point: AIG levels are a poor proxy for that
+    // delay. Extract the features its predictor uses instead.
+    let fv = features::extract(&opt);
+    println!("\nTable II features:\n{fv}");
+    Ok(())
+}

