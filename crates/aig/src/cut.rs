@@ -2,161 +2,298 @@
 //!
 //! Cuts are the workhorse of both the rewriting engine (4-input cuts
 //! resynthesized against an NPN cache) and the technology mapper
-//! (4-input cuts Boolean-matched against the cell library).
+//! (4-input cuts Boolean-matched against the cell library). Because
+//! the SA loop re-enumerates cuts on every candidate, this module is
+//! the hottest code in the repository and is written allocation-free:
+//!
+//! * [`Cut`] keeps its leaves in an inline `[NodeId; 6]` (ABC-style)
+//!   with a separate length, so cuts are `Copy` and merging two leaf
+//!   sets never touches the heap;
+//! * every cut carries a 64-bit Bloom-style *signature* of its leaf
+//!   set; `sig_a & !sig_b != 0` proves `a ⊄ b`, which prefilters both
+//!   the k-feasibility of merges (via a popcount bound) and the
+//!   dominance scan in O(1);
+//! * the truth table is masked to the cut's width once, at
+//!   construction, instead of on every [`Cut::tt`] call;
+//! * [`CutSet`] stores all cut lists in one flat arena indexed by
+//!   per-node spans, so enumeration performs no per-node `Vec`
+//!   allocations.
+//!
+//! The previous `Vec`-backed implementation survives as
+//! [`enumerate_cuts_naive`]; parity tests assert both produce
+//! identical cut sets, and the component benchmark measures the
+//! speedup between them.
 
 use crate::graph::Aig;
 use crate::lit::NodeId;
 
+/// Maximum number of leaves a [`Cut`] can hold.
+pub const MAX_CUT_SIZE: usize = 6;
+
 /// A k-feasible cut of a node: a set of leaves plus the function of
 /// the node expressed over those leaves.
 ///
-/// `leaves` is sorted ascending; `tt` is the truth table over the
-/// leaves (leaf `i` is variable `i`), valid for cuts of at most six
-/// leaves. The truth table is expressed for the *plain* (uncomplemented)
-/// polarity of the root node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Leaves are sorted ascending; [`Cut::tt`] is the truth table over
+/// the leaves (leaf `i` is variable `i`), already masked to the cut's
+/// width, valid for cuts of at most six leaves. The truth table is
+/// expressed for the *plain* (uncomplemented) polarity of the root
+/// node.
+#[derive(Clone, Copy, Debug)]
 pub struct Cut {
-    /// Cut leaves, ascending node ids.
-    pub leaves: Vec<NodeId>,
-    /// Function of the root over the leaves.
-    pub tt: u64,
+    leaves: [NodeId; MAX_CUT_SIZE],
+    len: u8,
+    sig: u64,
+    tt: u64,
+}
+
+impl PartialEq for Cut {
+    fn eq(&self, other: &Self) -> bool {
+        // sig is derived from leaves; tt is stored masked — plain
+        // field comparison after the cheap discriminators.
+        self.len == other.len && self.sig == other.sig && self.tt == other.tt
+            && self.leaves() == other.leaves()
+    }
+}
+
+impl Eq for Cut {}
+
+#[inline]
+fn leaf_sig(leaf: NodeId) -> u64 {
+    1u64 << (leaf & 63)
+}
+
+#[inline]
+fn width_mask(len: usize) -> u64 {
+    let bits = 1usize << len;
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
 }
 
 impl Cut {
     /// The trivial cut `{node}` with the identity function.
     pub fn trivial(node: NodeId) -> Cut {
+        let mut leaves = [0; MAX_CUT_SIZE];
+        leaves[0] = node;
         Cut {
-            leaves: vec![node],
-            tt: 0b10, // f = x0 over one variable (bits masked per-size)
+            leaves,
+            len: 1,
+            sig: leaf_sig(node),
+            tt: 0b10, // f = x0 over one variable
         }
     }
 
+    /// Builds a cut from sorted-ascending `leaves` and a truth table
+    /// (masked to the cut width on construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` has more than [`MAX_CUT_SIZE`] entries or is
+    /// not strictly ascending.
+    pub fn from_leaves(leaves: &[NodeId], tt: u64) -> Cut {
+        assert!(leaves.len() <= MAX_CUT_SIZE, "cut of {} leaves", leaves.len());
+        assert!(
+            leaves.windows(2).all(|w| w[0] < w[1]),
+            "cut leaves must be sorted ascending: {leaves:?}"
+        );
+        let mut arr = [0; MAX_CUT_SIZE];
+        arr[..leaves.len()].copy_from_slice(leaves);
+        let mut sig = 0;
+        for &l in leaves {
+            sig |= leaf_sig(l);
+        }
+        Cut {
+            leaves: arr,
+            len: leaves.len() as u8,
+            sig,
+            tt: tt & width_mask(leaves.len()),
+        }
+    }
+
+    /// The cut leaves, ascending node ids.
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves[..self.len as usize]
+    }
+
     /// Number of leaves.
+    #[inline]
     pub fn size(&self) -> usize {
-        self.leaves.len()
+        self.len as usize
+    }
+
+    /// The Bloom-style 64-bit signature of the leaf set (bit
+    /// `leaf & 63` set for every leaf).
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.sig
+    }
+
+    /// The cut function over the leaves, masked to the cut width.
+    #[inline]
+    pub fn tt(&self) -> u64 {
+        self.tt
+    }
+
+    /// The masked truth table (same as [`Cut::tt`]; the mask is
+    /// applied once at construction, kept for API continuity).
+    #[inline]
+    pub fn masked_tt(&self) -> u64 {
+        self.tt
     }
 
     /// Whether every leaf of `self` also appears in `other`
     /// (i.e. `self` dominates `other` and renders it redundant).
+    #[inline]
     pub fn dominates(&self, other: &Cut) -> bool {
-        if self.leaves.len() > other.leaves.len() {
+        if self.len > other.len || self.sig & !other.sig != 0 {
             return false;
         }
-        // Both sorted: subset test by merge scan.
+        self.subset_scan(other)
+    }
+
+    /// Exact subset test by merge scan (no signature prefilter);
+    /// exposed for the property tests that validate the prefilter.
+    #[doc(hidden)]
+    pub fn subset_scan(&self, other: &Cut) -> bool {
+        let a = self.leaves();
+        let b = other.leaves();
         let mut j = 0;
-        for &l in &self.leaves {
-            while j < other.leaves.len() && other.leaves[j] < l {
+        for &l in a {
+            while j < b.len() && b[j] < l {
                 j += 1;
             }
-            if j == other.leaves.len() || other.leaves[j] != l {
+            if j == b.len() || b[j] != l {
                 return false;
             }
+            j += 1;
         }
         true
     }
 
-    /// Masks `tt` to the valid bit width for this cut size.
-    pub fn masked_tt(&self) -> u64 {
-        let bits = 1usize << self.leaves.len();
-        if bits >= 64 {
-            self.tt
-        } else {
-            self.tt & ((1u64 << bits) - 1)
+    /// Merges the leaf sets of `a` and `b` into a new cut with
+    /// truth table `tt`; `None` when the union exceeds `k` leaves.
+    #[inline]
+    fn merged_leaves(a: &Cut, b: &Cut, k: usize) -> Option<([NodeId; MAX_CUT_SIZE], u8, u64)> {
+        let (la, lb) = (a.leaves(), b.leaves());
+        let mut out = [0; MAX_CUT_SIZE];
+        let (mut i, mut j, mut n) = (0, 0, 0usize);
+        while i < la.len() || j < lb.len() {
+            let next = if j == lb.len() || (i < la.len() && la[i] <= lb[j]) {
+                let x = la[i];
+                if j < lb.len() && lb[j] == x {
+                    j += 1;
+                }
+                i += 1;
+                x
+            } else {
+                let y = lb[j];
+                j += 1;
+                y
+            };
+            if n == k {
+                return None;
+            }
+            out[n] = next;
+            n += 1;
         }
+        Some((out, n as u8, a.sig | b.sig))
     }
 }
 
 /// Per-node cut sets produced by [`enumerate_cuts`].
+///
+/// Cut lists are stored back-to-back in a single arena; `cuts(id)`
+/// returns the node's span as a slice.
 #[derive(Clone, Debug)]
 pub struct CutSet {
-    cuts: Vec<Vec<Cut>>,
+    arena: Vec<Cut>,
+    span: Vec<(u32, u32)>,
     k: usize,
 }
 
 impl CutSet {
     /// The cuts of node `id` (trivial cut included, first).
     pub fn cuts(&self, id: NodeId) -> &[Cut] {
-        &self.cuts[id as usize]
+        let (s, e) = self.span[id as usize];
+        &self.arena[s as usize..e as usize]
     }
 
     /// The cut-size bound `k` used during enumeration.
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// Total number of stored cuts across all nodes.
+    pub fn num_cuts(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+/// Duplicates each `2^p`-bit block of `tt`, i.e. inserts a don't-care
+/// variable at position `p`. Butterfly spread by magic masks: the
+/// input may occupy at most 32 bits (a 5-variable table), which holds
+/// for every insertion on the way to a 6-variable result.
+#[inline]
+fn insert_var(tt: u64, p: usize) -> u64 {
+    const SPREAD: [(u32, u64); 5] = [
+        (1, 0x5555_5555_5555_5555),
+        (2, 0x3333_3333_3333_3333),
+        (4, 0x0F0F_0F0F_0F0F_0F0F),
+        (8, 0x00FF_00FF_00FF_00FF),
+        (16, 0x0000_FFFF_0000_FFFF),
+    ];
+    let k = 1u32 << p;
+    let mut x = tt;
+    for &(s, m) in SPREAD.iter().rev() {
+        if s >= k {
+            x = (x | (x << s)) & m;
+        }
+    }
+    x | (x << k)
 }
 
 /// Re-expresses `tt` (over sorted leaf set `from`) over the sorted
 /// superset leaf set `to`.
 ///
+/// Runs one O(1) butterfly insertion per variable of `to` missing
+/// from `from` (the hot operation of cut merging), instead of the
+/// naive reference's O(2^n) per-minterm loop.
+///
 /// # Panics
 ///
 /// Panics (debug) if `from` is not a subset of `to` or `to.len() > 6`.
 pub fn expand_tt(tt: u64, from: &[NodeId], to: &[NodeId]) -> u64 {
-    debug_assert!(to.len() <= 6);
-    // position map: var j of `from` is var pos[j] of `to`
-    let mut pos = [0usize; 6];
+    debug_assert!(to.len() <= MAX_CUT_SIZE);
+    // Mask to `from`'s width first: the butterfly would otherwise OR
+    // garbage high bits into valid positions of the result (the old
+    // per-minterm loop ignored them implicitly).
+    let mut t = tt & width_mask(from.len());
+    // Invariant: `t` is expressed over the vars of `to[..i]` already
+    // processed followed by the pending tail `from[j..]`; a var of
+    // `to` absent from `from` is inserted at its final position `i`,
+    // shifting the pending tail up by one.
     let mut j = 0;
-    for (i, &t) in to.iter().enumerate() {
-        if j < from.len() && from[j] == t {
-            pos[j] = i;
+    for (i, &v) in to.iter().enumerate() {
+        if j < from.len() && from[j] == v {
             j += 1;
+        } else {
+            t = insert_var(t, i);
         }
     }
     debug_assert_eq!(j, from.len(), "`from` leaves must be a subset of `to`");
-    let bits = 1usize << to.len();
-    let mut out = 0u64;
-    for m in 0..bits {
-        let mut src = 0usize;
-        for (jj, &p) in pos.iter().enumerate().take(from.len()) {
-            src |= ((m >> p) & 1) << jj;
-        }
-        out |= ((tt >> src) & 1) << m;
-    }
-    out
-}
-
-/// Merges two sorted leaf sets; `None` if the union exceeds `k`.
-fn merge_leaves(a: &[NodeId], b: &[NodeId], k: usize) -> Option<Vec<NodeId>> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        let next = match (a.get(i), b.get(j)) {
-            (Some(&x), Some(&y)) if x == y => {
-                i += 1;
-                j += 1;
-                x
-            }
-            (Some(&x), Some(&y)) if x < y => {
-                i += 1;
-                x
-            }
-            (Some(_), Some(&y)) => {
-                j += 1;
-                y
-            }
-            (Some(&x), None) => {
-                i += 1;
-                x
-            }
-            (None, Some(&y)) => {
-                j += 1;
-                y
-            }
-            (None, None) => unreachable!(),
-        };
-        if out.len() == k {
-            return None;
-        }
-        out.push(next);
-    }
-    Some(out)
+    t
 }
 
 /// Enumerates up to `max_cuts` k-feasible cuts per node, `k <= 6`.
 ///
 /// Every node's cut list begins with its trivial cut. Dominated cuts
-/// (strict supersets of another cut) are filtered; surplus cuts are
-/// pruned preferring fewer leaves.
+/// (supersets of another kept cut) are filtered; surplus cuts are
+/// pruned preferring fewer leaves. Produces exactly the same cut sets
+/// as [`enumerate_cuts_naive`] (asserted by the parity tests) while
+/// performing no per-candidate allocation.
 ///
 /// # Panics
 ///
@@ -179,13 +316,180 @@ fn merge_leaves(a: &[NodeId], b: &[NodeId], k: usize) -> Option<Vec<NodeId>> {
 /// assert!(cuts.cuts(abc.var()).len() >= 3);
 /// ```
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
-    assert!((1..=6).contains(&k), "cut size k must be in 1..=6");
-    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    assert!(
+        (1..=MAX_CUT_SIZE).contains(&k),
+        "cut size k must be in 1..=6"
+    );
+    let n = aig.num_nodes();
+    let mut arena: Vec<Cut> = Vec::with_capacity(n.saturating_mul(max_cuts.min(8) + 1));
+    let mut span: Vec<(u32, u32)> = vec![(0, 0); n];
+
+    fn push_list(arena: &mut Vec<Cut>, span: &mut [(u32, u32)], id: NodeId, cuts: &[Cut]) {
+        let s = arena.len() as u32;
+        arena.extend_from_slice(cuts);
+        span[id as usize] = (s, arena.len() as u32);
+    }
+
     // Constant node: single empty cut with constant-false function.
-    cuts[0].push(Cut {
-        leaves: Vec::new(),
-        tt: 0,
-    });
+    push_list(&mut arena, &mut span, 0, &[Cut::from_leaves(&[], 0)]);
+    for &pi in aig.inputs() {
+        push_list(&mut arena, &mut span, pi, &[Cut::trivial(pi)]);
+    }
+
+    // Scratch buffers reused across nodes: no allocation in the loop
+    // steady state.
+    let mut merged: Vec<Cut> = Vec::with_capacity(4 * max_cuts * max_cuts);
+    let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
+
+    for id in aig.and_ids() {
+        let [f0, f1] = aig.fanins(id);
+        list.clear();
+        list.push(Cut::trivial(id));
+        let (s0, e0) = span[f0.var() as usize];
+        let (s1, e1) = span[f1.var() as usize];
+        merged.clear();
+        for i0 in s0..e0 {
+            let c0 = arena[i0 as usize];
+            for i1 in s1..e1 {
+                let c1 = arena[i1 as usize];
+                // Signature prefilter: the union has at least
+                // popcount(sig0 | sig1) distinct leaves.
+                if (c0.sig | c1.sig).count_ones() as usize > k {
+                    continue;
+                }
+                let Some((leaves, len, sig)) = Cut::merged_leaves(&c0, &c1, k) else {
+                    continue;
+                };
+                let leaves_s = &leaves[..len as usize];
+                let t0 = expand_tt(c0.tt, c0.leaves(), leaves_s);
+                let t1 = expand_tt(c1.tt, c1.leaves(), leaves_s);
+                let mask = width_mask(len as usize);
+                let t0 = if f0.is_complement() { !t0 & mask } else { t0 };
+                let t1 = if f1.is_complement() { !t1 & mask } else { t1 };
+                merged.push(Cut {
+                    leaves,
+                    len,
+                    sig,
+                    tt: t0 & t1,
+                });
+            }
+        }
+        // Visit candidates in size order (prefer small cuts) without
+        // sorting: sizes span 1..=6, so stable size-bucket passes are
+        // cheaper than a (heap-allocating) stable sort. Filter
+        // dominated/duplicate cuts; `dominates` covers equality, and
+        // its signature-subset prefilter rejects most candidates in
+        // one AND.
+        'fill: for size in 1..=k {
+            for c in &merged {
+                if c.size() != size {
+                    continue;
+                }
+                if list.len() >= max_cuts {
+                    break 'fill;
+                }
+                if list.iter().any(|kept| kept.dominates(c)) {
+                    continue;
+                }
+                list.push(*c);
+            }
+        }
+        push_list(&mut arena, &mut span, id, &list);
+    }
+    CutSet { arena, span, k }
+}
+
+/// The seed's per-minterm truth-table expansion, retained as the
+/// oracle for the butterfly [`expand_tt`] and so the naive reference
+/// enumeration measures the full pre-optimization cost profile.
+fn expand_tt_minterm(tt: u64, from: &[NodeId], to: &[NodeId]) -> u64 {
+    let mut pos = [0usize; MAX_CUT_SIZE];
+    let mut j = 0;
+    for (i, &t) in to.iter().enumerate() {
+        if j < from.len() && from[j] == t {
+            pos[j] = i;
+            j += 1;
+        }
+    }
+    let bits = 1usize << to.len();
+    let mut out = 0u64;
+    for m in 0..bits {
+        let mut src = 0usize;
+        for (jj, &p) in pos.iter().enumerate().take(from.len()) {
+            src |= ((m >> p) & 1) << jj;
+        }
+        out |= ((tt >> src) & 1) << m;
+    }
+    out
+}
+
+/// The pre-optimization reference implementation: heap-allocated leaf
+/// vectors, no signatures, O(n²) full-leaf dominance scans.
+///
+/// Kept verbatim (modulo the [`Cut`] constructors) as the oracle for
+/// the parity tests and as the baseline the `cut_enum` component
+/// benchmark measures [`enumerate_cuts`] against.
+///
+/// # Panics
+///
+/// Panics if `k > 6` or `k == 0`.
+pub fn enumerate_cuts_naive(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
+    assert!(
+        (1..=MAX_CUT_SIZE).contains(&k),
+        "cut size k must be in 1..=6"
+    );
+    fn merge_leaves(a: &[NodeId], b: &[NodeId], k: usize) -> Option<Vec<NodeId>> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    i += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            if out.len() == k {
+                return None;
+            }
+            out.push(next);
+        }
+        Some(out)
+    }
+    fn dominates(a: &[NodeId], b: &[NodeId]) -> bool {
+        if a.len() > b.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &l in a {
+            while j < b.len() && b[j] < l {
+                j += 1;
+            }
+            if j == b.len() || b[j] != l {
+                return false;
+            }
+        }
+        true
+    }
+    let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    cuts[0].push(Cut::from_leaves(&[], 0));
     for &pi in aig.inputs() {
         cuts[pi as usize].push(Cut::trivial(pi));
     }
@@ -194,47 +498,44 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
         let mut list: Vec<Cut> = vec![Cut::trivial(id)];
         let c0s = &cuts[f0.var() as usize];
         let c1s = &cuts[f1.var() as usize];
-        let mut merged: Vec<Cut> = Vec::new();
+        let mut merged: Vec<(Vec<NodeId>, u64)> = Vec::new();
         for c0 in c0s {
             for c1 in c1s {
-                let Some(leaves) = merge_leaves(&c0.leaves, &c1.leaves, k) else {
+                let Some(leaves) = merge_leaves(c0.leaves(), c1.leaves(), k) else {
                     continue;
                 };
-                let t0 = expand_tt(c0.masked_tt(), &c0.leaves, &leaves);
-                let t1 = expand_tt(c1.masked_tt(), &c1.leaves, &leaves);
-                let bits = 1usize << leaves.len();
-                let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let t0 = expand_tt_minterm(c0.masked_tt(), c0.leaves(), &leaves);
+                let t1 = expand_tt_minterm(c1.masked_tt(), c1.leaves(), &leaves);
+                let mask = width_mask(leaves.len());
                 let t0 = if f0.is_complement() { !t0 & mask } else { t0 };
                 let t1 = if f1.is_complement() { !t1 & mask } else { t1 };
-                merged.push(Cut {
-                    leaves,
-                    tt: t0 & t1,
-                });
+                merged.push((leaves, t0 & t1));
             }
         }
-        // Sort by size (prefer small cuts), filter dominated/duplicate.
-        merged.sort_by_key(|c| c.leaves.len());
-        for c in merged {
+        merged.sort_by_key(|(leaves, _)| leaves.len());
+        for (leaves, tt) in merged {
             if list.len() >= max_cuts {
                 break;
             }
             if list
                 .iter()
-                .any(|kept| kept.leaves == c.leaves || kept.dominates(&c))
+                .any(|kept| kept.leaves() == leaves || dominates(kept.leaves(), &leaves))
             {
                 continue;
             }
-            list.push(c);
+            list.push(Cut::from_leaves(&leaves, tt));
         }
         cuts[id as usize] = list;
     }
-    CutSet { cuts, k }
+    cuts
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sim::SimTable;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn expand_identity() {
@@ -249,18 +550,117 @@ mod tests {
         assert_eq!(t, 0b1100);
     }
 
+    /// The butterfly expansion must agree with the retained
+    /// per-minterm reference on random subsets and tables, at every
+    /// width.
+    #[test]
+    fn butterfly_expand_matches_minterm_reference() {
+        let reference = expand_tt_minterm;
+        let mut rng = SmallRng::seed_from_u64(777);
+        for _ in 0..5000 {
+            let to_len = rng.gen_range(1usize..7);
+            let mut to: Vec<NodeId> = Vec::new();
+            while to.len() < to_len {
+                let v = rng.gen_range(1u32..40);
+                if !to.contains(&v) {
+                    to.push(v);
+                }
+            }
+            to.sort_unstable();
+            let from: Vec<NodeId> = to
+                .iter()
+                .copied()
+                .filter(|_| rng.gen::<bool>())
+                .collect();
+            if from.is_empty() {
+                continue;
+            }
+            let tt = rng.gen::<u64>() & ((1u64 << (1 << from.len()).min(63)) - 1);
+            assert_eq!(
+                expand_tt(tt, &from, &to),
+                reference(tt, &from, &to),
+                "tt {tt:#x} from {from:?} to {to:?}"
+            );
+        }
+    }
+
     #[test]
     fn dominance() {
-        let small = Cut {
-            leaves: vec![1, 3],
-            tt: 0,
-        };
-        let big = Cut {
-            leaves: vec![1, 2, 3],
-            tt: 0,
-        };
+        let small = Cut::from_leaves(&[1, 3], 0);
+        let big = Cut::from_leaves(&[1, 2, 3], 0);
         assert!(small.dominates(&big));
         assert!(!big.dominates(&small));
+        assert!(small.dominates(&small), "equal sets dominate");
+    }
+
+    #[test]
+    fn construction_masks_tt_and_builds_signature() {
+        let c = Cut::from_leaves(&[2, 5], u64::MAX);
+        assert_eq!(c.tt(), 0b1111, "tt masked to 2^2 bits at construction");
+        assert_eq!(c.masked_tt(), c.tt());
+        assert_eq!(c.signature(), (1 << 2) | (1 << 5));
+        // Signature wraps modulo 64.
+        let c = Cut::from_leaves(&[64, 129], 0);
+        assert_eq!(c.signature(), (1 << 0) | (1 << 1));
+    }
+
+    /// The signature prefilter may only produce false positives
+    /// (claimed-maybe-subset that is not), never false negatives:
+    /// whenever the exact scan says subset, the signatures must agree.
+    #[test]
+    fn signature_subset_agrees_with_exact_dominates() {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..20_000 {
+            let mut mk = |max_len: usize| {
+                let len = rng.gen_range(0..max_len + 1);
+                let mut ls: Vec<NodeId> = Vec::new();
+                while ls.len() < len {
+                    let l = rng.gen_range(1u32..90);
+                    if !ls.contains(&l) {
+                        ls.push(l);
+                    }
+                }
+                ls.sort_unstable();
+                Cut::from_leaves(&ls, 0)
+            };
+            let a = mk(6);
+            let b = mk(6);
+            let exact = a.len <= b.len && a.subset_scan(&b);
+            assert_eq!(
+                a.dominates(&b),
+                exact,
+                "a={:?} b={:?}",
+                a.leaves(),
+                b.leaves()
+            );
+            if exact {
+                assert_eq!(
+                    a.signature() & !b.signature(),
+                    0,
+                    "prefilter must never reject a true subset"
+                );
+            }
+        }
+    }
+
+    /// The optimized enumeration must keep exactly the cut sets the
+    /// naive reference keeps — same cuts, same order, same functions.
+    #[test]
+    fn parity_with_naive_reference() {
+        for seed in 0..12 {
+            let g = crate::test_support::random_aig(seed, 8, 120, 4);
+            for (k, max_cuts) in [(4, 8), (6, 5), (3, 12), (2, 4)] {
+                let fast = enumerate_cuts(&g, k, max_cuts);
+                let naive = enumerate_cuts_naive(&g, k, max_cuts);
+                for id in g.node_ids() {
+                    assert_eq!(
+                        fast.cuts(id),
+                        &naive[id as usize][..],
+                        "seed {seed} node {id} k {k}"
+                    );
+                }
+            }
+        }
     }
 
     /// Cut truth tables must agree with simulation: for every cut of
@@ -286,7 +686,7 @@ mod tests {
                 for m in 0..nbits {
                     // Build the cut minterm from leaf values.
                     let mut idx = 0usize;
-                    for (j, &leaf) in cut.leaves.iter().enumerate() {
+                    for (j, &leaf) in cut.leaves().iter().enumerate() {
                         if sim.node_bit(leaf, m) {
                             idx |= 1 << j;
                         }
@@ -296,7 +696,7 @@ mod tests {
                         cut_val,
                         sim.node_bit(id, m),
                         "node {id} cut {:?} minterm {m}",
-                        cut.leaves
+                        cut.leaves()
                     );
                 }
             }
@@ -311,7 +711,8 @@ mod tests {
         let f = g.and(a, b);
         g.add_output(f, None::<&str>);
         let cuts = enumerate_cuts(&g, 4, 8);
-        assert_eq!(cuts.cuts(f.var())[0].leaves, vec![f.var()]);
+        assert_eq!(cuts.cuts(f.var())[0].leaves(), &[f.var()]);
         assert_eq!(cuts.k(), 4);
+        assert!(cuts.num_cuts() >= 4);
     }
 }

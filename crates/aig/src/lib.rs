@@ -13,9 +13,39 @@
 //! * [`tt`] — truth-table arithmetic, ISOP covers, NPN canonization;
 //! * [`sim`] — bit-parallel random/exhaustive simulation and
 //!   equivalence checking;
+//! * [`par`] — std::thread data-parallel helpers used by the hot
+//!   paths across the workspace;
 //! * [`aiger`] — ASCII and binary AIGER I/O;
 //! * [`blif`] — combinational BLIF read (with `.names` synthesis)
 //!   and write.
+//!
+//! # Hot-path design notes
+//!
+//! Cut enumeration is the inner loop of both rewriting and technology
+//! mapping, and therefore of every SA iteration. [`cut::Cut`] stores
+//! its leaves in an inline fixed-capacity array (`[NodeId; 6]` plus a
+//! length, ABC-style) together with a precomputed 64-bit Bloom-style
+//! *leaf signature*, so leaf merging and dominance filtering are
+//! allocation-free and dominance checks short-circuit through an O(1)
+//! signature-subset prefilter. Per-node cut lists live in one flat
+//! arena inside [`cut::CutSet`]. The naive `Vec`-per-cut
+//! implementation is retained as [`cut::enumerate_cuts_naive`] — it is
+//! the oracle for the parity tests and the baseline for the
+//! `cut_enum` component benchmark.
+//!
+//! Simulation ([`sim::SimTable`]) propagates either serially or in
+//! parallel: wide tables split across the word dimension, narrow
+//! tables level-by-level across nodes. Both orderings produce
+//! bit-identical tables.
+//!
+//! # Parallelism switches
+//!
+//! All parallelism funnels through [`par`]: the `parallel` cargo
+//! feature (default on) compiles the threaded paths, and the
+//! `AIG_THREADS` environment variable sets the worker count at
+//! runtime (`AIG_THREADS=1` forces fully serial, bit-identical
+//! execution). Every parallel helper returns results in input order,
+//! so outputs never depend on the worker count.
 //!
 //! # Examples
 //!
@@ -48,9 +78,36 @@ pub mod cut;
 mod error;
 mod graph;
 mod lit;
+pub mod par;
 pub mod sim;
 pub mod tt;
 
 pub use error::AigError;
 pub use graph::{Aig, AigStats, NodeKind, Output};
 pub use lit::{Lit, NodeId};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the crate's unit tests.
+
+    use crate::{Aig, Lit};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A seeded random strashed AIG with the given shape.
+    pub fn random_aig(seed: u64, num_inputs: usize, num_nodes: usize, num_outputs: usize) -> Aig {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+        for _ in 0..num_nodes {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        for _ in 0..num_outputs {
+            let l = lits[rng.gen_range(0..lits.len())];
+            g.add_output(l.complement_if(rng.gen()), None::<&str>);
+        }
+        g
+    }
+}

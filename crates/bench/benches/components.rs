@@ -1,7 +1,13 @@
 //! Component microbenchmarks: the building blocks whose costs explain
 //! the flow-level numbers in Fig. 2 and Table IV.
+//!
+//! `cut_enum_*` measures the signature-pruned allocation-free cut
+//! enumeration; `cut_enum_naive_ref_*` measures the retained naive
+//! reference implementation in the same run, so the report carries
+//! the real speedup on this machine (tracked to stay ≥ 2×). Results
+//! are written to `BENCH_components.json` at the workspace root.
 
-use bench::{design_pair, library};
+use bench::{bench_json_path, design_pair, library};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use techmap::{MapOptions, Mapper};
@@ -18,8 +24,14 @@ fn bench_components(c: &mut Criterion) {
     g.bench_function("cut_enum_k4_ex28", |b| {
         b.iter(|| aig::cut::enumerate_cuts(black_box(&large.aig), 4, 8))
     });
+    g.bench_function("cut_enum_naive_ref_k4_ex28", |b| {
+        b.iter(|| aig::cut::enumerate_cuts_naive(black_box(&large.aig), 4, 8))
+    });
     g.bench_function("cut_enum_k6_ex28", |b| {
         b.iter(|| aig::cut::enumerate_cuts(black_box(&large.aig), 6, 5))
+    });
+    g.bench_function("cut_enum_naive_ref_k6_ex28", |b| {
+        b.iter(|| aig::cut::enumerate_cuts_naive(black_box(&large.aig), 6, 5))
     });
     g.bench_function("feature_extract_ex28", |b| {
         b.iter(|| features::extract(black_box(&large.aig)))
@@ -54,6 +66,16 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| aig::sim::SimTable::exhaustive(black_box(&small.aig)).expect("16 pis"))
     });
     g.finish();
+
+    for k in ["k4", "k6"] {
+        let fast = c.median_ns("components", &format!("cut_enum_{k}_ex28"));
+        let naive = c.median_ns("components", &format!("cut_enum_naive_ref_{k}_ex28"));
+        if let (Some(fast), Some(naive)) = (fast, naive) {
+            eprintln!("cut_enum {k}: {:.2}x faster than naive reference", naive / fast);
+        }
+    }
+    c.save_json(bench_json_path("BENCH_components.json"))
+        .expect("bench report writable");
 }
 
 criterion_group!(benches, bench_components);

@@ -1,8 +1,11 @@
 //! Fig. 2 bench: one optimization-loop iteration under the baseline
 //! (proxy) evaluator vs the ground-truth (map + STA) evaluator, on a
 //! small and a large design. The ratio is the paper's slowdown.
+//!
+//! Results are written to `BENCH_fig2.json` at the workspace root so
+//! the iteration-cost trajectory is tracked across PRs.
 
-use bench::{candidate_of, design_pair, library};
+use bench::{bench_json_path, candidate_of, design_pair, library};
 use criterion::{criterion_group, criterion_main, Criterion};
 use saopt::{CostEvaluator, GroundTruthCost, ProxyCost};
 use std::hint::black_box;
@@ -24,6 +27,8 @@ fn bench_fig2(c: &mut Criterion) {
         });
     }
     g.finish();
+    c.save_json(bench_json_path("BENCH_fig2.json"))
+        .expect("bench report writable");
 }
 
 criterion_group!(benches, bench_fig2);

@@ -56,3 +56,16 @@ pub fn candidate_of(design: &Design) -> Aig {
     let actions = transform::recipes();
     actions[7].apply(&design.aig)
 }
+
+/// Where a machine-readable bench report should be written: the
+/// directory named by `BENCH_JSON_DIR` when set, else the workspace
+/// root, so the perf-tracking reports (`BENCH_fig2.json`, ...) land
+/// in a stable place across PRs.
+pub fn bench_json_path(name: &str) -> std::path::PathBuf {
+    match std::env::var_os("BENCH_JSON_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir).join(name),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name),
+    }
+}

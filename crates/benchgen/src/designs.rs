@@ -171,17 +171,13 @@ pub fn multiplier(n: usize) -> Design {
 /// The full eight-design suite, in the paper's Table III order
 /// (training designs first: ex00, ex08, ex28, ex68; then test
 /// designs: ex02, ex11, ex16, ex54).
+///
+/// Each generator is pure, so the designs are constructed in parallel
+/// (one per [`aig::par`] task); the returned order is always the
+/// paper's order regardless of worker count.
 pub fn iwls_like_suite() -> Vec<Design> {
-    vec![
-        ex00(),
-        ex08(),
-        ex28(),
-        ex68(),
-        ex02(),
-        ex11(),
-        ex16(),
-        ex54(),
-    ]
+    const CTORS: [fn() -> Design; 8] = [ex00, ex08, ex28, ex68, ex02, ex11, ex16, ex54];
+    aig::par::par_map(&CTORS, |_, ctor| ctor())
 }
 
 /// Names of the training-split designs (paper Table III).

@@ -7,14 +7,13 @@
 //! recipe space produce structurally diverse variants, and labeling
 //! runs mapping + STA in parallel.
 
-use aig::Aig;
+use aig::{par, Aig};
 use benchgen::Design;
 use cells::Library;
 use features::{extract, FeatureVector, NUM_FEATURES};
 use gbt::Dataset;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 use techmap::{MapOptions, Mapper};
 use transform::{recipes, Recipe};
 
@@ -167,46 +166,43 @@ pub fn degrade(aig: &Aig, seed: u64) -> Aig {
 }
 
 /// Labels variants with post-mapping delay/area via mapping, greedy
-/// gate sizing, and STA, in parallel (one mapper per rayon worker).
+/// gate sizing, and STA, in parallel (one mapper per worker, via
+/// [`aig::par::par_map_with`]; worker count follows `AIG_THREADS`).
 /// Identical to one [`saopt::GroundTruthCost`] evaluation, so labels
 /// and flow costs stay in lockstep (enforced by an integration test).
 pub fn label_variants(variants: &[Aig], lib: &Library) -> Vec<(f64, f64)> {
-    variants
-        .par_iter()
-        .map_init(
-            || Mapper::new(lib, MapOptions::default()),
-            |mapper, aig| {
-                let mut nl = mapper.map(aig).expect("builtin library maps all AIGs");
-                techmap::resize_greedy(&mut nl, lib, 2);
-                sta::delay_and_area(&nl, lib)
-            },
-        )
-        .collect()
+    par::par_map_with(
+        variants,
+        || Mapper::new(lib, MapOptions::default()),
+        |mapper, _i, aig| {
+            let mut nl = mapper.map(aig).expect("builtin library maps all AIGs");
+            techmap::resize_greedy(&mut nl, lib, 2);
+            sta::delay_and_area(&nl, lib)
+        },
+    )
 }
 
 /// Generates and labels `count` samples for one design.
 pub fn labeled_set(design: &Design, count: usize, seed: u64, lib: &Library) -> LabeledSet {
     let variants = generate_variants(&design.aig, count, seed);
     let labels = label_variants(&variants, lib);
-    let samples = variants
-        .par_iter()
-        .zip(labels)
-        .map(|(aig, (delay_ps, area_um2))| {
-            let features = extract(aig);
-            Sample {
-                features,
-                delay_ps,
-                area_um2,
-                levels: features[features::AIG_LEVEL],
-                nodes: features[features::NODE_COUNT],
-            }
-        })
-        .collect();
+    let samples = par::par_map(&variants, |i, aig| {
+        let (delay_ps, area_um2) = labels[i];
+        let features = extract(aig);
+        Sample {
+            features,
+            delay_ps,
+            area_um2,
+            levels: features[features::AIG_LEVEL],
+            nodes: features[features::NODE_COUNT],
+        }
+    });
     LabeledSet {
         design: design.name.clone(),
         samples,
     }
 }
+
 
 #[cfg(test)]
 mod tests {

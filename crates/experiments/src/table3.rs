@@ -21,14 +21,15 @@ pub struct Corpus {
 }
 
 impl Corpus {
-    /// Generates `cfg.samples` labeled variants per design.
+    /// Generates `cfg.samples` labeled variants per design, one
+    /// design per parallel task (variant walks are sequential per
+    /// design, so the design sweep is the natural outer parallelism).
     pub fn generate(cfg: &Config) -> Corpus {
         let lib = sky130ish();
-        let sets = iwls_like_suite()
-            .iter()
-            .enumerate()
-            .map(|(i, d)| labeled_set(d, cfg.samples, cfg.seed.wrapping_add(100 + i as u64), &lib))
-            .collect();
+        let suite = iwls_like_suite();
+        let sets = aig::par::par_map(&suite, |i, d| {
+            labeled_set(d, cfg.samples, cfg.seed.wrapping_add(100 + i as u64), &lib)
+        });
         Corpus { sets }
     }
 

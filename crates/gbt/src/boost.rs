@@ -4,9 +4,9 @@ use crate::dataset::Dataset;
 use crate::metrics::rmse;
 use crate::tree::{grow_tree, Bins, Tree, TreeParams};
 use rand::rngs::SmallRng;
+use minijson::Json;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of a boosted model.
 ///
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// thousand rows, 22 features); [`GbtParams::paper`] reproduces the
 /// paper's XGBoost settings (§III-C: learning rate 0.01, depth 16,
 /// 5000 estimators, subsample 0.8).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GbtParams {
     /// Number of boosting rounds (trees).
     pub num_rounds: usize,
@@ -82,8 +82,54 @@ impl GbtParams {
     }
 }
 
+impl GbtParams {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("num_rounds".into(), Json::Num(self.num_rounds as f64)),
+            ("learning_rate".into(), Json::Num(self.learning_rate)),
+            ("max_depth".into(), Json::Num(self.max_depth as f64)),
+            ("subsample".into(), Json::Num(self.subsample)),
+            ("colsample".into(), Json::Num(self.colsample)),
+            ("lambda".into(), Json::Num(self.lambda)),
+            ("gamma".into(), Json::Num(self.gamma)),
+            (
+                "min_child_weight".into(),
+                Json::Num(self.min_child_weight),
+            ),
+            ("max_bins".into(), Json::Num(self.max_bins as f64)),
+            ("seed".into(), Json::from_u64(self.seed)),
+            (
+                "early_stopping_rounds".into(),
+                match self.early_stopping_rounds {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<GbtParams, minijson::Error> {
+        Ok(GbtParams {
+            num_rounds: v.field("num_rounds")?.as_usize()?,
+            learning_rate: v.field("learning_rate")?.as_f64()?,
+            max_depth: v.field("max_depth")?.as_usize()?,
+            subsample: v.field("subsample")?.as_f64()?,
+            colsample: v.field("colsample")?.as_f64()?,
+            lambda: v.field("lambda")?.as_f64()?,
+            gamma: v.field("gamma")?.as_f64()?,
+            min_child_weight: v.field("min_child_weight")?.as_f64()?,
+            max_bins: v.field("max_bins")?.as_usize()?,
+            seed: v.field("seed")?.as_u64()?,
+            early_stopping_rounds: match v.field("early_stopping_rounds")? {
+                Json::Null => None,
+                n => Some(n.as_usize()?),
+            },
+        })
+    }
+}
+
 /// A trained boosted-tree regressor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GbtModel {
     /// Constant base prediction (label mean of the training set).
     pub base_score: f32,
@@ -147,16 +193,36 @@ impl GbtModel {
 
     /// Serializes the model as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+        Json::Obj(vec![
+            ("base_score".into(), Json::Num(f64::from(self.base_score))),
+            (
+                "trees".into(),
+                Json::Arr(self.trees.iter().map(Tree::to_json_value).collect()),
+            ),
+            ("params".into(), self.params.to_json_value()),
+            ("num_features".into(), Json::Num(self.num_features as f64)),
+        ])
+        .dump()
     }
 
     /// Loads a model from JSON produced by [`GbtModel::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(json: &str) -> Result<GbtModel, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns the underlying [`minijson::Error`] for malformed input.
+    pub fn from_json(json: &str) -> Result<GbtModel, minijson::Error> {
+        let v = Json::parse(json)?;
+        Ok(GbtModel {
+            base_score: v.field("base_score")?.as_f32()?,
+            trees: v
+                .field("trees")?
+                .as_arr()?
+                .iter()
+                .map(Tree::from_json_value)
+                .collect::<Result<_, _>>()?,
+            params: GbtParams::from_json_value(v.field("params")?)?,
+            num_features: v.field("num_features")?.as_usize()?,
+        })
     }
 }
 

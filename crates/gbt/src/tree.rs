@@ -1,11 +1,11 @@
 //! Regression trees with histogram-based split finding.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
+use minijson::Json;
 
 /// One node of a [`Tree`]: either an internal split (`feature`,
 /// `threshold`, children) or a leaf (`value`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TreeNode {
     /// Split feature (internal nodes).
     pub feature: u32,
@@ -24,10 +24,36 @@ pub struct TreeNode {
 }
 
 /// A single regression tree.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Tree {
     /// Nodes; index 0 is the root.
     pub nodes: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    pub(crate) fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("feature".into(), Json::Num(f64::from(self.feature))),
+            ("threshold".into(), Json::Num(f64::from(self.threshold))),
+            ("left".into(), Json::Num(f64::from(self.left))),
+            ("right".into(), Json::Num(f64::from(self.right))),
+            ("value".into(), Json::Num(f64::from(self.value))),
+            ("is_leaf".into(), Json::Bool(self.is_leaf)),
+            ("gain".into(), Json::Num(f64::from(self.gain))),
+        ])
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<TreeNode, minijson::Error> {
+        Ok(TreeNode {
+            feature: v.field("feature")?.as_u32()?,
+            threshold: v.field("threshold")?.as_f32()?,
+            left: v.field("left")?.as_u32()?,
+            right: v.field("right")?.as_u32()?,
+            value: v.field("value")?.as_f32()?,
+            is_leaf: v.field("is_leaf")?.as_bool()?,
+            gain: v.field("gain")?.as_f32()?,
+        })
+    }
 }
 
 impl Tree {
@@ -70,6 +96,24 @@ impl Tree {
         } else {
             rec(self, 0)
         }
+    }
+
+    pub(crate) fn to_json_value(&self) -> Json {
+        Json::Obj(vec![(
+            "nodes".into(),
+            Json::Arr(self.nodes.iter().map(TreeNode::to_json_value).collect()),
+        )])
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<Tree, minijson::Error> {
+        Ok(Tree {
+            nodes: v
+                .field("nodes")?
+                .as_arr()?
+                .iter()
+                .map(TreeNode::from_json_value)
+                .collect::<Result<_, _>>()?,
+        })
     }
 }
 
@@ -403,8 +447,14 @@ mod tests {
         let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
         let hess = vec![1.0f64; d.len()];
         let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &default_params());
-        let json = serde_json::to_string(&t).expect("serialize");
-        let back: Tree = serde_json::from_str(&json).expect("deserialize");
+        let json = t.to_json_value().dump();
+        let back = Tree::from_json_value(&minijson::Json::parse(&json).expect("parses"))
+            .expect("deserialize");
         assert_eq!(back.predict_row(&[7.0]), t.predict_row(&[7.0]));
+        // Thresholds survive the text roundtrip bit-exactly.
+        for (a, b) in t.nodes.iter().zip(&back.nodes) {
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
     }
 }

@@ -43,7 +43,7 @@ use aig::Aig;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use minijson::Json;
 
 /// Number of per-node input features.
 pub const NODE_FEATURES: usize = 6;
@@ -107,7 +107,7 @@ impl GraphData {
 }
 
 /// GNN hyperparameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GnnParams {
     /// Hidden width per layer.
     pub hidden: usize,
@@ -133,8 +133,30 @@ impl Default for GnnParams {
     }
 }
 
+impl GnnParams {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("hidden".into(), Json::Num(self.hidden as f64)),
+            ("layers".into(), Json::Num(self.layers as f64)),
+            ("lr".into(), Json::Num(f64::from(self.lr))),
+            ("epochs".into(), Json::Num(self.epochs as f64)),
+            ("seed".into(), Json::from_u64(self.seed)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<GnnParams, minijson::Error> {
+        Ok(GnnParams {
+            hidden: v.field("hidden")?.as_usize()?,
+            layers: v.field("layers")?.as_usize()?,
+            lr: v.field("lr")?.as_f32()?,
+            epochs: v.field("epochs")?.as_usize()?,
+            seed: v.field("seed")?.as_u64()?,
+        })
+    }
+}
+
 /// A trained GNN regressor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GnnModel {
     params: GnnParams,
     /// Per layer: `[w_self, w_in, w_out, bias]`, then `[w_read, bias_read]`.
@@ -423,16 +445,36 @@ impl GnnModel {
 
     /// Serializes the model as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serializes")
+        Json::Obj(vec![
+            ("params".into(), self.params.to_json_value()),
+            (
+                "weights".into(),
+                Json::Arr(self.weights.iter().map(Tensor::to_json_value).collect()),
+            ),
+            ("label_mean".into(), Json::Num(f64::from(self.label_mean))),
+            ("label_std".into(), Json::Num(f64::from(self.label_std))),
+        ])
+        .dump()
     }
 
     /// Loads a model from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(json: &str) -> Result<GnnModel, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns the underlying [`minijson::Error`] for malformed input.
+    pub fn from_json(json: &str) -> Result<GnnModel, minijson::Error> {
+        let v = Json::parse(json)?;
+        Ok(GnnModel {
+            params: GnnParams::from_json_value(v.field("params")?)?,
+            weights: v
+                .field("weights")?
+                .as_arr()?
+                .iter()
+                .map(Tensor::from_json_value)
+                .collect::<Result<_, _>>()?,
+            label_mean: v.field("label_mean")?.as_f32()?,
+            label_std: v.field("label_std")?.as_f32()?,
+        })
     }
 }
 

@@ -1,11 +1,11 @@
 //! Minimal dense-matrix support for the GNN's manual backprop.
 
+use minijson::Json;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A row-major dense `f32` matrix (vectors are `rows x 1`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Tensor {
     /// Rows.
     pub rows: usize,
@@ -16,6 +16,47 @@ pub struct Tensor {
 }
 
 impl Tensor {
+    pub(crate) fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("rows".into(), Json::Num(self.rows as f64)),
+            ("cols".into(), Json::Num(self.cols as f64)),
+            (
+                "data".into(),
+                Json::Arr(
+                    self.data
+                        .iter()
+                        .map(|&x| Json::Num(f64::from(x)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<Tensor, minijson::Error> {
+        let t = Tensor {
+            rows: v.field("rows")?.as_usize()?,
+            cols: v.field("cols")?.as_usize()?,
+            data: v
+                .field("data")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f32)
+                .collect::<Result<_, _>>()?,
+        };
+        if t.data.len() != t.rows * t.cols {
+            return Err(minijson::Error {
+                msg: format!(
+                    "tensor data length {} != {} x {}",
+                    t.data.len(),
+                    t.rows,
+                    t.cols
+                ),
+                pos: 0,
+            });
+        }
+        Ok(t)
+    }
+
     /// An all-zero tensor.
     pub fn zeros(rows: usize, cols: usize) -> Tensor {
         Tensor {

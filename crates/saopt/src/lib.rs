@@ -7,10 +7,13 @@
 //! * **ML** — [`MlCost`]: Table II features + boosted-tree inference
 //!   (accurate and fast — the paper's contribution).
 //!
-//! [`optimize`] runs one SA search; [`sweep`] runs the paper's
-//! hyperparameter grid (cost weights × temperature decay) in
-//! parallel; [`pareto`] post-processes point clouds into the fronts
-//! compared in Fig. 5.
+//! [`optimize`] runs one SA search; [`optimize_seeds`] /
+//! [`optimize_best_of`] restart independent chains across seeds in
+//! parallel; [`sweep`] runs the paper's hyperparameter grid (cost
+//! weights × temperature decay) in parallel; [`pareto`]
+//! post-processes point clouds into the fronts compared in Fig. 5.
+//! Parallel loops go through [`aig::par`], so `AIG_THREADS=1` forces
+//! serial execution; results never depend on the worker count.
 //!
 //! # Examples
 //!
@@ -45,5 +48,5 @@ mod sa;
 mod sweep;
 
 pub use cost::{CostEvaluator, CostMetrics, GroundTruthCost, MlCost, ProxyCost};
-pub use sa::{optimize, SaOptions, SaResult};
+pub use sa::{optimize, optimize_best_of, optimize_seeds, SaOptions, SaResult};
 pub use sweep::{sweep, SweepConfig, SweepPoint};

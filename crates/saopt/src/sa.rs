@@ -151,6 +151,82 @@ pub fn optimize(
     }
 }
 
+/// Runs one independent SA chain per seed in parallel (via
+/// [`aig::par`]) and returns the results in seed order.
+///
+/// SA is highly seed-sensitive; the standard remedy is restarting the
+/// chain several times and keeping the best outcome. `make_eval`
+/// builds one evaluator per chain, so evaluators need not be shared
+/// across threads. Results are deterministic and independent of the
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, plus everything [`optimize`] panics on.
+///
+/// # Examples
+///
+/// ```
+/// use saopt::{optimize_seeds, ProxyCost, SaOptions};
+/// use transform::recipes;
+///
+/// let mut g = aig::Aig::new();
+/// let mut acc = g.add_input();
+/// for _ in 0..15 {
+///     let x = g.add_input();
+///     acc = g.and(acc, x);
+/// }
+/// g.add_output(acc, None::<&str>);
+///
+/// let opts = SaOptions { iterations: 8, ..SaOptions::default() };
+/// let runs = optimize_seeds(&g, || ProxyCost, &recipes(), &opts, &[1, 2, 3]);
+/// assert_eq!(runs.len(), 3);
+/// let best = runs.iter().map(|r| r.best_cost).fold(f64::INFINITY, f64::min);
+/// assert!(best <= runs[0].best_cost);
+/// ```
+pub fn optimize_seeds<E, F>(
+    aig: &Aig,
+    make_eval: F,
+    actions: &[Recipe],
+    opts: &SaOptions,
+    seeds: &[u64],
+) -> Vec<SaResult>
+where
+    E: CostEvaluator,
+    F: Fn() -> E + Sync,
+{
+    assert!(!seeds.is_empty(), "need at least one seed");
+    aig::par::par_map(seeds, |_, &seed| {
+        let mut eval = make_eval();
+        let opts = SaOptions { seed, ..*opts };
+        optimize(aig, &mut eval, actions, &opts)
+    })
+}
+
+/// Multi-seed restart helper: runs [`optimize_seeds`] and returns the
+/// single best result (ties broken toward the earliest seed, keeping
+/// the outcome deterministic).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, plus everything [`optimize`] panics on.
+pub fn optimize_best_of<E, F>(
+    aig: &Aig,
+    make_eval: F,
+    actions: &[Recipe],
+    opts: &SaOptions,
+    seeds: &[u64],
+) -> SaResult
+where
+    E: CostEvaluator,
+    F: Fn() -> E + Sync,
+{
+    optimize_seeds(aig, make_eval, actions, opts, seeds)
+        .into_iter()
+        .reduce(|best, r| if r.best_cost < best.best_cost { r } else { best })
+        .expect("seeds is non-empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +346,35 @@ mod tests {
     fn empty_actions_panic() {
         let g = messy_graph(9);
         let _ = optimize(&g, &mut ProxyCost, &[], &SaOptions::default());
+    }
+
+    /// Parallel multi-seed chains must produce exactly the results of
+    /// running each seed serially, in seed order.
+    #[test]
+    fn multi_seed_matches_serial_runs() {
+        let g = messy_graph(10);
+        let actions = recipes();
+        let opts = SaOptions {
+            iterations: 6,
+            ..SaOptions::default()
+        };
+        let seeds = [3u64, 14, 15, 92, 65];
+        let par = optimize_seeds(&g, || ProxyCost, &actions, &opts, &seeds);
+        assert_eq!(par.len(), seeds.len());
+        for (&seed, r) in seeds.iter().zip(&par) {
+            let serial = optimize(&g, &mut ProxyCost, &actions, &SaOptions { seed, ..opts });
+            assert_eq!(r.best_cost, serial.best_cost, "seed {seed}");
+            assert_eq!(r.history, serial.history, "seed {seed}");
+        }
+        let best = optimize_best_of(&g, || ProxyCost, &actions, &opts, &seeds);
+        let min = par.iter().map(|r| r.best_cost).fold(f64::INFINITY, f64::min);
+        assert_eq!(best.best_cost, min);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let g = messy_graph(11);
+        let _ = optimize_seeds(&g, || ProxyCost, &recipes(), &SaOptions::default(), &[]);
     }
 }

@@ -6,8 +6,7 @@
 
 use crate::cost::{CostEvaluator, CostMetrics};
 use crate::sa::{optimize, SaOptions};
-use aig::Aig;
-use rayon::prelude::*;
+use aig::{par, Aig};
 use transform::Recipe;
 
 /// Sweep grid: every weight pair × every decay rate is one SA run.
@@ -49,8 +48,12 @@ pub struct SweepPoint {
     pub flow_metrics: CostMetrics,
 }
 
-/// Runs the full sweep in parallel; `make_eval` builds one evaluator
-/// per run (each rayon task gets its own).
+/// Runs the full sweep in parallel (via [`aig::par`]; worker count
+/// follows `AIG_THREADS`); `make_eval` builds one evaluator per run
+/// so evaluators need not be `Send` across runs.
+///
+/// Results are deterministic and independent of the worker count:
+/// each run derives its own seed from the grid index.
 ///
 /// # Panics
 ///
@@ -69,34 +72,30 @@ where
         !cfg.weights.is_empty() && !cfg.decays.is_empty(),
         "sweep grid must be non-empty"
     );
-    let grid: Vec<(usize, (f64, f64), f64)> = cfg
+    let grid: Vec<((f64, f64), f64)> = cfg
         .weights
         .iter()
         .flat_map(|&w| cfg.decays.iter().map(move |&d| (w, d)))
-        .enumerate()
-        .map(|(i, (w, d))| (i, w, d))
         .collect();
-    grid.par_iter()
-        .map(|&(i, (wd, wa), decay)| {
-            let mut eval = make_eval();
-            let opts = SaOptions {
-                iterations: cfg.iterations,
-                decay,
-                weight_delay: wd,
-                weight_area: wa,
-                seed: cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
-                ..SaOptions::default()
-            };
-            let res = optimize(aig, &mut eval, actions, &opts);
-            SweepPoint {
-                weight_delay: wd,
-                weight_area: wa,
-                decay,
-                best: res.best,
-                flow_metrics: res.best_metrics,
-            }
-        })
-        .collect()
+    par::par_map(&grid, |i, &((wd, wa), decay)| {
+        let mut eval = make_eval();
+        let opts = SaOptions {
+            iterations: cfg.iterations,
+            decay,
+            weight_delay: wd,
+            weight_area: wa,
+            seed: cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+            ..SaOptions::default()
+        };
+        let res = optimize(aig, &mut eval, actions, &opts);
+        SweepPoint {
+            weight_delay: wd,
+            weight_area: wa,
+            decay,
+            best: res.best,
+            flow_metrics: res.best_metrics,
+        }
+    })
 }
 
 #[cfg(test)]

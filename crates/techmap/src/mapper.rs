@@ -74,10 +74,25 @@ impl fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
-#[derive(Clone, Debug)]
+/// Inline leaf set of a mapped cut (mapper cuts have at most four
+/// leaves), keeping the per-node DP table allocation-free.
+#[derive(Clone, Copy, Debug)]
+struct CutLeaves {
+    arr: [NodeId; 4],
+    len: u8,
+}
+
+impl CutLeaves {
+    #[inline]
+    fn as_slice(&self) -> &[NodeId] {
+        &self.arr[..self.len as usize]
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
 struct Chosen {
     m: CellMatch,
-    leaves: Vec<NodeId>,
+    leaves: CutLeaves,
     arrival_ps: f64,
     area_flow: f64,
 }
@@ -166,18 +181,18 @@ impl<'a> Mapper<'a> {
         for id in aig.and_ids() {
             let mut best: Option<Chosen> = None;
             for cut in cuts.cuts(id) {
-                if cut.leaves.len() == 1 && cut.leaves[0] == id {
+                if cut.size() == 1 && cut.leaves()[0] == id {
                     continue; // trivial cut: a node cannot implement itself
                 }
                 let Some((tt, leaves)) = shrink_support(cut) else {
                     continue; // constant function over the cut
                 };
-                let nv = leaves.len();
-                for m in self.matcher.matches(nv, tt) {
+                let nv = leaves.len as usize;
+                for m in self.matcher.matches_cut_fn(nv, tt) {
                     let cell = self.lib.cell(m.cell);
                     let mut arr: f64 = 0.0;
                     let mut extra_area = 0.0;
-                    for (j, &leaf) in leaves.iter().enumerate() {
+                    for (j, &leaf) in leaves.as_slice().iter().enumerate() {
                         let mut a = arrival[leaf as usize];
                         if m.input_compl >> j & 1 == 1 {
                             a += inv_delay;
@@ -191,13 +206,14 @@ impl<'a> Mapper<'a> {
                         extra_area += inv_area;
                     }
                     let leaf_flow: f64 = leaves
+                        .as_slice()
                         .iter()
                         .map(|&l| flow[l as usize] / f64::from(fanout[l as usize].max(1)))
                         .sum();
                     let af = cell.area_um2 + extra_area + leaf_flow;
                     let cand = Chosen {
                         m: *m,
-                        leaves: leaves.clone(),
+                        leaves,
                         arrival_ps: arr,
                         area_flow: af,
                     };
@@ -253,7 +269,7 @@ impl<'a> Mapper<'a> {
                 .expect("cover reaches only mapped AND nodes");
             if !expanded {
                 stack.push((node, true));
-                for &leaf in &ch.leaves {
+                for &leaf in ch.leaves.as_slice() {
                     if aig.is_and(leaf) && !pos_net.contains_key(&leaf) {
                         stack.push((leaf, false));
                     }
@@ -262,7 +278,7 @@ impl<'a> Mapper<'a> {
             }
             let cell = self.lib.cell(ch.m.cell);
             let mut inputs: Vec<Option<NetId>> = vec![None; cell.num_inputs()];
-            for (j, &leaf) in ch.leaves.iter().enumerate() {
+            for (j, &leaf) in ch.leaves.as_slice().iter().enumerate() {
                 let base = if aig.is_input(leaf) {
                     pi_net[&leaf]
                 } else {
@@ -317,31 +333,38 @@ impl<'a> Mapper<'a> {
 }
 
 /// Removes non-support leaves from a cut; returns the compacted
-/// (tt, leaves), or `None` if the function is constant.
-fn shrink_support(cut: &Cut) -> Option<(u16, Vec<NodeId>)> {
-    let nv = cut.leaves.len();
+/// (tt, leaves) without heap allocation, or `None` if the function is
+/// constant.
+fn shrink_support(cut: &Cut) -> Option<(u64, CutLeaves)> {
+    let nv = cut.size();
     debug_assert!(nv <= 4);
     let tt = cut.masked_tt();
-    let mut kept = Vec::with_capacity(nv);
-    for (i, &leaf) in cut.leaves.iter().enumerate() {
+    let mut kept_var = [0usize; 4];
+    let mut leaves = CutLeaves {
+        arr: [0; 4],
+        len: 0,
+    };
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
         if depends_u64(tt, nv, i) {
-            kept.push((i, leaf));
+            kept_var[leaves.len as usize] = i;
+            leaves.arr[leaves.len as usize] = leaf;
+            leaves.len += 1;
         }
     }
-    if kept.is_empty() {
+    if leaves.len == 0 {
         return None;
     }
     // Compact the tt onto the kept variables.
-    let knv = kept.len();
-    let mut out = 0u16;
+    let knv = leaves.len as usize;
+    let mut out = 0u64;
     for m in 0..(1usize << knv) {
         let mut src = 0usize;
-        for (jj, &(orig, _)) in kept.iter().enumerate() {
+        for (jj, &orig) in kept_var.iter().take(knv).enumerate() {
             src |= ((m >> jj) & 1) << orig;
         }
-        out |= (((tt >> src) & 1) as u16) << m;
+        out |= ((tt >> src) & 1) << m;
     }
-    Some((out, kept.into_iter().map(|(_, l)| l).collect()))
+    Some((out, leaves))
 }
 
 /// Dependence test for a `u64` truth table over `nv <= 6` variables.
@@ -513,18 +536,12 @@ mod tests {
     #[test]
     fn shrink_support_drops_redundant() {
         // f = x0 over 2 leaves (leaf 1 redundant).
-        let cut = Cut {
-            leaves: vec![4, 9],
-            tt: 0b1010,
-        };
+        let cut = Cut::from_leaves(&[4, 9], 0b1010);
         let (tt, leaves) = shrink_support(&cut).expect("non-const");
-        assert_eq!(leaves, vec![4]);
+        assert_eq!(leaves.as_slice(), &[4]);
         assert_eq!(tt & 0b11, 0b10);
         // constant cut
-        let cut = Cut {
-            leaves: vec![4, 9],
-            tt: 0b0000,
-        };
+        let cut = Cut::from_leaves(&[4, 9], 0b0000);
         assert!(shrink_support(&cut).is_none());
     }
 }

@@ -130,6 +130,20 @@ impl Matcher {
             .unwrap_or(&[])
     }
 
+    /// All matches realizing a cut function given in the cut
+    /// representation's native `u64` truth-table width (the mapper's
+    /// cuts have at most four variables, so the low 16 bits carry the
+    /// function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nv > 4` — the truncation to the table's `u16`
+    /// function width would silently match the wrong function.
+    pub fn matches_cut_fn(&self, nv: usize, tt: u64) -> &[CellMatch] {
+        assert!(nv <= 4, "library matching covers at most 4 inputs");
+        self.matches(nv, tt as u16)
+    }
+
     /// Number of distinct (arity, function) keys in the table.
     pub fn num_functions(&self) -> usize {
         self.table.len()

@@ -62,16 +62,16 @@ pub fn resub(aig: &Aig) -> Aig {
         let b = map[f1.var() as usize].complement_if(f1.is_complement());
         let mut replacement: Option<Lit> = None;
         'cuts: for cut in cuts.cuts(id) {
-            if cut.leaves.len() < 2 || (cut.leaves.len() == 1 && cut.leaves[0] == id) {
+            if cut.size() < 2 || (cut.size() == 1 && cut.leaves()[0] == id) {
                 continue;
             }
-            let nv = cut.leaves.len();
+            let nv = cut.size();
             let bits = 1usize << nv;
             let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
             // Collect the cone between the cut and `id` (DFS).
             cone.clear();
             tts.clear();
-            for (j, &leaf) in cut.leaves.iter().enumerate() {
+            for (j, &leaf) in cut.leaves().iter().enumerate() {
                 let mut t = 0u64;
                 for m in 0..bits {
                     if m >> j & 1 == 1 {
@@ -80,14 +80,14 @@ pub fn resub(aig: &Aig) -> Aig {
                 }
                 tts.insert(leaf, t);
             }
-            collect_cone(&old, id, &cut.leaves, &mut cone);
+            collect_cone(&old, id, cut.leaves(), &mut cone);
             // Evaluate cone nodes bottom-up (cone is in topo order
             // because ids are topologically sorted).
             cone.sort_unstable();
             let root_tt = cut.masked_tt();
             debug_assert_eq!(
                 root_tt,
-                expand_tt(root_tt, &cut.leaves, &cut.leaves) & mask
+                expand_tt(root_tt, cut.leaves(), cut.leaves()) & mask
             );
             for &m in &cone {
                 let [g0, g1] = old.fanins(m);

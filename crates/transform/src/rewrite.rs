@@ -206,10 +206,10 @@ pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
             None => false,
         };
         for cut in cuts.cuts(id) {
-            if cut.leaves.len() == 1 && cut.leaves[0] == id {
+            if cut.size() == 1 && cut.leaves()[0] == id {
                 continue; // trivial cut: a node cannot define itself
             }
-            match shrink_support_u64(cut.masked_tt(), &cut.leaves) {
+            match shrink_support_u64(cut.masked_tt(), cut.leaves()) {
                 None => {
                     best = Some(Candidate::Const(cut.masked_tt() & 1 == 1));
                     break;

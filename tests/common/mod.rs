@@ -1,0 +1,33 @@
+//! Shared fixtures for the integration-test binaries.
+
+use aig::{Aig, Lit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random strashed AIG with the given shape.
+pub fn random_aig_with(seed: u64, num_inputs: usize, num_nodes: usize, num_outputs: usize) -> Aig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Aig::new();
+    let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
+    for _ in 0..num_nodes {
+        let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+        let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+        lits.push(g.and(a, b));
+    }
+    for _ in 0..num_outputs {
+        let l = lits[rng.gen_range(0..lits.len())];
+        g.add_output(l.complement_if(rng.gen()), None::<&str>);
+    }
+    g
+}
+
+/// A small random AIG with randomized shape (2–7 inputs, up to ~60
+/// nodes) — cheap enough for exhaustive equivalence checking.
+#[allow(dead_code)] // each test binary uses a subset of this module
+pub fn small_random_aig(seed: u64) -> Aig {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_inputs = rng.gen_range(2usize..8);
+    let num_nodes = rng.gen_range(1usize..60);
+    let num_outputs = rng.gen_range(1usize..5);
+    random_aig_with(seed ^ 0x5DEECE66D, num_inputs, num_nodes, num_outputs)
+}

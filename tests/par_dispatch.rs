@@ -1,0 +1,66 @@
+//! Serial-vs-parallel simulation dispatch equality, driven through
+//! the public API by toggling `AIG_THREADS`.
+//!
+//! This lives in its own test binary on purpose: the env var is
+//! process-global, and here the toggling test is the only test in
+//! the process, so no sibling test can observe a mid-flight value.
+//! The graphs are sized to genuinely cross the dispatch thresholds
+//! (asserted below), so under `AIG_THREADS=4` the parallel
+//! strategies actually run. (The propagation strategies are
+//! additionally compared directly in `aig`'s sim unit tests.)
+
+use aig::sim::SimTable;
+
+mod common;
+use common::random_aig_with;
+
+/// Restores the pre-test `AIG_THREADS` value even if an assert
+/// unwinds mid-loop.
+struct EnvGuard(Option<String>);
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(v) => std::env::set_var("AIG_THREADS", v),
+            None => std::env::remove_var("AIG_THREADS"),
+        }
+    }
+}
+
+/// Simulation tables must be bit-identical whether propagation runs
+/// serially (`AIG_THREADS=1`) or multi-threaded (`AIG_THREADS=4`),
+/// for both wide tables (word-parallel strategy) and narrow tables
+/// (levelized node-parallel strategy).
+#[test]
+fn simulation_independent_of_parallel_dispatch() {
+    let _guard = EnvGuard(std::env::var("AIG_THREADS").ok());
+    // (seed, words, node target) sized past PAR_MIN_WORK on both
+    // sides of the PAR_MIN_WORDS split.
+    let wide_words = 2 * SimTable::PAR_MIN_WORDS;
+    let narrow_words = SimTable::PAR_MIN_WORDS / 2;
+    let cases = [
+        (1u64, wide_words, SimTable::PAR_MIN_WORK / wide_words * 2),
+        (2u64, narrow_words, SimTable::PAR_MIN_WORK / narrow_words * 2),
+    ];
+    for (seed, words, nodes) in cases {
+        // Strashing dedupes some ANDs; overshoot then verify the
+        // dispatch threshold is genuinely crossed.
+        let g = random_aig_with(seed, 24, nodes * 3 / 2, 8);
+        assert!(
+            g.num_nodes() * words >= SimTable::PAR_MIN_WORK,
+            "test graph too small to engage the parallel path: {} nodes x {words} words",
+            g.num_nodes()
+        );
+        std::env::set_var("AIG_THREADS", "1");
+        let serial = SimTable::random(&g, words, seed);
+        std::env::set_var("AIG_THREADS", "4");
+        let parallel = SimTable::random(&g, words, seed);
+        for id in g.node_ids() {
+            assert_eq!(
+                serial.node_row(id),
+                parallel.node_row(id),
+                "words {words}: node {id} rows diverge serial vs 4 threads"
+            );
+        }
+    }
+}

@@ -1,120 +1,149 @@
 //! Property-based tests over randomly generated AIGs: every
 //! transformation preserves function, mapping implements the AIG
-//! exactly, and AIGER round-trips losslessly.
+//! exactly, AIGER round-trips losslessly, the optimized cut
+//! enumeration matches the naive reference, and parallel simulation
+//! matches serial.
+//!
+//! The offline build has no `proptest`, so cases are drawn from a
+//! seeded [`rand::rngs::SmallRng`] stream: each property runs `CASES`
+//! deterministic random graphs (failures print the case seed).
 
 use aig::sim::{equiv_exhaustive, SimTable};
-use aig::{aiger, Aig, Lit};
+use aig::aiger;
 use cells::sky130ish;
-use proptest::prelude::*;
 use techmap::{MapOptions, Mapper};
 use transform::{perturb, reshape, Transform};
 
-/// Strategy: a random AIG described by (num_inputs, node recipe,
-/// output picks). Kept small so exhaustive equivalence stays cheap.
-fn aig_strategy() -> impl Strategy<Value = Aig> {
-    (
-        2usize..8,
-        prop::collection::vec((any::<u16>(), any::<u16>(), any::<bool>(), any::<bool>()), 1..60),
-        prop::collection::vec((any::<u16>(), any::<bool>()), 1..5),
-    )
-        .prop_map(|(num_inputs, nodes, outputs)| {
-            let mut g = Aig::new();
-            let mut lits: Vec<Lit> = (0..num_inputs).map(|_| g.add_input()).collect();
-            for (ia, ib, ca, cb) in nodes {
-                let a = lits[ia as usize % lits.len()].complement_if(ca);
-                let b = lits[ib as usize % lits.len()].complement_if(cb);
-                lits.push(g.and(a, b));
-            }
-            for (io, co) in outputs {
-                let l = lits[io as usize % lits.len()];
-                g.add_output(l.complement_if(co), None::<&str>);
-            }
-            g
-        })
+mod common;
+use common::small_random_aig as random_aig;
+
+const CASES: u64 = 48;
+
+/// Each primitive transform preserves the Boolean function.
+#[test]
+fn transforms_preserve_function() {
+    for case in 0..CASES {
+        let g = random_aig(case);
+        let t = Transform::ALL[case as usize % Transform::ALL.len()];
+        let h = transform::apply(&g, t);
+        assert!(
+            equiv_exhaustive(&g, &h).expect("small graphs"),
+            "case {case}: {t} broke function"
+        );
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The seeded diversification moves preserve the function too.
+#[test]
+fn diversifiers_preserve_function() {
+    for case in 0..CASES {
+        let g = random_aig(1000 + case);
+        let r = reshape(&g, case * 77);
+        assert!(
+            equiv_exhaustive(&g, &r).expect("small graphs"),
+            "case {case}: reshape broke function"
+        );
+        let p = perturb(&g, case * 77);
+        assert!(
+            equiv_exhaustive(&g, &p).expect("small graphs"),
+            "case {case}: perturb broke function"
+        );
+    }
+}
 
-    /// Each primitive transform preserves the Boolean function.
-    #[test]
-    fn transforms_preserve_function(g in aig_strategy(), which in 0usize..6) {
-        let t = Transform::ALL[which];
+/// Optimizing transforms never increase the live node count.
+#[test]
+fn optimizers_never_grow() {
+    for case in 0..CASES {
+        let g = random_aig(2000 + case);
+        let t = [Transform::Balance, Transform::Rewrite, Transform::Refactor]
+            [case as usize % 3];
         let h = transform::apply(&g, t);
-        prop_assert!(equiv_exhaustive(&g, &h).expect("small graphs"));
+        assert!(
+            h.num_live_ands() <= g.num_live_ands(),
+            "case {case}: {t} grew the graph"
+        );
     }
+}
 
-    /// The seeded diversification moves preserve the function too.
-    #[test]
-    fn diversifiers_preserve_function(g in aig_strategy(), seed in any::<u64>()) {
-        let r = reshape(&g, seed);
-        prop_assert!(equiv_exhaustive(&g, &r).expect("small graphs"));
-        let p = perturb(&g, seed);
-        prop_assert!(equiv_exhaustive(&g, &p).expect("small graphs"));
-    }
-
-    /// Optimizing transforms never increase the live node count.
-    #[test]
-    fn optimizers_never_grow(g in aig_strategy(), which in 0usize..3) {
-        let t = [Transform::Balance, Transform::Rewrite, Transform::Refactor][which];
-        let h = transform::apply(&g, t);
-        prop_assert!(h.num_live_ands() <= g.num_live_ands());
-    }
-
-    /// Mapping implements the AIG bit-exactly on all input patterns.
-    #[test]
-    fn mapping_is_exact(g in aig_strategy()) {
-        let lib = sky130ish();
-        let nl = Mapper::new(&lib, MapOptions::default()).map(&g).expect("mappable");
+/// Mapping implements the AIG bit-exactly on all input patterns.
+#[test]
+fn mapping_is_exact() {
+    let lib = sky130ish();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    for case in 0..CASES {
+        let g = random_aig(3000 + case);
+        let nl = mapper.map(&g).expect("mappable");
         let sim = SimTable::exhaustive(&g).expect("small");
         let n = g.num_inputs();
         for m in 0..(1usize << n) {
             let pis: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
             let got = nl.eval(&lib, &pis);
             for (k, o) in g.outputs().iter().enumerate() {
-                prop_assert_eq!(got[k], sim.lit_bit(o.lit, m), "output {} pattern {}", k, m);
+                assert_eq!(
+                    got[k],
+                    sim.lit_bit(o.lit, m),
+                    "case {case}: output {k} pattern {m} differs"
+                );
             }
         }
     }
+}
 
-    /// ASCII and binary AIGER round-trips preserve the function.
-    #[test]
-    fn aiger_roundtrips(g in aig_strategy()) {
+/// ASCII and binary AIGER round-trips preserve the function.
+#[test]
+fn aiger_roundtrips() {
+    for case in 0..CASES {
+        let g = random_aig(4000 + case);
         let ascii = aiger::from_ascii(&aiger::to_ascii(&g)).expect("self-produced aag parses");
-        prop_assert!(equiv_exhaustive(&g, &ascii).expect("small"));
+        assert!(equiv_exhaustive(&g, &ascii).expect("small"), "case {case}");
         let binary = aiger::from_binary(&aiger::to_binary(&g)).expect("self-produced aig parses");
-        prop_assert!(equiv_exhaustive(&g, &binary).expect("small"));
-    }
-
-    /// BLIF round-trips preserve the function too.
-    #[test]
-    fn blif_roundtrips(g in aig_strategy()) {
-        let text = aig::blif::to_blif(&g, "prop");
-        let back = aig::blif::from_blif(&text).expect("self-produced blif parses");
-        prop_assert!(equiv_exhaustive(&g, &back).expect("small"));
-    }
-
-    /// STA arrival times are monotone along the critical path, and
-    /// the fast delay query agrees with the full report.
-    #[test]
-    fn sta_is_consistent(g in aig_strategy()) {
-        let lib = sky130ish();
-        let nl = Mapper::new(&lib, MapOptions::default()).map(&g).expect("mappable");
-        let (delay, area) = sta::delay_and_area(&nl, &lib);
-        let report = sta::analyze(&nl, &lib);
-        prop_assert!((report.max_delay_ps - delay).abs() < 1e-9);
-        prop_assert!((report.area_um2 - area).abs() < 1e-9);
-        prop_assert!(report.worst_slack_ps() > -1e-6);
-        for w in report.critical_path.windows(2) {
-            prop_assert!(w[0].arrival_ps <= w[1].arrival_ps + 1e-9);
-        }
-    }
-
-    /// Feature extraction is total and finite on arbitrary AIGs.
-    #[test]
-    fn features_always_finite(g in aig_strategy()) {
-        let fv = features::extract(&g);
-        prop_assert!(fv.as_slice().iter().all(|v| v.is_finite()));
-        prop_assert_eq!(fv[features::NODE_COUNT], g.num_ands() as f64);
+        assert!(equiv_exhaustive(&g, &binary).expect("small"), "case {case}");
     }
 }
+
+/// BLIF round-trips preserve the function too.
+#[test]
+fn blif_roundtrips() {
+    for case in 0..CASES {
+        let g = random_aig(5000 + case);
+        let text = aig::blif::to_blif(&g, "prop");
+        let back = aig::blif::from_blif(&text).expect("self-produced blif parses");
+        assert!(equiv_exhaustive(&g, &back).expect("small"), "case {case}");
+    }
+}
+
+/// STA arrival times are monotone along the critical path, and the
+/// fast delay query agrees with the full report.
+#[test]
+fn sta_is_consistent() {
+    let lib = sky130ish();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    for case in 0..CASES {
+        let g = random_aig(6000 + case);
+        let nl = mapper.map(&g).expect("mappable");
+        let (delay, area) = sta::delay_and_area(&nl, &lib);
+        let report = sta::analyze(&nl, &lib);
+        assert!((report.max_delay_ps - delay).abs() < 1e-9, "case {case}");
+        assert!((report.area_um2 - area).abs() < 1e-9, "case {case}");
+        assert!(report.worst_slack_ps() > -1e-6, "case {case}");
+        for w in report.critical_path.windows(2) {
+            assert!(w[0].arrival_ps <= w[1].arrival_ps + 1e-9, "case {case}");
+        }
+    }
+}
+
+/// Feature extraction is total and finite on arbitrary AIGs.
+#[test]
+fn features_always_finite() {
+    for case in 0..CASES {
+        let g = random_aig(7000 + case);
+        let fv = features::extract(&g);
+        assert!(
+            fv.as_slice().iter().all(|v| v.is_finite()),
+            "case {case}: non-finite feature"
+        );
+        assert_eq!(fv[features::NODE_COUNT], g.num_ands() as f64, "case {case}");
+    }
+}
+
