@@ -37,18 +37,34 @@ pub struct Levels {
 /// assert_eq!(levels(&g).max_level, 2);
 /// ```
 pub fn levels(aig: &Aig) -> Levels {
-    let mut level = vec![0u32; aig.num_nodes()];
+    let mut out = Levels {
+        level: Vec::new(),
+        max_level: 0,
+    };
+    levels_into(aig, &mut out);
+    out
+}
+
+/// [`levels`] into a caller-owned buffer, reusing its allocation.
+///
+/// The evaluation contexts of the SA loop call this once per
+/// candidate; reusing `out.level` keeps the per-iteration analysis
+/// allocation-free once the buffer has grown to the largest graph
+/// seen.
+pub fn levels_into(aig: &Aig, out: &mut Levels) {
+    out.level.clear();
+    out.level.resize(aig.num_nodes(), 0);
+    let level = &mut out.level;
     for id in aig.and_ids() {
         let [f0, f1] = aig.fanins(id);
         level[id as usize] = 1 + level[f0.var() as usize].max(level[f1.var() as usize]);
     }
-    let max_level = aig
+    out.max_level = aig
         .outputs()
         .iter()
         .map(|o| level[o.lit.var() as usize])
         .max()
         .unwrap_or(0);
-    Levels { level, max_level }
 }
 
 /// Computes the fanout count of every node.
@@ -57,7 +73,16 @@ pub fn levels(aig: &Aig) -> Levels {
 /// matching Fig. 4(b) of the paper where output edges contribute to a
 /// node's annotated weight.
 pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
-    let mut fanout = vec![0u32; aig.num_nodes()];
+    let mut fanout = Vec::new();
+    fanout_counts_into(aig, &mut fanout);
+    fanout
+}
+
+/// [`fanout_counts`] into a caller-owned buffer, reusing its
+/// allocation (see [`levels_into`] for the rationale).
+pub fn fanout_counts_into(aig: &Aig, fanout: &mut Vec<u32>) {
+    fanout.clear();
+    fanout.resize(aig.num_nodes(), 0);
     for id in aig.and_ids() {
         let [f0, f1] = aig.fanins(id);
         fanout[f0.var() as usize] += 1;
@@ -66,7 +91,6 @@ pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
     for o in aig.outputs() {
         fanout[o.lit.var() as usize] += 1;
     }
-    fanout
 }
 
 /// How each node contributes to a weighted path depth.

@@ -207,11 +207,17 @@ impl Cut {
 ///
 /// Cut lists are stored back-to-back in a single arena; `cuts(id)`
 /// returns the node's span as a slice.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CutSet {
     arena: Vec<Cut>,
     span: Vec<(u32, u32)>,
     k: usize,
+    // Scratch buffers for `enumerate_cuts_into`, kept here so a reused
+    // `CutSet` makes re-enumeration allocation-free on the steady
+    // state (the mapping context reuses one across thousands of
+    // candidate AIGs).
+    merged_scratch: Vec<Cut>,
+    list_scratch: Vec<Cut>,
 }
 
 impl CutSet {
@@ -316,13 +322,41 @@ pub fn expand_tt(tt: u64, from: &[NodeId], to: &[NodeId]) -> u64 {
 /// assert!(cuts.cuts(abc.var()).len() >= 3);
 /// ```
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
+    let mut out = CutSet::default();
+    enumerate_cuts_into(aig, k, max_cuts, &mut out);
+    out
+}
+
+/// [`enumerate_cuts`] into a caller-owned [`CutSet`], reusing its
+/// arena and scratch allocations.
+///
+/// Re-enumerating into a warm `CutSet` is allocation-free once the
+/// arena has grown to the largest graph seen; the technology mapper's
+/// [reusable context](../../techmap) and the SA evaluation loop lean
+/// on this. Produces exactly the cut sets [`enumerate_cuts`] produces
+/// (the parity tests cover the reuse path).
+///
+/// # Panics
+///
+/// Panics if `k > 6` or `k == 0`.
+pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, out: &mut CutSet) {
     assert!(
         (1..=MAX_CUT_SIZE).contains(&k),
         "cut size k must be in 1..=6"
     );
     let n = aig.num_nodes();
-    let mut arena: Vec<Cut> = Vec::with_capacity(n.saturating_mul(max_cuts.min(8) + 1));
-    let mut span: Vec<(u32, u32)> = vec![(0, 0); n];
+    out.k = k;
+    let CutSet {
+        arena,
+        span,
+        k: _,
+        merged_scratch: merged,
+        list_scratch: list,
+    } = out;
+    arena.clear();
+    arena.reserve(n.saturating_mul(max_cuts.min(8) + 1));
+    span.clear();
+    span.resize(n, (0, 0));
 
     fn push_list(arena: &mut Vec<Cut>, span: &mut [(u32, u32)], id: NodeId, cuts: &[Cut]) {
         let s = arena.len() as u32;
@@ -331,15 +365,10 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
     }
 
     // Constant node: single empty cut with constant-false function.
-    push_list(&mut arena, &mut span, 0, &[Cut::from_leaves(&[], 0)]);
+    push_list(arena, span, 0, &[Cut::from_leaves(&[], 0)]);
     for &pi in aig.inputs() {
-        push_list(&mut arena, &mut span, pi, &[Cut::trivial(pi)]);
+        push_list(arena, span, pi, &[Cut::trivial(pi)]);
     }
-
-    // Scratch buffers reused across nodes: no allocation in the loop
-    // steady state.
-    let mut merged: Vec<Cut> = Vec::with_capacity(4 * max_cuts * max_cuts);
-    let mut list: Vec<Cut> = Vec::with_capacity(max_cuts + 1);
 
     for id in aig.and_ids() {
         let [f0, f1] = aig.fanins(id);
@@ -381,7 +410,7 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
         // its signature-subset prefilter rejects most candidates in
         // one AND.
         'fill: for size in 1..=k {
-            for c in &merged {
+            for c in merged.iter() {
                 if c.size() != size {
                     continue;
                 }
@@ -394,9 +423,8 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> CutSet {
                 list.push(*c);
             }
         }
-        push_list(&mut arena, &mut span, id, &list);
+        push_list(arena, span, id, list);
     }
-    CutSet { arena, span, k }
 }
 
 /// The seed's per-minterm truth-table expansion, retained as the

@@ -294,6 +294,31 @@ impl Aig {
             .map(|&id| Lit::new(id, false))
     }
 
+    /// Rewires the fanins of AND node `id` in place, keeping the
+    /// structural-hash table consistent: the old key is dropped (if it
+    /// still maps to `id`) and the new key is registered unless an
+    /// equivalent node already owns it.
+    ///
+    /// This is the raw edit primitive behind
+    /// [`crate::incremental::IncrementalAnalysis::substitute`]; it does
+    /// not re-run the trivial-AND simplifications, so the node stays an
+    /// AND gate even if its fanins become equal or complementary.
+    pub(crate) fn replace_fanins(&mut self, id: NodeId, a: Lit, b: Lit) {
+        let node = &self.nodes[id as usize];
+        debug_assert!(node.is_and(), "node {id} is not an AND gate");
+        let old = node.fanin;
+        let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if [x, y] == old {
+            return;
+        }
+        let old_key = (old[0].raw(), old[1].raw());
+        if self.strash.get(&old_key) == Some(&id) {
+            self.strash.remove(&old_key);
+        }
+        self.nodes[id as usize].fanin = [x, y];
+        self.strash.entry((x.raw(), y.raw())).or_insert(id);
+    }
+
     /// Returns the OR of `a` and `b` (built from AND + inversion).
     #[inline]
     pub fn or(&mut self, a: Lit, b: Lit) -> Lit {

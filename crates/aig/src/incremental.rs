@@ -1,0 +1,510 @@
+//! Incrementally maintained structural analyses for the SA loop.
+//!
+//! The simulated-annealing optimizer evaluates thousands of candidate
+//! graphs, and most of the per-candidate analysis cost is levels and
+//! fanout counts. [`IncrementalAnalysis`] keeps both quantities live
+//! across graph edits so that the cost of an update scales with the
+//! size of the *edit*, not the size of the graph:
+//!
+//! * appended nodes and retargeted outputs are absorbed by
+//!   [`IncrementalAnalysis::sync`] in time proportional to the number
+//!   of appended nodes plus the number of outputs;
+//! * in-place node substitution ([`IncrementalAnalysis::substitute`])
+//!   rewires every consumer of a node to an equivalent earlier
+//!   literal and re-levels only the *transitive fanout* of the
+//!   substituted node, stopping as soon as levels stop changing. The
+//!   set of re-leveled nodes is reported as a [`DirtyRegion`];
+//! * wholesale graph replacement (a recipe step produced a fresh
+//!   graph) is handled by [`IncrementalAnalysis::rebuild`], which
+//!   recomputes everything but reuses every buffer.
+//!
+//! [`crate::analysis::levels`] and [`crate::analysis::fanout_counts`]
+//! are kept untouched as the full-recompute oracle; the differential
+//! test suite drives random recipe walks and edit scripts asserting
+//! the incremental state stays bit-identical to the oracle after
+//! every step.
+
+use crate::analysis;
+use crate::graph::Aig;
+use crate::lit::{Lit, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The set of nodes whose level was recomputed by the latest edit.
+///
+/// A [`DirtyRegion`] is a report, not a worklist: it names exactly the
+/// nodes the incremental propagation visited, which the benchmarks use
+/// to demonstrate that single-step edits touch a small fraction of the
+/// graph.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyRegion {
+    nodes: Vec<NodeId>,
+}
+
+impl DirtyRegion {
+    /// The ids whose level was recomputed, in increasing order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of recomputed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the edit left every level untouched.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Incrementally maintained levels + fanout counts of one [`Aig`].
+///
+/// The state mirrors [`crate::analysis::levels`] and
+/// [`crate::analysis::fanout_counts`] exactly (including the
+/// primary-output contribution to fanout), plus a consumer adjacency
+/// used to propagate substitutions through the transitive fanout.
+///
+/// # Examples
+///
+/// ```
+/// use aig::{Aig, incremental::IncrementalAnalysis};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let ab = g.and(a, b);
+/// g.add_output(ab, None::<&str>);
+/// let mut inc = IncrementalAnalysis::new(&g);
+/// assert_eq!(inc.max_level(), 1);
+///
+/// // Append a node and retarget the output: sync() absorbs both.
+/// let c = g.add_input();
+/// let abc = g.and(ab, c);
+/// g.set_output(0, abc);
+/// inc.sync(&g);
+/// assert_eq!(inc.max_level(), 2);
+/// assert_eq!(inc.levels(), &aig::analysis::levels(&g).level[..]);
+/// assert_eq!(inc.fanout_counts(), &aig::analysis::fanout_counts(&g)[..]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalAnalysis {
+    level: Vec<u32>,
+    fanout: Vec<u32>,
+    /// `consumers[v]` lists the AND nodes reading `v`, one entry per
+    /// fanin edge (a node whose both fanins read `v` appears twice).
+    consumers: Vec<Vec<NodeId>>,
+    /// Output literals at the last sync, for diffing output edits.
+    out_snapshot: Vec<Lit>,
+    max_level: u32,
+    dirty: DirtyRegion,
+    // Propagation scratch.
+    queued: Vec<bool>,
+    heap: BinaryHeap<Reverse<NodeId>>,
+}
+
+impl IncrementalAnalysis {
+    /// Builds the analysis state for `aig`.
+    pub fn new(aig: &Aig) -> Self {
+        let mut s = IncrementalAnalysis {
+            level: Vec::new(),
+            fanout: Vec::new(),
+            consumers: Vec::new(),
+            out_snapshot: Vec::new(),
+            max_level: 0,
+            dirty: DirtyRegion::default(),
+            queued: Vec::new(),
+            heap: BinaryHeap::new(),
+        };
+        s.rebuild(aig);
+        s
+    }
+
+    /// Per-node levels (identical to [`crate::analysis::levels`]).
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// Level of node `id`.
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id as usize]
+    }
+
+    /// Maximum level over all primary-output drivers.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Per-node fanout counts (identical to
+    /// [`crate::analysis::fanout_counts`]: AND fanins plus
+    /// primary-output drivers).
+    pub fn fanout_counts(&self) -> &[u32] {
+        &self.fanout
+    }
+
+    /// Fanout count of node `id`.
+    pub fn fanout(&self, id: NodeId) -> u32 {
+        self.fanout[id as usize]
+    }
+
+    /// The nodes re-leveled by the most recent
+    /// [`IncrementalAnalysis::substitute`].
+    pub fn last_dirty(&self) -> &DirtyRegion {
+        &self.dirty
+    }
+
+    /// Number of nodes currently tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Full recompute into the existing buffers (no oracle
+    /// allocations). Use after a transform replaced the graph
+    /// wholesale; [`IncrementalAnalysis::sync`] covers append-only
+    /// growth of the *same* graph.
+    pub fn rebuild(&mut self, aig: &Aig) {
+        let n = aig.num_nodes();
+        self.level.clear();
+        self.level.resize(n, 0);
+        self.fanout.clear();
+        self.fanout.resize(n, 0);
+        self.consumers.truncate(n);
+        for c in &mut self.consumers {
+            c.clear();
+        }
+        self.consumers.resize_with(n, Vec::new);
+        self.queued.clear();
+        self.queued.resize(n, false);
+        for id in aig.and_ids() {
+            self.absorb_and(aig, id);
+        }
+        self.out_snapshot.clear();
+        for o in aig.outputs() {
+            self.fanout[o.lit.var() as usize] += 1;
+            self.out_snapshot.push(o.lit);
+        }
+        self.refresh_max_level();
+    }
+
+    /// Absorbs appended nodes and output edits of the same graph.
+    ///
+    /// Cost is `O(appended nodes + outputs)` — independent of the
+    /// graph size, which is what makes single-step SA edits cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph shrank (node removal never happens in
+    /// place; use [`IncrementalAnalysis::rebuild`] after a sweep).
+    pub fn sync(&mut self, aig: &Aig) {
+        let old_n = self.level.len();
+        let n = aig.num_nodes();
+        assert!(
+            n >= old_n,
+            "sync() only supports append-only growth ({old_n} -> {n} nodes); use rebuild()"
+        );
+        self.level.resize(n, 0);
+        self.fanout.resize(n, 0);
+        self.consumers.resize_with(n, Vec::new);
+        self.queued.resize(n, false);
+        for id in old_n as NodeId..n as NodeId {
+            if aig.is_and(id) {
+                self.absorb_and(aig, id);
+            }
+        }
+        // Diff the outputs: changed drivers move one fanout unit.
+        let outs = aig.outputs();
+        for (i, o) in outs.iter().enumerate() {
+            match self.out_snapshot.get(i) {
+                Some(&old) if old == o.lit => {}
+                Some(&old) => {
+                    self.fanout[old.var() as usize] -= 1;
+                    self.fanout[o.lit.var() as usize] += 1;
+                    self.out_snapshot[i] = o.lit;
+                }
+                None => {
+                    self.fanout[o.lit.var() as usize] += 1;
+                    self.out_snapshot.push(o.lit);
+                }
+            }
+        }
+        assert!(
+            self.out_snapshot.len() == outs.len(),
+            "outputs are append-only"
+        );
+        self.refresh_max_level();
+    }
+
+    /// Substitutes `node` by the (functionally equivalent) literal
+    /// `with`: every fanin edge and primary output reading `node` is
+    /// rewired to `with`, fanout counts move with the edges, and
+    /// levels are re-propagated through the transitive fanout of
+    /// `node` only, stopping early where levels settle.
+    ///
+    /// Returns the [`DirtyRegion`] of re-leveled nodes. `node` itself
+    /// keeps its level and (now zero AND-edge) fanout; a later
+    /// [`Aig::sweep`] drops it if it became dangling.
+    ///
+    /// Functional equivalence of `node` and `with` is the *caller's*
+    /// contract (the analysis stays exact either way, but the graph's
+    /// function only survives if the two agree). Structural hashing
+    /// stays consistent: rewired nodes are re-keyed, and a rewired
+    /// node is **not** re-simplified even if its fanins became equal
+    /// or complementary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the constant node, if `with.var()` does not
+    /// precede `node` (required to keep node ids topologically
+    /// sorted), or if the analysis is out of sync with `aig`.
+    pub fn substitute(&mut self, aig: &mut Aig, node: NodeId, with: Lit) -> &DirtyRegion {
+        assert!(node != 0, "cannot substitute the constant node");
+        assert!(
+            with.var() < node,
+            "substitute target {} must precede node {node} to keep ids topological",
+            with.var()
+        );
+        assert!(
+            self.level.len() == aig.num_nodes(),
+            "analysis out of sync: call sync() or rebuild() first"
+        );
+        let wvar = with.var();
+        let edges = std::mem::take(&mut self.consumers[node as usize]);
+        // Rewire each consumer once (duplicate entries mean both
+        // fanins read `node`; the first visit rewires both).
+        for &c in &edges {
+            let [f0, f1] = aig.fanins(c);
+            if f0.var() != node && f1.var() != node {
+                continue;
+            }
+            let nf0 = if f0.var() == node {
+                with.complement_if(f0.is_complement())
+            } else {
+                f0
+            };
+            let nf1 = if f1.var() == node {
+                with.complement_if(f1.is_complement())
+            } else {
+                f1
+            };
+            aig.replace_fanins(c, nf0, nf1);
+        }
+        // Every edge moves from `node` to `with.var()`.
+        self.fanout[node as usize] -= edges.len() as u32;
+        self.fanout[wvar as usize] += edges.len() as u32;
+        for &c in &edges {
+            self.consumers[wvar as usize].push(c);
+        }
+        // Outputs driven by `node` follow.
+        for i in 0..aig.num_outputs() {
+            let lit = aig.outputs()[i].lit;
+            if lit.var() == node {
+                let nl = with.complement_if(lit.is_complement());
+                aig.set_output(i, nl);
+                self.out_snapshot[i] = nl;
+                self.fanout[node as usize] -= 1;
+                self.fanout[wvar as usize] += 1;
+            }
+        }
+        // Re-level the transitive fanout, smallest id first so every
+        // node is finalized exactly once (fanins always precede it).
+        self.dirty.nodes.clear();
+        for &c in &edges {
+            self.enqueue(c);
+        }
+        while let Some(Reverse(id)) = self.heap.pop() {
+            self.queued[id as usize] = false;
+            let [f0, f1] = aig.fanins(id);
+            let nl = 1 + self.level[f0.var() as usize].max(self.level[f1.var() as usize]);
+            self.dirty.nodes.push(id);
+            if nl != self.level[id as usize] {
+                self.level[id as usize] = nl;
+                let cs = std::mem::take(&mut self.consumers[id as usize]);
+                for &cc in &cs {
+                    self.enqueue(cc);
+                }
+                self.consumers[id as usize] = cs;
+            }
+        }
+        self.refresh_max_level();
+        &self.dirty
+    }
+
+    fn enqueue(&mut self, id: NodeId) {
+        if !self.queued[id as usize] {
+            self.queued[id as usize] = true;
+            self.heap.push(Reverse(id));
+        }
+    }
+
+    fn absorb_and(&mut self, aig: &Aig, id: NodeId) {
+        let [f0, f1] = aig.fanins(id);
+        self.level[id as usize] =
+            1 + self.level[f0.var() as usize].max(self.level[f1.var() as usize]);
+        self.fanout[f0.var() as usize] += 1;
+        self.fanout[f1.var() as usize] += 1;
+        self.consumers[f0.var() as usize].push(id);
+        self.consumers[f1.var() as usize].push(id);
+    }
+
+    fn refresh_max_level(&mut self) {
+        self.max_level = self
+            .out_snapshot
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// Asserts the incremental state equals the full-recompute oracle
+    /// (debugging/testing aid; `O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a diff message) on the first mismatch.
+    pub fn assert_matches_oracle(&self, aig: &Aig) {
+        let lv = analysis::levels(aig);
+        assert_eq!(
+            self.level, lv.level,
+            "incremental levels diverged from oracle"
+        );
+        assert_eq!(self.max_level, lv.max_level, "max_level diverged");
+        let fo = analysis::fanout_counts(aig);
+        assert_eq!(self.fanout, fo, "incremental fanout diverged from oracle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_growing_walk(seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = (0..6).map(|_| g.add_input()).collect();
+        for _ in 0..20 {
+            let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+            lits.push(g.and(a, b));
+        }
+        g.add_output(*lits.last().unwrap(), None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+        inc.assert_matches_oracle(&g);
+
+        for step in 0..60 {
+            match rng.gen_range(0..3) {
+                0 => {
+                    // Append a handful of nodes.
+                    for _ in 0..rng.gen_range(1..4) {
+                        let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                        let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                        lits.push(g.and(a, b));
+                    }
+                    inc.sync(&g);
+                }
+                1 => {
+                    // Retarget a random output.
+                    let idx = rng.gen_range(0..g.num_outputs());
+                    let l = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                    g.set_output(idx, l);
+                    inc.sync(&g);
+                }
+                _ => {
+                    // Substitute a random AND by a random earlier lit.
+                    let ands: Vec<NodeId> = g.and_ids().collect();
+                    if ands.is_empty() {
+                        continue;
+                    }
+                    let node = ands[rng.gen_range(0..ands.len())];
+                    let with =
+                        Lit::new(rng.gen_range(0..node), rng.gen());
+                    inc.substitute(&mut g, node, with);
+                }
+            }
+            inc.assert_matches_oracle(&g);
+            let _ = step;
+        }
+    }
+
+    #[test]
+    fn random_edit_walks_match_oracle() {
+        for seed in 0..8 {
+            random_growing_walk(seed);
+        }
+    }
+
+    #[test]
+    fn substitute_relevels_only_fanout_cone() {
+        // Two independent chains; substituting inside one must not
+        // re-level the other.
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| g.add_input()).collect();
+        let mut left = ins[0];
+        for l in &ins[1..3] {
+            left = g.and(left, *l);
+        }
+        let mut right = ins[3];
+        for l in &ins[4..6] {
+            right = g.and(right, *l);
+        }
+        g.add_output(left, None::<&str>);
+        g.add_output(right, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+        // Substitute the first AND of the left chain by an input.
+        let first_and = g.and_ids().next().unwrap();
+        let dirty = inc.substitute(&mut g, first_and, ins[0]);
+        let dirty: Vec<NodeId> = dirty.nodes().to_vec();
+        inc.assert_matches_oracle(&g);
+        // Only the left chain's remaining AND is re-leveled; the
+        // right chain stays untouched.
+        assert_eq!(dirty, vec![left.var()]);
+    }
+
+    #[test]
+    fn substitute_preserves_function_for_equivalent_nodes() {
+        // f = (a&b) | (a&!b) == a; substitute the OR node by `a`.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let t0 = g.and(a, b);
+        let t1 = g.and(a, !b);
+        let f = g.or(t0, t1); // == a
+        let top = g.and(f, b); // consumer of f
+        g.add_output(top, None::<&str>);
+        let before = g.clone();
+        let mut inc = IncrementalAnalysis::new(&g);
+        inc.substitute(&mut g, f.var(), a.complement_if(f.is_complement()));
+        inc.assert_matches_oracle(&g);
+        assert!(crate::sim::equiv_exhaustive(&before, &g).expect("tiny"));
+        // The substituted cone got shallower.
+        assert!(inc.max_level() < crate::analysis::levels(&before).max_level);
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn sync_rejects_shrunk_graph() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        let inc = IncrementalAnalysis::new(&g);
+        let smaller = Aig::new();
+        let mut inc = inc;
+        inc.sync(&smaller);
+    }
+
+    #[test]
+    #[should_panic(expected = "topological")]
+    fn substitute_rejects_forward_reference() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        let h = g.and(f, b);
+        g.add_output(h, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+        inc.substitute(&mut g, f.var(), Lit::new(h.var(), false));
+    }
+}

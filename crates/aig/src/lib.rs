@@ -8,6 +8,10 @@
 //!   constant propagation and edge-complement representation;
 //! * [`analysis`] — levels, fanout, weighted path depths and path
 //!   counts (the raw material for the paper's Table II features);
+//! * [`incremental`] — incrementally maintained levels/fanout with a
+//!   dirty-region tracker, so SA evaluation cost scales with the edit
+//!   size instead of the graph size ([`analysis`] stays the
+//!   full-recompute oracle);
 //! * [`cut`] — k-feasible cut enumeration with cut truth tables
 //!   (used by rewriting and technology mapping);
 //! * [`tt`] — truth-table arithmetic, ISOP covers, NPN canonization;
@@ -77,6 +81,7 @@ pub mod blif;
 pub mod cut;
 mod error;
 mod graph;
+pub mod incremental;
 mod lit;
 pub mod par;
 pub mod sim;

@@ -7,10 +7,12 @@
 //! the real speedup on this machine (tracked to stay ≥ 2×). Results
 //! are written to `BENCH_components.json` at the workspace root.
 
+use aig::incremental::IncrementalAnalysis;
+use aig::{Lit, NodeId};
 use bench::{bench_json_path, design_pair, library};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use techmap::{MapOptions, Mapper};
+use techmap::{MapContext, MapOptions, Mapper};
 
 fn bench_components(c: &mut Criterion) {
     let (small, large) = design_pair();
@@ -38,6 +40,77 @@ fn bench_components(c: &mut Criterion) {
     });
     g.bench_function("map_ex00", |b| b.iter(|| mapper.map(black_box(&small.aig))));
     g.bench_function("map_ex28", |b| b.iter(|| mapper.map(black_box(&large.aig))));
+    // Context-reusing mapping: same netlists as `map_*`, but the
+    // match-shortlist memo, cut arena and DP tables persist across
+    // calls (the ground-truth evaluator's steady state). On small
+    // designs the per-call memo rebuild dominates fresh `map`.
+    let mut map_ctx = MapContext::new();
+    g.bench_function("map_ctx_reuse_ex00", |b| {
+        b.iter(|| mapper.map_with(&mut map_ctx, black_box(&small.aig)))
+    });
+    g.bench_function("map_ctx_reuse_ex28", |b| {
+        b.iter(|| mapper.map_with(&mut map_ctx, black_box(&large.aig)))
+    });
+
+    // Full levels+fanout recompute (the oracle the SA loop used to
+    // pay per candidate) vs incremental maintenance of the same state
+    // across single-step edits.
+    g.bench_function("analysis_full_recompute_ex28", |b| {
+        b.iter(|| {
+            (
+                aig::analysis::levels(black_box(&large.aig)),
+                aig::analysis::fanout_counts(black_box(&large.aig)),
+            )
+        })
+    });
+    // Single-step output retarget: toggle one PO between two drivers
+    // and absorb the edit (O(|PO|), no graph growth).
+    {
+        let mut edited = large.aig.clone();
+        let drv = edited.outputs()[0].lit;
+        let ands: Vec<NodeId> = edited.and_ids().collect();
+        let alt = Lit::new(ands[ands.len() / 2], false);
+        let mut inc = IncrementalAnalysis::new(&edited);
+        let mut flip = false;
+        g.bench_function("analysis_incr_output_edit_ex28", |b| {
+            b.iter(|| {
+                flip = !flip;
+                edited.set_output(0, if flip { alt } else { drv });
+                inc.sync(&edited);
+                black_box(inc.max_level())
+            })
+        });
+    }
+    // Single-step substitution: rewire one mid-graph node to an input
+    // and re-level only its transitive fanout. Substitutions are
+    // irreversible, so a fixed plan is replayed and the state is
+    // rebuilt once per plan cycle (the rebuild + clone cost is
+    // included, amortized over the plan — still a fraction of one
+    // full recompute per edit).
+    {
+        let base = large.aig.clone();
+        let ands: Vec<NodeId> = base.and_ids().collect();
+        let stride = ((ands.len() / 2) / 64).max(1);
+        let plan: Vec<NodeId> = (0..64.min(ands.len() / 2))
+            .map(|i| ands[ands.len() / 4 + i * stride])
+            .collect();
+        let with = Lit::new(base.inputs()[0], false);
+        let mut edited = base.clone();
+        let mut inc = IncrementalAnalysis::new(&edited);
+        let mut step = 0usize;
+        g.bench_function("analysis_incr_substitute_ex28", |b| {
+            b.iter(|| {
+                if step == plan.len() {
+                    step = 0;
+                    edited = base.clone();
+                    inc.rebuild(&edited);
+                }
+                let dirty = inc.substitute(&mut edited, plan[step], with).len();
+                step += 1;
+                black_box(dirty)
+            })
+        });
+    }
     g.bench_function("sta_ex28", |b| {
         b.iter(|| sta::delay_and_area(black_box(&netlist), &lib))
     });
@@ -72,6 +145,23 @@ fn bench_components(c: &mut Criterion) {
         let naive = c.median_ns("components", &format!("cut_enum_naive_ref_{k}_ex28"));
         if let (Some(fast), Some(naive)) = (fast, naive) {
             eprintln!("cut_enum {k}: {:.2}x faster than naive reference", naive / fast);
+        }
+    }
+    let full = c.median_ns("components", "analysis_full_recompute_ex28");
+    for name in [
+        "analysis_incr_output_edit_ex28",
+        "analysis_incr_substitute_ex28",
+    ] {
+        if let (Some(full), Some(incr)) = (full, c.median_ns("components", name)) {
+            eprintln!("{name}: {:.1}x faster than full recompute (tracked >= 5x)", full / incr);
+        }
+    }
+    for ex in ["ex00", "ex28"] {
+        if let (Some(fresh), Some(reused)) = (
+            c.median_ns("components", &format!("map_{ex}")),
+            c.median_ns("components", &format!("map_ctx_reuse_{ex}")),
+        ) {
+            eprintln!("map_ctx_reuse {ex}: {:.2}x vs fresh map", fresh / reused);
         }
     }
     c.save_json(bench_json_path("BENCH_components.json"))

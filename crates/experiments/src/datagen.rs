@@ -14,8 +14,8 @@ use features::{extract, FeatureVector, NUM_FEATURES};
 use gbt::Dataset;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use techmap::{MapOptions, Mapper};
-use transform::{recipes, Recipe};
+use techmap::{MapContext, MapOptions, Mapper};
+use transform::{recipes, Recipe, ResynthCache};
 
 /// One labeled AIG variant.
 #[derive(Clone, Debug)]
@@ -104,6 +104,11 @@ pub fn generate_variants(aig: &Aig, count: usize, seed: u64) -> Vec<Aig> {
     if count == 0 {
         return out;
     }
+    // One NPN-canonical cache serves the whole walk: the cut
+    // functions of a design's variants overlap heavily, so later
+    // steps mostly reuse earlier syntheses (results are identical to
+    // the uncached path — the cache only memoizes pure functions).
+    let cache = ResynthCache::new();
     out.push(aig.sweep());
     let mut current = aig.clone();
     let mut steps_in_walk = 0;
@@ -117,7 +122,7 @@ pub fn generate_variants(aig: &Aig, count: usize, seed: u64) -> Vec<Aig> {
             // Perturbation with randomized strength: the wider the
             // strength range, the wider the node/level distribution.
             let strength = rng.gen_range(0.2..0.9);
-            current = transform::resynthesize(
+            current = transform::resynthesize_with(
                 &current,
                 &transform::ResynthOptions {
                     cut_size: 5,
@@ -125,12 +130,13 @@ pub fn generate_variants(aig: &Aig, count: usize, seed: u64) -> Vec<Aig> {
                     zero_cost: false,
                     perturb: Some((rng.gen(), strength)),
                 },
+                &cache,
             );
         } else if dice < 0.7 {
             current = transform::reshape(&current, rng.gen());
         } else {
             let recipe: &Recipe = &actions[rng.gen_range(0..actions.len())];
-            current = recipe.apply(&current);
+            current = recipe.apply_with(&current, &cache);
         }
         out.push(current.clone());
         steps_in_walk += 1;
@@ -148,9 +154,10 @@ pub fn generate_variants(aig: &Aig, count: usize, seed: u64) -> Vec<Aig> {
 /// optimization-from-raw-logic setting (a realistic RTL-elaboration
 /// starting point) that Fig. 5's flows are compared on.
 pub fn degrade(aig: &Aig, seed: u64) -> Aig {
-    use transform::{reshape, resynthesize, ResynthOptions};
+    use transform::{reshape, resynthesize_with, ResynthOptions};
+    let cache = ResynthCache::new();
     let strong = |g: &Aig, s: u64| {
-        resynthesize(
+        resynthesize_with(
             g,
             &ResynthOptions {
                 cut_size: 5,
@@ -158,6 +165,7 @@ pub fn degrade(aig: &Aig, seed: u64) -> Aig {
                 zero_cost: false,
                 perturb: Some((s, 0.9)),
             },
+            &cache,
         )
     };
     let p1 = strong(aig, seed);
@@ -173,9 +181,11 @@ pub fn degrade(aig: &Aig, seed: u64) -> Aig {
 pub fn label_variants(variants: &[Aig], lib: &Library) -> Vec<(f64, f64)> {
     par::par_map_with(
         variants,
-        || Mapper::new(lib, MapOptions::default()),
-        |mapper, _i, aig| {
-            let mut nl = mapper.map(aig).expect("builtin library maps all AIGs");
+        || (Mapper::new(lib, MapOptions::default()), MapContext::new()),
+        |(mapper, ctx), _i, aig| {
+            let mut nl = mapper
+                .map_with(ctx, aig)
+                .expect("builtin library maps all AIGs");
             techmap::resize_greedy(&mut nl, lib, 2);
             sta::delay_and_area(&nl, lib)
         },

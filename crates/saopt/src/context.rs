@@ -1,0 +1,119 @@
+//! The reusable evaluation context carried across SA iterations.
+//!
+//! One SA run prices thousands of candidate AIGs, and before this
+//! subsystem every candidate paid three graph-sized setup costs: the
+//! resynthesis transforms rebuilt their `(nv, tt) -> SmallStructure`
+//! cache from scratch, the proxy evaluator allocated a fresh level
+//! table, and the ground-truth evaluator allocated the mapper's DP
+//! tables (the mapper side lives in [`techmap::MapContext`], held by
+//! [`crate::GroundTruthCost`]). [`EvalContext`] owns the pieces that
+//! persist across iterations:
+//!
+//! * a shared [`ResynthCache`] (`Arc`, NPN-canonical) threaded into
+//!   every recipe application — one cache serves a whole run *and*
+//!   all parallel chains of [`crate::optimize_seeds`] /
+//!   [`crate::sweep`];
+//! * a reusable [`Levels`] buffer for proxy evaluations
+//!   ([`aig::analysis::levels_into`]), so the per-candidate analysis
+//!   allocates nothing on the steady state.
+//!
+//! Results never depend on the context: every cached value is a pure
+//! function of its key, so [`crate::optimize`] with a fresh, shared,
+//! or disabled cache produces byte-identical outputs (asserted by the
+//! determinism integration tests). For *edit-level* incrementality —
+//! levels/fanout maintained through in-place graph edits rather than
+//! recomputed per candidate — see [`aig::incremental`], which the
+//! differential tests and benchmarks exercise directly.
+
+use aig::analysis::Levels;
+use aig::Aig;
+use std::sync::Arc;
+use transform::ResynthCache;
+
+/// Reusable evaluation state for one SA run (see the module docs).
+#[derive(Debug)]
+pub struct EvalContext {
+    resynth: Arc<ResynthCache>,
+    levels: Levels,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalContext {
+    /// A context with its own fresh (enabled) resynthesis cache.
+    pub fn new() -> Self {
+        Self::with_shared(Arc::new(ResynthCache::new()))
+    }
+
+    /// A context whose resynthesis cache never memoizes — the oracle
+    /// side of the cache-on-vs-off determinism tests.
+    pub fn without_cache() -> Self {
+        Self::with_shared(Arc::new(ResynthCache::disabled()))
+    }
+
+    /// A context over an existing shared cache; parallel chains each
+    /// get their own context but one cache.
+    pub fn with_shared(resynth: Arc<ResynthCache>) -> Self {
+        EvalContext {
+            resynth,
+            levels: Levels {
+                level: Vec::new(),
+                max_level: 0,
+            },
+        }
+    }
+
+    /// The resynthesis cache recipes are applied against.
+    pub fn resynth(&self) -> &ResynthCache {
+        &self.resynth
+    }
+
+    /// A clone of the shared cache handle (for sibling contexts).
+    pub fn shared_resynth(&self) -> Arc<ResynthCache> {
+        Arc::clone(&self.resynth)
+    }
+
+    /// Levels of `aig` computed into the context's reusable buffer.
+    pub fn levels_of(&mut self, aig: &Aig) -> &Levels {
+        aig::analysis::levels_into(aig, &mut self.levels);
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_buffer_matches_oracle_across_graphs() {
+        let mut ctx = EvalContext::new();
+        for (inputs, chain) in [(4usize, 10usize), (2, 3), (6, 30)] {
+            let mut g = Aig::new();
+            let mut acc = g.add_input();
+            for _ in 0..inputs.max(1) {
+                for _ in 0..chain / inputs.max(1) {
+                    let x = g.add_input();
+                    acc = g.and(acc, x);
+                }
+            }
+            g.add_output(acc, None::<&str>);
+            let oracle = aig::analysis::levels(&g);
+            let got = ctx.levels_of(&g);
+            assert_eq!(got.level, oracle.level);
+            assert_eq!(got.max_level, oracle.max_level);
+        }
+    }
+
+    #[test]
+    fn shared_handles_point_at_one_cache() {
+        let ctx = EvalContext::new();
+        let sibling = EvalContext::with_shared(ctx.shared_resynth());
+        assert!(Arc::ptr_eq(&ctx.resynth, &sibling.resynth));
+        assert!(ctx.resynth().is_enabled());
+        assert!(!EvalContext::without_cache().resynth().is_enabled());
+    }
+}

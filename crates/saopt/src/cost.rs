@@ -1,11 +1,12 @@
 //! Cost evaluators for the three optimization flows (paper Fig. 3).
 
+use crate::context::EvalContext;
 use aig::analysis::levels;
 use aig::Aig;
 use cells::Library;
 use features::extract;
 use gbt::GbtModel;
-use techmap::{MapOptions, Mapper};
+use techmap::{MapContext, MapOptions, Mapper};
 
 /// Delay/area estimate for one AIG.
 ///
@@ -26,6 +27,14 @@ pub trait CostEvaluator {
     /// Estimates delay and area of `aig`.
     fn evaluate(&mut self, aig: &Aig) -> CostMetrics;
 
+    /// [`CostEvaluator::evaluate`] with access to the SA loop's
+    /// reusable [`EvalContext`]; identical metrics, but evaluators may
+    /// lean on the context's buffers to skip per-candidate
+    /// allocations. The default ignores the context.
+    fn evaluate_ctx(&mut self, aig: &Aig, _ctx: &mut EvalContext) -> CostMetrics {
+        self.evaluate(aig)
+    }
+
     /// Evaluator name for reports (`proxy`, `ground-truth`, `ml`).
     fn name(&self) -> &'static str;
 }
@@ -42,6 +51,13 @@ impl CostEvaluator for ProxyCost {
         }
     }
 
+    fn evaluate_ctx(&mut self, aig: &Aig, ctx: &mut EvalContext) -> CostMetrics {
+        CostMetrics {
+            delay: f64::from(ctx.levels_of(aig).max_level),
+            area: aig.num_ands() as f64,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "proxy"
     }
@@ -49,21 +65,21 @@ impl CostEvaluator for ProxyCost {
 
 /// Ground-truth flow: full technology mapping plus STA per call.
 ///
-/// Construction precomputes the Boolean-match tables once; each
-/// [`CostEvaluator::evaluate`] then performs the paper's
-/// mapping + STA step.
+/// Construction precomputes the Boolean-match tables once and owns a
+/// [`MapContext`], so the thousands of mapping calls one SA run makes
+/// reuse the cut arena and DP tables instead of reallocating them
+/// ([`Mapper::map_with`]); each [`CostEvaluator::evaluate`] then
+/// performs the paper's mapping + STA step.
 pub struct GroundTruthCost<'a> {
     lib: &'a Library,
     mapper: Mapper<'a>,
+    map_ctx: MapContext,
 }
 
 impl<'a> GroundTruthCost<'a> {
     /// Creates a ground-truth evaluator (delay-oriented mapping).
     pub fn new(lib: &'a Library) -> Self {
-        GroundTruthCost {
-            lib,
-            mapper: Mapper::new(lib, MapOptions::default()),
-        }
+        Self::with_options(lib, MapOptions::default())
     }
 
     /// Creates an evaluator with custom mapping options.
@@ -71,6 +87,7 @@ impl<'a> GroundTruthCost<'a> {
         GroundTruthCost {
             lib,
             mapper: Mapper::new(lib, opts),
+            map_ctx: MapContext::new(),
         }
     }
 }
@@ -79,7 +96,7 @@ impl CostEvaluator for GroundTruthCost<'_> {
     fn evaluate(&mut self, aig: &Aig) -> CostMetrics {
         let mut nl = self
             .mapper
-            .map(aig)
+            .map_with(&mut self.map_ctx, aig)
             .expect("builtin library maps every strashed AIG");
         techmap::resize_greedy(&mut nl, self.lib, 2);
         let (delay, area) = sta::delay_and_area(&nl, self.lib);

@@ -15,6 +15,15 @@
 //! Parallel loops go through [`aig::par`], so `AIG_THREADS=1` forces
 //! serial execution; results never depend on the worker count.
 //!
+//! Every run carries an [`EvalContext`] across iterations: a shared
+//! NPN-canonical resynthesis cache ([`transform::ResynthCache`])
+//! feeds the recipe applications, the proxy evaluator reuses the
+//! context's level buffer, and [`GroundTruthCost`] holds a
+//! [`techmap::MapContext`] so mapping reuses its DP tables. Contexts
+//! never change results — outputs are byte-identical with the cache
+//! shared, cold, or disabled, and for any `AIG_THREADS` value (the
+//! determinism integration tests assert both).
+//!
 //! # Examples
 //!
 //! ```
@@ -42,11 +51,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod context;
 mod cost;
 pub mod pareto;
 mod sa;
 mod sweep;
 
+pub use context::EvalContext;
 pub use cost::{CostEvaluator, CostMetrics, GroundTruthCost, MlCost, ProxyCost};
-pub use sa::{optimize, optimize_best_of, optimize_seeds, SaOptions, SaResult};
+pub use sa::{optimize, optimize_best_of, optimize_seeds, optimize_with, SaOptions, SaResult};
 pub use sweep::{sweep, SweepConfig, SweepPoint};

@@ -1,11 +1,13 @@
 //! The simulated-annealing optimization loop (paper §IV, following
 //! the SA paradigm of Hillier et al. [5]).
 
+use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
 use aig::Aig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use transform::Recipe;
+use std::sync::Arc;
+use transform::{Recipe, ResynthCache};
 
 /// SA hyperparameters.
 ///
@@ -99,10 +101,34 @@ pub fn optimize(
     actions: &[Recipe],
     opts: &SaOptions,
 ) -> SaResult {
+    optimize_with(aig, evaluator, actions, opts, &mut EvalContext::new())
+}
+
+/// [`optimize`] carrying an explicit [`EvalContext`] across
+/// iterations.
+///
+/// The context's shared resynthesis cache is threaded into every
+/// recipe application ([`Recipe::apply_with`]) and its analysis
+/// buffers into every evaluation ([`CostEvaluator::evaluate_ctx`]),
+/// so iteration cost no longer includes rebuilding either from
+/// scratch. Results are byte-identical to [`optimize`] for any
+/// context state — warm, cold, shared with other chains, or with the
+/// cache disabled (the determinism tests assert this).
+///
+/// # Panics
+///
+/// Exactly [`optimize`]'s panics.
+pub fn optimize_with(
+    aig: &Aig,
+    evaluator: &mut dyn CostEvaluator,
+    actions: &[Recipe],
+    opts: &SaOptions,
+    ctx: &mut EvalContext,
+) -> SaResult {
     assert!(!actions.is_empty(), "need at least one action");
     assert!(opts.iterations > 0, "iterations must be positive");
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let initial = evaluator.evaluate(aig);
+    let initial = evaluator.evaluate_ctx(aig, ctx);
     assert!(
         initial.delay > 0.0 && initial.area > 0.0,
         "initial metrics must be positive for normalization, got {initial:?}"
@@ -122,8 +148,8 @@ pub fn optimize(
 
     for _ in 0..opts.iterations {
         let recipe = &actions[rng.gen_range(0..actions.len())];
-        let candidate = recipe.apply(&current);
-        let metrics = evaluator.evaluate(&candidate);
+        let candidate = recipe.apply_with(&current, ctx.resynth());
+        let metrics = evaluator.evaluate_ctx(&candidate, ctx);
         evaluated.push(metrics);
         let cost = scalar(&metrics);
         let delta = cost - current_cost;
@@ -157,8 +183,10 @@ pub fn optimize(
 /// SA is highly seed-sensitive; the standard remedy is restarting the
 /// chain several times and keeping the best outcome. `make_eval`
 /// builds one evaluator per chain, so evaluators need not be shared
-/// across threads. Results are deterministic and independent of the
-/// worker count.
+/// across threads; all chains do share one NPN-canonical resynthesis
+/// cache (every cached value is a pure function of its key, so
+/// sharing cannot perturb results). Results are deterministic and
+/// independent of the worker count.
 ///
 /// # Panics
 ///
@@ -196,10 +224,12 @@ where
     F: Fn() -> E + Sync,
 {
     assert!(!seeds.is_empty(), "need at least one seed");
+    let cache = Arc::new(ResynthCache::new());
     aig::par::par_map(seeds, |_, &seed| {
         let mut eval = make_eval();
         let opts = SaOptions { seed, ..*opts };
-        optimize(aig, &mut eval, actions, &opts)
+        let mut ctx = EvalContext::with_shared(Arc::clone(&cache));
+        optimize_with(aig, &mut eval, actions, &opts, &mut ctx)
     })
 }
 

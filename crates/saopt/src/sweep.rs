@@ -4,10 +4,12 @@
 //! temperature decay rate, collecting the optimal AIG of each run;
 //! the Pareto front over those runs is the flow's quality curve.
 
+use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
-use crate::sa::{optimize, SaOptions};
+use crate::sa::{optimize_with, SaOptions};
 use aig::{par, Aig};
-use transform::Recipe;
+use std::sync::Arc;
+use transform::{Recipe, ResynthCache};
 
 /// Sweep grid: every weight pair × every decay rate is one SA run.
 #[derive(Clone, Debug)]
@@ -50,10 +52,13 @@ pub struct SweepPoint {
 
 /// Runs the full sweep in parallel (via [`aig::par`]; worker count
 /// follows `AIG_THREADS`); `make_eval` builds one evaluator per run
-/// so evaluators need not be `Send` across runs.
+/// so evaluators need not be `Send` across runs. All runs share one
+/// NPN-canonical resynthesis cache ([`transform::ResynthCache`]), so
+/// a cut function is factored once for the whole grid.
 ///
 /// Results are deterministic and independent of the worker count:
-/// each run derives its own seed from the grid index.
+/// each run derives its own seed from the grid index, and the shared
+/// cache only memoizes pure functions.
 ///
 /// # Panics
 ///
@@ -77,6 +82,7 @@ where
         .iter()
         .flat_map(|&w| cfg.decays.iter().map(move |&d| (w, d)))
         .collect();
+    let cache = Arc::new(ResynthCache::new());
     par::par_map(&grid, |i, &((wd, wa), decay)| {
         let mut eval = make_eval();
         let opts = SaOptions {
@@ -87,7 +93,8 @@ where
             seed: cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
             ..SaOptions::default()
         };
-        let res = optimize(aig, &mut eval, actions, &opts);
+        let mut ctx = EvalContext::with_shared(Arc::clone(&cache));
+        let res = optimize_with(aig, &mut eval, actions, &opts, &mut ctx);
         SweepPoint {
             weight_delay: wd,
             weight_area: wa,

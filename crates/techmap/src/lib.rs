@@ -7,6 +7,14 @@
 //! delay- or area-optimal cover ([`Mapper`]), producing a gate-level
 //! [`Netlist`] for static timing analysis.
 //!
+//! Loops that map many candidates (the SA ground-truth evaluator,
+//! data-generation labeling) hold a [`MapContext`] and call
+//! [`Mapper::map_with`]: the context keeps the cut arena, the
+//! `chosen`/`arrival`/`flow` DP tables, and a dominance-pruned match
+//! shortlist memo warm across calls, making the steady-state DP
+//! allocation-free while producing netlists identical to
+//! [`Mapper::map`].
+//!
 //! # Examples
 //!
 //! ```
@@ -37,7 +45,7 @@ mod netlist;
 mod sizing;
 mod verilog;
 
-pub use mapper::{MapError, MapGoal, MapOptions, Mapper};
+pub use mapper::{MapContext, MapError, MapGoal, MapOptions, Mapper};
 pub use sizing::resize_greedy;
 pub use verilog::{library_models, to_verilog};
 pub use matcher::{CellMatch, Matcher};

@@ -9,7 +9,7 @@
 
 use crate::matcher::{CellMatch, Matcher};
 use crate::netlist::{NetId, Netlist};
-use aig::cut::{enumerate_cuts, Cut};
+use aig::cut::{enumerate_cuts_into, Cut, CutSet};
 use aig::{Aig, NodeId};
 use cells::Library;
 use std::collections::HashMap;
@@ -26,7 +26,7 @@ pub enum MapGoal {
 }
 
 /// Options controlling [`Mapper`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MapOptions {
     /// Cut size for matching; must be 2..=4.
     pub cut_size: usize,
@@ -47,6 +47,39 @@ impl Default for MapOptions {
             est_load_ff: 9.0,
             goal: MapGoal::Delay,
         }
+    }
+}
+
+impl MapOptions {
+    /// Checks every option range, so invalid options surface as
+    /// [`MapError::BadOptions`] up front — never as a misleading
+    /// [`MapError::NoMatch`] (or a bogus netlist) later in the run.
+    /// Both [`Mapper::map`] and [`Mapper::map_with`] call this before
+    /// doing any work.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::BadOptions`] naming the offending option.
+    pub fn validate(&self) -> Result<(), MapError> {
+        if !(2..=4).contains(&self.cut_size) {
+            return Err(MapError::BadOptions(format!(
+                "cut_size must be 2..=4, got {}",
+                self.cut_size
+            )));
+        }
+        if self.max_cuts < 2 {
+            return Err(MapError::BadOptions(format!(
+                "max_cuts must be >= 2, got {}",
+                self.max_cuts
+            )));
+        }
+        if !self.est_load_ff.is_finite() || self.est_load_ff <= 0.0 {
+            return Err(MapError::BadOptions(format!(
+                "est_load_ff must be finite and positive, got {}",
+                self.est_load_ff
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -97,6 +130,65 @@ struct Chosen {
     area_flow: f64,
 }
 
+/// A library match with everything the DP inner loop needs
+/// precomputed at the mapper's estimated load: per-variable arrival
+/// increments (pin delay plus input-inverter penalty), the output
+/// increment, and the fixed area (cell plus inverters).
+#[derive(Clone, Copy, Debug)]
+struct PreMatch {
+    m: CellMatch,
+    add: [f64; 4],
+    out_add: f64,
+    fixed_area: f64,
+}
+
+/// Reusable state for [`Mapper::map_with`]: the cut arena, the
+/// `chosen`/`arrival`/`flow` DP tables, and a per-cut-function match
+/// shortlist memo.
+///
+/// The ground-truth cost evaluator maps thousands of candidate AIGs
+/// per SA run. With a warm context the per-candidate DP performs no
+/// heap allocation once the buffers have grown to the largest graph
+/// seen (shrinking and regrowing the candidate is fine — every table
+/// is fully re-initialized per call, as the parity tests assert),
+/// and every cut function resolves through the memo: matches are
+/// fetched once per distinct function, their delay/area constants
+/// folded at the estimated load, and dominated entries pruned, so the
+/// steady-state inner loop is a handful of float max/adds per match.
+///
+/// A context may be reused across mappers: the memo is keyed to the
+/// mapper instance that built it (libraries and options differ per
+/// mapper) and silently rebuilt when a different mapper uses the
+/// context.
+#[derive(Debug, Default)]
+pub struct MapContext {
+    cuts: CutSet,
+    fanout: Vec<u32>,
+    chosen: Vec<Option<Chosen>>,
+    arrival: Vec<f64>,
+    flow: Vec<f64>,
+    shortlists: HashMap<(u8, u64), Vec<PreMatch>>,
+    /// [`Mapper::instance_id`] the memo was built for.
+    fingerprint: Option<u64>,
+    // Netlist-construction scratch: node -> net, net -> its inverter
+    // net, and the post-order traversal stack.
+    net_of: Vec<Option<NetId>>,
+    inv_of: Vec<Option<NetId>>,
+    build_stack: Vec<(NodeId, bool)>,
+}
+
+impl MapContext {
+    /// An empty context (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct cut functions memoized so far.
+    pub fn num_memoized_functions(&self) -> usize {
+        self.shortlists.len()
+    }
+}
+
 /// A reusable technology mapper bound to a library.
 ///
 /// Construction precomputes the Boolean match tables, so a `Mapper`
@@ -129,15 +221,22 @@ pub struct Mapper<'a> {
     lib: &'a Library,
     matcher: Matcher,
     opts: MapOptions,
+    /// Process-unique id keying context memos to this mapper (never
+    /// reused, so a dropped mapper's cached constants can't be
+    /// mistaken for a new mapper's — unlike an address comparison).
+    instance_id: u64,
 }
 
 impl<'a> Mapper<'a> {
     /// Creates a mapper for `lib`, precomputing match tables.
     pub fn new(lib: &'a Library, opts: MapOptions) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         Mapper {
             lib,
             matcher: Matcher::new(lib),
             opts,
+            instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -153,30 +252,62 @@ impl<'a> Mapper<'a> {
 
     /// Maps `aig` to a gate-level [`Netlist`].
     ///
+    /// Equivalent to [`Mapper::map_with`] on a fresh [`MapContext`];
+    /// loops that map many candidates should hold a context and call
+    /// `map_with` to skip the per-call table allocations.
+    ///
     /// # Errors
     ///
-    /// [`MapError::BadOptions`] for out-of-range options;
-    /// [`MapError::NoMatch`] if some node cannot be matched (possible
-    /// only with an incomplete user library).
+    /// [`MapError::BadOptions`] for out-of-range options (checked
+    /// up front, see [`MapOptions::validate`]); [`MapError::NoMatch`]
+    /// if some node cannot be matched (possible only with an
+    /// incomplete user library).
     pub fn map(&self, aig: &Aig) -> Result<Netlist, MapError> {
-        if !(2..=4).contains(&self.opts.cut_size) {
-            return Err(MapError::BadOptions(format!(
-                "cut_size must be 2..=4, got {}",
-                self.opts.cut_size
-            )));
-        }
-        if self.opts.max_cuts < 2 {
-            return Err(MapError::BadOptions("max_cuts must be >= 2".into()));
-        }
-        let cuts = enumerate_cuts(aig, self.opts.cut_size, self.opts.max_cuts);
-        let fanout = aig::analysis::fanout_counts(aig);
-        let inv = self.lib.cell(self.lib.smallest_inverter());
-        let inv_delay = inv.pins[0].intrinsic_ps + inv.drive_res * self.opts.est_load_ff;
-        let inv_area = inv.area_um2;
+        self.map_with(&mut MapContext::new(), aig)
+    }
 
-        let mut chosen: Vec<Option<Chosen>> = vec![None; aig.num_nodes()];
-        let mut arrival = vec![0.0f64; aig.num_nodes()];
-        let mut flow = vec![0.0f64; aig.num_nodes()];
+    /// Maps `aig` reusing `ctx`'s cut arena and DP tables.
+    ///
+    /// Produces a netlist identical to [`Mapper::map`]'s regardless of
+    /// what the context previously mapped (asserted by the parity
+    /// tests); on the steady state the cut enumeration and DP make no
+    /// heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Mapper::map`]'s errors: options are validated first,
+    /// so bad options never surface as a later [`MapError::NoMatch`].
+    pub fn map_with(&self, ctx: &mut MapContext, aig: &Aig) -> Result<Netlist, MapError> {
+        self.opts.validate()?;
+        // The shortlist memo folds this mapper's library and load
+        // model into its constants: rebuild it if the context last
+        // served a different mapper.
+        if ctx.fingerprint != Some(self.instance_id) {
+            ctx.shortlists.clear();
+            ctx.fingerprint = Some(self.instance_id);
+        }
+        enumerate_cuts_into(aig, self.opts.cut_size, self.opts.max_cuts, &mut ctx.cuts);
+        aig::analysis::fanout_counts_into(aig, &mut ctx.fanout);
+
+        let n = aig.num_nodes();
+        ctx.chosen.clear();
+        ctx.chosen.resize(n, None);
+        ctx.arrival.clear();
+        ctx.arrival.resize(n, 0.0);
+        ctx.flow.clear();
+        ctx.flow.resize(n, 0.0);
+        let MapContext {
+            cuts,
+            fanout,
+            chosen,
+            arrival,
+            flow,
+            shortlists,
+            fingerprint: _,
+            net_of,
+            inv_of,
+            build_stack,
+        } = ctx;
 
         for id in aig.and_ids() {
             let mut best: Option<Chosen> = None;
@@ -188,48 +319,38 @@ impl<'a> Mapper<'a> {
                     continue; // constant function over the cut
                 };
                 let nv = leaves.len as usize;
-                for m in self.matcher.matches_cut_fn(nv, tt) {
-                    let cell = self.lib.cell(m.cell);
+                let matches = shortlists
+                    .entry((nv as u8, tt))
+                    .or_insert_with(|| self.build_shortlist(nv, tt));
+                if matches.is_empty() {
+                    continue;
+                }
+                let leaf_flow: f64 = leaves
+                    .as_slice()
+                    .iter()
+                    .map(|&l| flow[l as usize] / f64::from(fanout[l as usize].max(1)))
+                    .sum();
+                for pm in matches.iter() {
                     let mut arr: f64 = 0.0;
-                    let mut extra_area = 0.0;
                     for (j, &leaf) in leaves.as_slice().iter().enumerate() {
-                        let mut a = arrival[leaf as usize];
-                        if m.input_compl >> j & 1 == 1 {
-                            a += inv_delay;
-                            extra_area += inv_area;
-                        }
-                        a += cell.delay_ps(m.pin_of_var[j] as usize, self.opts.est_load_ff);
-                        arr = arr.max(a);
+                        arr = arr.max(arrival[leaf as usize] + pm.add[j]);
                     }
-                    if m.output_compl {
-                        arr += inv_delay;
-                        extra_area += inv_area;
-                    }
-                    let leaf_flow: f64 = leaves
-                        .as_slice()
-                        .iter()
-                        .map(|&l| flow[l as usize] / f64::from(fanout[l as usize].max(1)))
-                        .sum();
-                    let af = cell.area_um2 + extra_area + leaf_flow;
-                    let cand = Chosen {
-                        m: *m,
-                        leaves,
-                        arrival_ps: arr,
-                        area_flow: af,
-                    };
+                    arr += pm.out_add;
+                    let af = pm.fixed_area + leaf_flow;
                     let better = match &best {
                         None => true,
                         Some(b) => match self.opts.goal {
-                            MapGoal::Delay => {
-                                (cand.arrival_ps, cand.area_flow) < (b.arrival_ps, b.area_flow)
-                            }
-                            MapGoal::Area => {
-                                (cand.area_flow, cand.arrival_ps) < (b.area_flow, b.arrival_ps)
-                            }
+                            MapGoal::Delay => (arr, af) < (b.arrival_ps, b.area_flow),
+                            MapGoal::Area => (af, arr) < (b.area_flow, b.arrival_ps),
                         },
                     };
                     if better {
-                        best = Some(cand);
+                        best = Some(Chosen {
+                            m: pm.m,
+                            leaves,
+                            arrival_ps: arr,
+                            area_flow: af,
+                        });
                     }
                 }
             }
@@ -239,29 +360,93 @@ impl<'a> Mapper<'a> {
             chosen[id as usize] = Some(best);
         }
 
-        Ok(self.build_netlist(aig, &chosen))
+        Ok(self.build_netlist(aig, chosen, net_of, inv_of, build_stack))
+    }
+
+    /// Folds the matcher's entries for an `nv`-variable cut function
+    /// into [`PreMatch`] constants at the estimated load, dropping
+    /// matches that are weakly dominated by an earlier entry (at
+    /// least as slow on every variable and output, and at least as
+    /// large — such a match can never be selected, under either
+    /// goal, for any leaf arrivals).
+    fn build_shortlist(&self, nv: usize, tt: u64) -> Vec<PreMatch> {
+        let inv = self.lib.cell(self.lib.smallest_inverter());
+        let inv_delay = inv.pins[0].intrinsic_ps + inv.drive_res * self.opts.est_load_ff;
+        let inv_area = inv.area_um2;
+        let mut out: Vec<PreMatch> = Vec::new();
+        'matches: for m in self.matcher.matches_cut_fn(nv, tt) {
+            let cell = self.lib.cell(m.cell);
+            let mut pm = PreMatch {
+                m: *m,
+                add: [0.0; 4],
+                out_add: if m.output_compl { inv_delay } else { 0.0 },
+                fixed_area: cell.area_um2 + if m.output_compl { inv_area } else { 0.0 },
+            };
+            for j in 0..nv {
+                let mut a = cell.delay_ps(m.pin_of_var[j] as usize, self.opts.est_load_ff);
+                if m.input_compl >> j & 1 == 1 {
+                    a += inv_delay;
+                    pm.fixed_area += inv_area;
+                }
+                pm.add[j] = a;
+            }
+            for kept in &out {
+                let dominated = kept.fixed_area <= pm.fixed_area
+                    && kept.out_add <= pm.out_add
+                    && (0..nv).all(|j| kept.add[j] <= pm.add[j]);
+                if dominated {
+                    continue 'matches;
+                }
+            }
+            out.push(pm);
+        }
+        out
     }
 
     /// Instantiates the selected cover into a netlist.
-    fn build_netlist(&self, aig: &Aig, chosen: &[Option<Chosen>]) -> Netlist {
+    ///
+    /// `net_of`/`inv_of`/`stack` are caller-owned scratch (dense
+    /// node→net and net→inverter-net tables), fully re-initialized
+    /// here so reuse across calls cannot leak state.
+    fn build_netlist(
+        &self,
+        aig: &Aig,
+        chosen: &[Option<Chosen>],
+        net_of: &mut Vec<Option<NetId>>,
+        inv_of: &mut Vec<Option<NetId>>,
+        stack: &mut Vec<(NodeId, bool)>,
+    ) -> Netlist {
         let mut nl = Netlist::new();
         let inv_cell = self.lib.smallest_inverter();
-        let mut pi_net: HashMap<NodeId, NetId> = HashMap::new();
+        net_of.clear();
+        net_of.resize(aig.num_nodes(), None);
+        inv_of.clear();
         for &pi in aig.inputs() {
-            pi_net.insert(pi, nl.add_input());
+            net_of[pi as usize] = Some(nl.add_input());
         }
-        let mut pos_net: HashMap<NodeId, NetId> = HashMap::new();
-        let mut inv_net: HashMap<NetId, NetId> = HashMap::new();
+        fn inverter_of(
+            nl: &mut Netlist,
+            inv_of: &mut Vec<Option<NetId>>,
+            inv_cell: cells::CellId,
+            base: NetId,
+        ) -> NetId {
+            let idx = base.0 as usize;
+            if inv_of.len() <= idx {
+                inv_of.resize(idx + 1, None);
+            }
+            *inv_of[idx].get_or_insert_with(|| nl.add_gate(inv_cell, vec![base]))
+        }
 
         // Iterative post-order construction of needed nodes.
-        let mut stack: Vec<(NodeId, bool)> = aig
-            .outputs()
-            .iter()
-            .filter(|o| aig.is_and(o.lit.var()))
-            .map(|o| (o.lit.var(), false))
-            .collect();
+        stack.clear();
+        stack.extend(
+            aig.outputs()
+                .iter()
+                .filter(|o| aig.is_and(o.lit.var()))
+                .map(|o| (o.lit.var(), false)),
+        );
         while let Some((node, expanded)) = stack.pop() {
-            if pos_net.contains_key(&node) {
+            if net_of[node as usize].is_some() {
                 continue;
             }
             let ch = chosen[node as usize]
@@ -270,58 +455,43 @@ impl<'a> Mapper<'a> {
             if !expanded {
                 stack.push((node, true));
                 for &leaf in ch.leaves.as_slice() {
-                    if aig.is_and(leaf) && !pos_net.contains_key(&leaf) {
+                    if aig.is_and(leaf) && net_of[leaf as usize].is_none() {
                         stack.push((leaf, false));
                     }
                 }
                 continue;
             }
             let cell = self.lib.cell(ch.m.cell);
-            let mut inputs: Vec<Option<NetId>> = vec![None; cell.num_inputs()];
+            let mut inputs: Vec<NetId> = vec![NetId(u32::MAX); cell.num_inputs()];
             for (j, &leaf) in ch.leaves.as_slice().iter().enumerate() {
-                let base = if aig.is_input(leaf) {
-                    pi_net[&leaf]
-                } else {
-                    pos_net[&leaf]
-                };
+                let base = net_of[leaf as usize].expect("leaves built before the root");
                 let sig = if ch.m.input_compl >> j & 1 == 1 {
-                    *inv_net
-                        .entry(base)
-                        .or_insert_with(|| nl.add_gate(inv_cell, vec![base]))
+                    inverter_of(&mut nl, inv_of, inv_cell, base)
                 } else {
                     base
                 };
-                inputs[ch.m.pin_of_var[j] as usize] = Some(sig);
+                inputs[ch.m.pin_of_var[j] as usize] = sig;
             }
-            let inputs: Vec<NetId> = inputs
-                .into_iter()
-                .map(|n| n.expect("all pins assigned by match"))
-                .collect();
+            debug_assert!(inputs.iter().all(|n| n.0 != u32::MAX), "all pins assigned");
             let mut out = nl.add_gate(ch.m.cell, inputs);
             if ch.m.output_compl {
-                out = *inv_net
-                    .entry(out)
-                    .or_insert_with(|| nl.add_gate(inv_cell, vec![out]));
+                out = inverter_of(&mut nl, inv_of, inv_cell, out);
             }
-            pos_net.insert(node, out);
+            net_of[node as usize] = Some(out);
         }
 
         for o in aig.outputs() {
             let var = o.lit.var();
             let base = if var == 0 {
                 nl.const_net(false)
-            } else if aig.is_input(var) {
-                pi_net[&var]
             } else {
-                pos_net[&var]
+                net_of[var as usize].expect("all output drivers built")
             };
             let net = if o.lit.is_complement() {
                 if let aig::NodeKind::Const = aig.node_kind(var) {
                     nl.const_net(true)
                 } else {
-                    *inv_net
-                        .entry(base)
-                        .or_insert_with(|| nl.add_gate(inv_cell, vec![base]))
+                    inverter_of(&mut nl, inv_of, inv_cell, base)
                 }
             } else {
                 base
@@ -519,18 +689,79 @@ mod tests {
         assert_eq!(nl.num_gates(), 1, "inverter must be shared");
     }
 
+    /// Every invalid option must surface as `BadOptions` — never as a
+    /// later `NoMatch` — from both `map` and `map_with`.
     #[test]
     fn bad_options_rejected() {
         let lib = sky130ish();
-        let m = Mapper::new(
-            &lib,
+        let g = random_aig(1, 4, 10);
+        let bad = [
             MapOptions {
                 cut_size: 6,
                 ..MapOptions::default()
             },
-        );
-        let g = random_aig(1, 4, 10);
-        assert!(matches!(m.map(&g), Err(MapError::BadOptions(_))));
+            MapOptions {
+                cut_size: 1,
+                ..MapOptions::default()
+            },
+            MapOptions {
+                max_cuts: 1,
+                ..MapOptions::default()
+            },
+            MapOptions {
+                est_load_ff: 0.0,
+                ..MapOptions::default()
+            },
+            MapOptions {
+                est_load_ff: -3.0,
+                ..MapOptions::default()
+            },
+            MapOptions {
+                est_load_ff: f64::NAN,
+                ..MapOptions::default()
+            },
+            MapOptions {
+                est_load_ff: f64::INFINITY,
+                ..MapOptions::default()
+            },
+        ];
+        for opts in bad {
+            assert!(matches!(opts.validate(), Err(MapError::BadOptions(_))), "{opts:?}");
+            let m = Mapper::new(&lib, opts);
+            assert!(
+                matches!(m.map(&g), Err(MapError::BadOptions(_))),
+                "map must reject {opts:?} up front"
+            );
+            let mut ctx = MapContext::new();
+            assert!(
+                matches!(m.map_with(&mut ctx, &g), Err(MapError::BadOptions(_))),
+                "map_with must reject {opts:?} up front"
+            );
+        }
+        assert!(MapOptions::default().validate().is_ok());
+    }
+
+    /// A context reused across distinct graphs (including a
+    /// shrink-then-grow size sequence) must reproduce `map`'s netlist
+    /// exactly.
+    #[test]
+    fn context_reuse_matches_fresh_map() {
+        let lib = sky130ish();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let mut ctx = MapContext::new();
+        // big -> small -> big again: stale table contents from the
+        // larger graph must not leak into the smaller one.
+        for (seed, nodes) in [(11u64, 80), (12, 8), (13, 60), (11, 80), (14, 25)] {
+            let g = random_aig(seed, 6, nodes);
+            let fresh = mapper.map(&g).expect("mappable");
+            let reused = mapper.map_with(&mut ctx, &g).expect("mappable");
+            assert_eq!(
+                format!("{fresh:?}"),
+                format!("{reused:?}"),
+                "seed {seed}: context-reusing map diverged"
+            );
+            verify_mapping(&g, &reused, &lib);
+        }
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! [`Transform`]/[`Recipe`] action abstraction, and [`recipes`] — the
 //! 103-entry action space matching the industry flow the paper cites.
 //!
+//! Cut resynthesis is memoized through [`ResynthCache`], a shared
+//! NPN-canonical structure cache: 4-input cut functions are
+//! synthesized once per NPN class and derived by leaf relabeling, and
+//! one cache may be carried across SA iterations and parallel sweep
+//! chains (`*_with` variants accept it; the plain entry points create
+//! a transient one, with byte-identical results either way).
+//!
 //! All transforms preserve Boolean function; the test suites verify
 //! this with exhaustive simulation on every transform and on sampled
 //! recipes.
@@ -36,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 mod balance;
+mod cache;
 pub mod factor;
 mod recipes;
 mod resub;
@@ -43,6 +51,11 @@ mod rewrite;
 pub mod structure;
 
 pub use balance::{balance, balance_dup, reshape};
+pub use cache::ResynthCache;
 pub use resub::resub;
-pub use recipes::{apply, recipes, ParseRecipeError, Recipe, Transform};
-pub use rewrite::{perturb, refactor, refactor_zero, resynthesize, rewrite, rewrite_zero, ResynthOptions};
+pub use recipes::{apply, apply_with, recipes, ParseRecipeError, Recipe, Transform};
+pub use rewrite::{
+    perturb, perturb_with, refactor, refactor_with, refactor_zero, refactor_zero_with,
+    resynthesize, resynthesize_with, rewrite, rewrite_with, rewrite_zero, rewrite_zero_with,
+    ResynthOptions,
+};

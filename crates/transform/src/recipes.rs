@@ -7,8 +7,11 @@
 //! same count of 103.
 
 use crate::balance::{balance, balance_dup, reshape};
+use crate::cache::ResynthCache;
 use crate::resub::resub;
-use crate::rewrite::{perturb, refactor, refactor_zero, rewrite, rewrite_zero};
+use crate::rewrite::{
+    perturb_with, refactor_with, refactor_zero_with, rewrite_with, rewrite_zero_with,
+};
 use aig::Aig;
 use std::fmt;
 
@@ -91,18 +94,28 @@ impl fmt::Display for Transform {
 /// Every primitive is function-preserving; the unit and property
 /// tests verify equivalence by exhaustive simulation.
 pub fn apply(aig: &Aig, t: Transform) -> Aig {
+    apply_with(aig, t, &ResynthCache::new())
+}
+
+/// [`apply`] against a shared resynthesis `cache`.
+///
+/// The resynthesizing primitives (`rw`, `rwz`, `rf`, `rfz`, `pt`)
+/// read and populate `cache`; the others ignore it. Results are
+/// byte-identical to [`apply`] for any cache state, so a single cache
+/// can be carried across SA iterations and parallel chains.
+pub fn apply_with(aig: &Aig, t: Transform, cache: &ResynthCache) -> Aig {
     match t {
         Transform::Balance => balance(aig),
-        Transform::Rewrite => rewrite(aig),
-        Transform::RewriteZero => rewrite_zero(aig),
-        Transform::Refactor => refactor(aig),
-        Transform::RefactorZero => refactor_zero(aig),
+        Transform::Rewrite => rewrite_with(aig, cache),
+        Transform::RewriteZero => rewrite_zero_with(aig, cache),
+        Transform::Refactor => refactor_with(aig, cache),
+        Transform::RefactorZero => refactor_zero_with(aig, cache),
         Transform::Sweep => aig.sweep(),
         Transform::BalanceDup => balance_dup(aig),
         // Fixed internal seeds keep `apply` deterministic; diversity
         // comes from the evolving input structure across iterations.
         Transform::Reshape => reshape(aig, 0x5EED_0001),
-        Transform::Perturb => perturb(aig, 0x5EED_0002),
+        Transform::Perturb => perturb_with(aig, 0x5EED_0002, cache),
         Transform::Resub => resub(aig),
     }
 }
@@ -114,9 +127,15 @@ pub struct Recipe(pub Vec<Transform>);
 impl Recipe {
     /// Applies the recipe to `aig`.
     pub fn apply(&self, aig: &Aig) -> Aig {
+        self.apply_with(aig, &ResynthCache::new())
+    }
+
+    /// Applies the recipe against a shared resynthesis `cache`
+    /// (byte-identical to [`Recipe::apply`]; see [`apply_with`]).
+    pub fn apply_with(&self, aig: &Aig, cache: &ResynthCache) -> Aig {
         let mut g = aig.clone();
         for &t in &self.0 {
-            g = apply(&g, t);
+            g = apply_with(&g, t, cache);
         }
         g
     }

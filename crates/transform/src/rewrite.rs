@@ -13,15 +13,14 @@
 //!   reduce estimated depth (ABC's `-z` flag analog), diversifying
 //!   the search space for the optimization flows.
 
-use crate::factor::synthesize;
+use crate::cache::ResynthCache;
 use crate::structure::SmallStructure;
 use aig::analysis::levels;
 use aig::cut::enumerate_cuts;
-use aig::tt::Tt;
 use aig::{Aig, Lit, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Options for the resynthesis engine.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +39,13 @@ pub struct ResynthOptions {
 
 /// Rewrites `aig` using 4-input cuts; never increases live node count.
 pub fn rewrite(aig: &Aig) -> Aig {
-    resynthesize(
+    rewrite_with(aig, &ResynthCache::new())
+}
+
+/// [`rewrite`] against a shared resynthesis `cache` (see
+/// [`ResynthCache`]); results are identical to [`rewrite`].
+pub fn rewrite_with(aig: &Aig, cache: &ResynthCache) -> Aig {
+    resynthesize_with(
         aig,
         &ResynthOptions {
             cut_size: 4,
@@ -48,12 +53,18 @@ pub fn rewrite(aig: &Aig) -> Aig {
             zero_cost: false,
             perturb: None,
         },
+        cache,
     )
 }
 
 /// Zero-cost-accepting variant of [`rewrite`].
 pub fn rewrite_zero(aig: &Aig) -> Aig {
-    resynthesize(
+    rewrite_zero_with(aig, &ResynthCache::new())
+}
+
+/// [`rewrite_zero`] against a shared resynthesis `cache`.
+pub fn rewrite_zero_with(aig: &Aig, cache: &ResynthCache) -> Aig {
+    resynthesize_with(
         aig,
         &ResynthOptions {
             cut_size: 4,
@@ -61,12 +72,18 @@ pub fn rewrite_zero(aig: &Aig) -> Aig {
             zero_cost: true,
             perturb: None,
         },
+        cache,
     )
 }
 
 /// Refactors `aig` using 6-input cuts (larger resynthesis cones).
 pub fn refactor(aig: &Aig) -> Aig {
-    resynthesize(
+    refactor_with(aig, &ResynthCache::new())
+}
+
+/// [`refactor`] against a shared resynthesis `cache`.
+pub fn refactor_with(aig: &Aig, cache: &ResynthCache) -> Aig {
+    resynthesize_with(
         aig,
         &ResynthOptions {
             cut_size: 6,
@@ -74,6 +91,7 @@ pub fn refactor(aig: &Aig) -> Aig {
             zero_cost: false,
             perturb: None,
         },
+        cache,
     )
 }
 
@@ -104,7 +122,12 @@ pub fn refactor(aig: &Aig) -> Aig {
 /// # Ok::<(), aig::AigError>(())
 /// ```
 pub fn perturb(aig: &Aig, seed: u64) -> Aig {
-    resynthesize(
+    perturb_with(aig, seed, &ResynthCache::new())
+}
+
+/// [`perturb`] against a shared resynthesis `cache`.
+pub fn perturb_with(aig: &Aig, seed: u64, cache: &ResynthCache) -> Aig {
+    resynthesize_with(
         aig,
         &ResynthOptions {
             cut_size: 5,
@@ -112,12 +135,18 @@ pub fn perturb(aig: &Aig, seed: u64) -> Aig {
             zero_cost: false,
             perturb: Some((seed, 0.35)),
         },
+        cache,
     )
 }
 
 /// Zero-cost-accepting variant of [`refactor`].
 pub fn refactor_zero(aig: &Aig) -> Aig {
-    resynthesize(
+    refactor_zero_with(aig, &ResynthCache::new())
+}
+
+/// [`refactor_zero`] against a shared resynthesis `cache`.
+pub fn refactor_zero_with(aig: &Aig, cache: &ResynthCache) -> Aig {
+    resynthesize_with(
         aig,
         &ResynthOptions {
             cut_size: 6,
@@ -125,6 +154,7 @@ pub fn refactor_zero(aig: &Aig) -> Aig {
             zero_cost: true,
             perturb: None,
         },
+        cache,
     )
 }
 
@@ -135,7 +165,7 @@ enum Candidate {
     Structure {
         cost: usize,
         depth: u32,
-        s: SmallStructure,
+        s: Arc<SmallStructure>,
         leaves: Vec<Lit>,
     },
 }
@@ -173,6 +203,20 @@ enum Candidate {
 /// # Ok::<(), aig::AigError>(())
 /// ```
 pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
+    resynthesize_with(aig, opts, &ResynthCache::new())
+}
+
+/// [`resynthesize`] against a shared resynthesis `cache`.
+///
+/// The cache may be shared across calls, SA iterations, and parallel
+/// sweep chains; results are byte-identical to [`resynthesize`] (and
+/// to a [`ResynthCache::disabled`] cache) because cached structures
+/// are pure functions of the cut function.
+///
+/// # Panics
+///
+/// Panics if `opts.cut_size` is outside `2..=6`.
+pub fn resynthesize_with(aig: &Aig, opts: &ResynthOptions, cache: &ResynthCache) -> Aig {
     assert!(
         (2..=6).contains(&opts.cut_size),
         "cut size must be 2..=6, got {}",
@@ -188,7 +232,6 @@ pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
     for (idx, &pi) in old.inputs().iter().enumerate() {
         map[pi as usize] = new.add_named_input(old.input_name(idx).map(str::to_owned));
     }
-    let mut cache: HashMap<(u8, u64), SmallStructure> = HashMap::new();
     let mut rng = opts.perturb.map(|(seed, prob)| (SmallRng::seed_from_u64(seed), prob));
 
     for id in old.and_ids() {
@@ -200,7 +243,7 @@ pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
 
         let mut best: Option<Candidate> = None;
         let mut best_rank = (usize::MAX, u32::MAX);
-        let mut pool: Vec<(SmallStructure, Vec<Lit>)> = Vec::new();
+        let mut pool: Vec<(Arc<SmallStructure>, Vec<Lit>)> = Vec::new();
         let perturb_here = match &mut rng {
             Some((r, prob)) => r.gen::<f64>() < *prob,
             None => false,
@@ -218,9 +261,7 @@ pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
                     let nv = kept.len();
                     let mapped: Vec<Lit> = kept.iter().map(|&l| map[l as usize]).collect();
                     debug_assert!(mapped.iter().all(|&l| l != Lit::INVALID));
-                    let structure = cache
-                        .entry((nv as u8, tt))
-                        .or_insert_with(|| synthesize(&Tt::from_u64(nv, tt)));
+                    let structure = cache.structure_for(nv, tt);
                     let cost = structure.dry_cost(&new, &mapped);
                     let depth = structure.depth()
                         + kept
@@ -229,14 +270,14 @@ pub fn resynthesize(aig: &Aig, opts: &ResynthOptions) -> Aig {
                             .max()
                             .unwrap_or(0);
                     if perturb_here {
-                        pool.push((structure.clone(), mapped.clone()));
+                        pool.push((Arc::clone(&structure), mapped.clone()));
                     }
                     if (cost, depth) < best_rank {
                         best_rank = (cost, depth);
                         best = Some(Candidate::Structure {
                             cost,
                             depth,
-                            s: structure.clone(),
+                            s: structure,
                             leaves: mapped,
                         });
                     }

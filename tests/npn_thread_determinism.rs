@@ -1,0 +1,76 @@
+//! Worker-count independence of the shared NPN resynthesis cache,
+//! driven through the public API by toggling `AIG_THREADS`.
+//!
+//! This lives in its own test binary on purpose (like
+//! `par_dispatch`): the env var is process-global, and here the
+//! toggling test is the only test in the process, so no sibling test
+//! can observe a mid-flight value. `optimize_seeds` and `sweep` both
+//! share one `ResynthCache` across their parallel chains; with the
+//! cache populated under racing writers (4 workers) and under a
+//! single worker, every chain's output must be byte-identical.
+
+use aig::aiger::to_ascii;
+use saopt::{optimize_seeds, sweep, ProxyCost, SaOptions, SweepConfig};
+use transform::recipes;
+
+mod common;
+use common::random_aig_with;
+
+/// Restores the pre-test `AIG_THREADS` value even if an assert
+/// unwinds mid-loop.
+struct EnvGuard(Option<String>);
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(v) => std::env::set_var("AIG_THREADS", v),
+            None => std::env::remove_var("AIG_THREADS"),
+        }
+    }
+}
+
+#[test]
+fn shared_cache_outputs_independent_of_worker_count() {
+    let _guard = EnvGuard(std::env::var("AIG_THREADS").ok());
+    let g = random_aig_with(31, 8, 110, 4);
+    let actions = recipes();
+    let opts = SaOptions {
+        iterations: 5,
+        ..SaOptions::default()
+    };
+    let seeds = [1u64, 9, 43, 77];
+    let cfg = SweepConfig {
+        weights: vec![(1.0, 0.0), (0.5, 0.5)],
+        decays: vec![0.9, 0.95],
+        iterations: 4,
+        seed: 13,
+    };
+
+    std::env::set_var("AIG_THREADS", "1");
+    let serial_chains = optimize_seeds(&g, || ProxyCost, &actions, &opts, &seeds);
+    let serial_sweep = sweep(&g, || ProxyCost, &actions, &cfg);
+
+    std::env::set_var("AIG_THREADS", "4");
+    let parallel_chains = optimize_seeds(&g, || ProxyCost, &actions, &opts, &seeds);
+    let parallel_sweep = sweep(&g, || ProxyCost, &actions, &cfg);
+
+    assert_eq!(serial_chains.len(), parallel_chains.len());
+    for (i, (s, p)) in serial_chains.iter().zip(&parallel_chains).enumerate() {
+        assert_eq!(
+            to_ascii(&s.best),
+            to_ascii(&p.best),
+            "chain {i}: best AIG differs between 1 and 4 workers"
+        );
+        assert_eq!(s.history, p.history, "chain {i}");
+        assert_eq!(s.evaluated, p.evaluated, "chain {i}");
+    }
+    assert_eq!(serial_sweep.len(), parallel_sweep.len());
+    for (i, (s, p)) in serial_sweep.iter().zip(&parallel_sweep).enumerate() {
+        assert_eq!(
+            to_ascii(&s.best),
+            to_ascii(&p.best),
+            "sweep point {i}: best AIG differs between 1 and 4 workers"
+        );
+        assert_eq!(s.flow_metrics, p.flow_metrics, "sweep point {i}");
+    }
+}
