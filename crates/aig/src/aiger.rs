@@ -183,7 +183,8 @@ pub fn from_binary(bytes: &[u8]) -> Result<Aig, AigError> {
             .ok_or_else(|| parse_err(pos, "delta1 exceeds rhs0"))?;
         ands.push((lhs, r0, r1));
     }
-    let tail = std::str::from_utf8(&bytes[pos..]).map_err(|_| parse_err(pos, "non-utf8 symbols"))?;
+    let tail =
+        std::str::from_utf8(&bytes[pos..]).map_err(|_| parse_err(pos, "non-utf8 symbols"))?;
     let symbols: Vec<&str> = tail.lines().collect();
     // In binary AIGER the inputs are implicit: 2, 4, ..., 2*I.
     let lits: Vec<u32> = (1..=h.i as u32).map(|v| 2 * v).collect();
@@ -283,7 +284,10 @@ fn build(
         }
         let v = (l / 2) as usize;
         if v > max_var || map[v] != Lit::INVALID {
-            return Err(parse_err(k + 2, "input variable out of range or duplicated"));
+            return Err(parse_err(
+                k + 2,
+                "input variable out of range or duplicated",
+            ));
         }
         map[v] = g.add_input();
     }
@@ -363,7 +367,10 @@ fn split_symbol(rest: &str) -> Option<(usize, &str)> {
 fn lookup(map: &[Lit], aiger_lit: u32) -> Result<Lit, AigError> {
     let v = (aiger_lit / 2) as usize;
     if v >= map.len() || map[v] == Lit::INVALID {
-        return Err(parse_err(0, &format!("literal {aiger_lit} referenced before definition")));
+        return Err(parse_err(
+            0,
+            &format!("literal {aiger_lit} referenced before definition"),
+        ));
     }
     Ok(map[v].complement_if(aiger_lit % 2 == 1))
 }

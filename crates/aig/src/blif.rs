@@ -89,7 +89,10 @@ pub fn to_blif(aig: &Aig, model: &str) -> String {
             }
         } else {
             let pol = if o.lit.is_complement() { "0 1" } else { "1 1" };
-            s.push_str(&format!(".names {} {name}\n{pol}\n", sig[o.lit.var() as usize]));
+            s.push_str(&format!(
+                ".names {} {name}\n{pol}\n",
+                sig[o.lit.var() as usize]
+            ));
         }
     }
     if const_used {
@@ -152,9 +155,7 @@ pub fn from_blif(text: &str) -> Result<Aig, AigError> {
         match tok.next() {
             Some(".model") => {
                 if saw_model {
-                    return Err(AigError::Unsupported(
-                        "multiple .model sections".to_owned(),
-                    ));
+                    return Err(AigError::Unsupported("multiple .model sections".to_owned()));
                 }
                 saw_model = true;
             }
@@ -199,7 +200,11 @@ pub fn from_blif(text: &str) -> Result<Aig, AigError> {
                     }
                     rows.push((mask, value));
                 }
-                tables.push(Names { line: ln, ios, rows });
+                tables.push(Names {
+                    line: ln,
+                    ios,
+                    rows,
+                });
             }
             Some(".end") => break,
             Some(other) if other.starts_with('.') => {

@@ -23,9 +23,20 @@
 //! [`enumerate_cuts_naive`]; parity tests assert both produce
 //! identical cut sets, and the component benchmark measures the
 //! speedup between them.
+//!
+//! For the SA loop's *in-place* moves, [`CutDb`] keeps the cut table
+//! alive across graph edits: seeded by the
+//! [`DirtyRegion`](crate::incremental::DirtyRegion) of a
+//! substitution, it recomputes only the edited nodes and the part of
+//! their transitive fanout whose lists actually change (equality
+//! cutoff), and supports exact rollback in step with an edit
+//! [`Transaction`](crate::incremental::Transaction). Its table is
+//! bit-identical to a fresh [`enumerate_cuts`] after any edit
+//! sequence.
 
 use crate::graph::Aig;
 use crate::lit::NodeId;
+use std::collections::BinaryHeap;
 
 /// Maximum number of leaves a [`Cut`] can hold.
 pub const MAX_CUT_SIZE: usize = 6;
@@ -50,7 +61,9 @@ impl PartialEq for Cut {
     fn eq(&self, other: &Self) -> bool {
         // sig is derived from leaves; tt is stored masked — plain
         // field comparison after the cheap discriminators.
-        self.len == other.len && self.sig == other.sig && self.tt == other.tt
+        self.len == other.len
+            && self.sig == other.sig
+            && self.tt == other.tt
             && self.leaves() == other.leaves()
     }
 }
@@ -93,7 +106,11 @@ impl Cut {
     /// Panics if `leaves` has more than [`MAX_CUT_SIZE`] entries or is
     /// not strictly ascending.
     pub fn from_leaves(leaves: &[NodeId], tt: u64) -> Cut {
-        assert!(leaves.len() <= MAX_CUT_SIZE, "cut of {} leaves", leaves.len());
+        assert!(
+            leaves.len() <= MAX_CUT_SIZE,
+            "cut of {} leaves",
+            leaves.len()
+        );
         assert!(
             leaves.windows(2).all(|w| w[0] < w[1]),
             "cut leaves must be sorted ascending: {leaves:?}"
@@ -371,59 +388,409 @@ pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, out: &mut CutSe
     }
 
     for id in aig.and_ids() {
-        let [f0, f1] = aig.fanins(id);
-        list.clear();
-        list.push(Cut::trivial(id));
-        let (s0, e0) = span[f0.var() as usize];
-        let (s1, e1) = span[f1.var() as usize];
-        merged.clear();
-        for i0 in s0..e0 {
-            let c0 = arena[i0 as usize];
-            for i1 in s1..e1 {
-                let c1 = arena[i1 as usize];
-                // Signature prefilter: the union has at least
-                // popcount(sig0 | sig1) distinct leaves.
-                if (c0.sig | c1.sig).count_ones() as usize > k {
-                    continue;
-                }
-                let Some((leaves, len, sig)) = Cut::merged_leaves(&c0, &c1, k) else {
-                    continue;
-                };
-                let leaves_s = &leaves[..len as usize];
-                let t0 = expand_tt(c0.tt, c0.leaves(), leaves_s);
-                let t1 = expand_tt(c1.tt, c1.leaves(), leaves_s);
-                let mask = width_mask(len as usize);
-                let t0 = if f0.is_complement() { !t0 & mask } else { t0 };
-                let t1 = if f1.is_complement() { !t1 & mask } else { t1 };
-                merged.push(Cut {
-                    leaves,
-                    len,
-                    sig,
-                    tt: t0 & t1,
-                });
-            }
-        }
-        // Visit candidates in size order (prefer small cuts) without
-        // sorting: sizes span 1..=6, so stable size-bucket passes are
-        // cheaper than a (heap-allocating) stable sort. Filter
-        // dominated/duplicate cuts; `dominates` covers equality, and
-        // its signature-subset prefilter rejects most candidates in
-        // one AND.
-        'fill: for size in 1..=k {
-            for c in merged.iter() {
-                if c.size() != size {
-                    continue;
-                }
-                if list.len() >= max_cuts {
-                    break 'fill;
-                }
-                if list.iter().any(|kept| kept.dominates(c)) {
-                    continue;
-                }
-                list.push(*c);
-            }
-        }
+        node_cut_list(aig, id, k, max_cuts, arena, span, merged, list);
         push_list(arena, span, id, list);
+    }
+}
+
+/// Computes the cut list of AND node `id` into `list`, reading the
+/// fanins' lists through `(arena, span)`. This is the shared inner
+/// loop of [`enumerate_cuts_into`] (full enumeration) and
+/// [`CutDb`] (incremental re-enumeration); both therefore keep
+/// *identical* per-node cut lists by construction.
+#[allow(clippy::too_many_arguments)]
+fn node_cut_list(
+    aig: &Aig,
+    id: NodeId,
+    k: usize,
+    max_cuts: usize,
+    arena: &[Cut],
+    span: &[(u32, u32)],
+    merged: &mut Vec<Cut>,
+    list: &mut Vec<Cut>,
+) {
+    let [f0, f1] = aig.fanins(id);
+    list.clear();
+    list.push(Cut::trivial(id));
+    let (s0, e0) = span[f0.var() as usize];
+    let (s1, e1) = span[f1.var() as usize];
+    merged.clear();
+    for i0 in s0..e0 {
+        let c0 = arena[i0 as usize];
+        for i1 in s1..e1 {
+            let c1 = arena[i1 as usize];
+            // Signature prefilter: the union has at least
+            // popcount(sig0 | sig1) distinct leaves.
+            if (c0.sig | c1.sig).count_ones() as usize > k {
+                continue;
+            }
+            let Some((leaves, len, sig)) = Cut::merged_leaves(&c0, &c1, k) else {
+                continue;
+            };
+            let leaves_s = &leaves[..len as usize];
+            let t0 = expand_tt(c0.tt, c0.leaves(), leaves_s);
+            let t1 = expand_tt(c1.tt, c1.leaves(), leaves_s);
+            let mask = width_mask(len as usize);
+            let t0 = if f0.is_complement() { !t0 & mask } else { t0 };
+            let t1 = if f1.is_complement() { !t1 & mask } else { t1 };
+            merged.push(Cut {
+                leaves,
+                len,
+                sig,
+                tt: t0 & t1,
+            });
+        }
+    }
+    // Visit candidates in size order (prefer small cuts) without
+    // sorting: sizes span 1..=6, so stable size-bucket passes are
+    // cheaper than a (heap-allocating) stable sort. Filter
+    // dominated/duplicate cuts; `dominates` covers equality, and
+    // its signature-subset prefilter rejects most candidates in
+    // one AND.
+    'fill: for size in 1..=k {
+        for c in merged.iter() {
+            if c.size() != size {
+                continue;
+            }
+            if list.len() >= max_cuts {
+                break 'fill;
+            }
+            if list.iter().any(|kept| kept.dominates(c)) {
+                continue;
+            }
+            list.push(*c);
+        }
+    }
+}
+
+/// One open [`CutDb`] edit session: `(node, old span)` records plus
+/// the arena, span-table and live sizes at [`CutDb::begin_edit`].
+#[derive(Clone, Debug)]
+struct EditJournal {
+    old_spans: Vec<(NodeId, (u32, u32))>,
+    arena_len: usize,
+    span_len: usize,
+    live: usize,
+}
+
+/// An incrementally maintained per-node cut database.
+///
+/// [`enumerate_cuts`] recomputes every node's cut list from scratch —
+/// the right tool when the whole graph changed. The SA loop's
+/// in-place moves instead edit a handful of nodes, and a single
+/// substitution can only change the cut sets of the edited nodes and
+/// their transitive fanout. `CutDb` keeps the full per-node cut table
+/// (same arena + span layout as [`CutSet`]) alive across edits:
+///
+/// * [`CutDb::build`] — full enumeration (cost of one
+///   [`enumerate_cuts`]);
+/// * [`CutDb::sync_appends`] — absorbs appended nodes only;
+/// * [`CutDb::invalidate`] — seeded by a [`DirtyRegion`]'s
+///   [`edited`](DirtyRegion::edited) set, recomputes dirty nodes in
+///   ascending id order and propagates to a node's consumers **only
+///   when its recomputed list actually changed** (equality cutoff),
+///   so the cost tracks the true footprint of the edit;
+/// * [`CutDb::begin_edit`] / [`CutDb::commit_edit`] /
+///   [`CutDb::rollback_edit`] — bracket the updates belonging to one
+///   speculative [`Transaction`](crate::incremental::Transaction), so
+///   a rejected SA move also rolls the cut table back exactly.
+///
+/// Updated lists are appended to the arena and the node's span is
+/// redirected; the stale region is garbage that [`CutDb::commit_edit`]
+/// compacts away once it outweighs the live cuts. The maintained
+/// table is **bit-identical** to a fresh enumeration after any edit
+/// sequence ([`CutDb::assert_matches_fresh`] is the oracle check the
+/// differential suite runs after every step) — which is what lets the
+/// rewriting engine and the mapper consume cached cuts without any
+/// behavioral difference from re-enumeration.
+#[derive(Clone, Debug)]
+pub struct CutDb {
+    k: usize,
+    max_cuts: usize,
+    arena: Vec<Cut>,
+    span: Vec<(u32, u32)>,
+    /// Total cuts across live spans (arena occupancy heuristic).
+    live: usize,
+    /// Open edit session, `None` outside one.
+    journal: Option<EditJournal>,
+    // Scratch.
+    merged: Vec<Cut>,
+    list: Vec<Cut>,
+    heap: BinaryHeap<std::cmp::Reverse<NodeId>>,
+    queued: Vec<bool>,
+}
+
+impl CutDb {
+    /// An empty database enumerating `k`-feasible cuts, up to
+    /// `max_cuts` per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=6`.
+    pub fn new(k: usize, max_cuts: usize) -> Self {
+        assert!(
+            (1..=MAX_CUT_SIZE).contains(&k),
+            "cut size k must be in 1..=6"
+        );
+        CutDb {
+            k,
+            max_cuts,
+            arena: Vec::new(),
+            span: Vec::new(),
+            live: 0,
+            journal: None,
+            merged: Vec::new(),
+            list: Vec::new(),
+            heap: BinaryHeap::new(),
+            queued: Vec::new(),
+        }
+    }
+
+    /// The cut-size bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The per-node cut-count bound.
+    pub fn max_cuts(&self) -> usize {
+        self.max_cuts
+    }
+
+    /// Number of nodes currently tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.span.len()
+    }
+
+    /// The cuts of node `id` (trivial cut included, first).
+    pub fn cuts(&self, id: NodeId) -> &[Cut] {
+        let (s, e) = self.span[id as usize];
+        &self.arena[s as usize..e as usize]
+    }
+
+    /// Full (re-)enumeration for `aig`, reusing the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics inside an open edit session.
+    pub fn build(&mut self, aig: &Aig) {
+        assert!(self.journal.is_none(), "build() inside an edit session");
+        let n = aig.num_nodes();
+        self.arena.clear();
+        self.arena
+            .reserve(n.saturating_mul(self.max_cuts.min(8) + 1));
+        self.span.clear();
+        self.span.resize(n, (0, 0));
+        self.queued.clear();
+        self.queued.resize(n, false);
+        self.push_list_for(0, &[Cut::from_leaves(&[], 0)]);
+        for &pi in aig.inputs() {
+            self.push_list_for(pi, &[Cut::trivial(pi)]);
+        }
+        let mut list = std::mem::take(&mut self.list);
+        let mut merged = std::mem::take(&mut self.merged);
+        for id in aig.and_ids() {
+            node_cut_list(
+                aig,
+                id,
+                self.k,
+                self.max_cuts,
+                &self.arena,
+                &self.span,
+                &mut merged,
+                &mut list,
+            );
+            self.push_list_for(id, &list);
+        }
+        self.list = list;
+        self.merged = merged;
+        self.live = self.arena.len();
+    }
+
+    /// Absorbs nodes appended to the same graph since the last
+    /// `build`/`sync_appends` (cost proportional to the appended
+    /// suffix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph shrank.
+    pub fn sync_appends(&mut self, aig: &Aig) {
+        let old_n = self.span.len();
+        let n = aig.num_nodes();
+        assert!(
+            n >= old_n,
+            "sync_appends() only supports append-only growth ({old_n} -> {n} nodes)"
+        );
+        self.span.resize(n, (0, 0));
+        self.queued.resize(n, false);
+        let mut list = std::mem::take(&mut self.list);
+        let mut merged = std::mem::take(&mut self.merged);
+        for id in old_n as NodeId..n as NodeId {
+            if aig.is_and(id) {
+                node_cut_list(
+                    aig,
+                    id,
+                    self.k,
+                    self.max_cuts,
+                    &self.arena,
+                    &self.span,
+                    &mut merged,
+                    &mut list,
+                );
+                self.push_list_for(id, &list);
+                self.live += list.len();
+            } else {
+                self.push_list_for(id, &[Cut::trivial(id)]);
+                self.live += 1;
+            }
+        }
+        self.list = list;
+        self.merged = merged;
+    }
+
+    /// Recomputes the cut lists invalidated by an in-place edit.
+    ///
+    /// `dirty` is the report of the edit
+    /// ([`IncrementalAnalysis::substitute`] or accumulated across a
+    /// transaction step); its [`edited`](DirtyRegion::edited) nodes
+    /// seed an ascending worklist. Each popped node's list is
+    /// recomputed from its (current) fanin lists; if the result
+    /// differs from the stored list, the node's consumers (read from
+    /// `inc`, which must be live for the same graph) are enqueued —
+    /// if it is identical, propagation stops there. After the call
+    /// the table equals a fresh enumeration of the current graph.
+    ///
+    /// [`IncrementalAnalysis::substitute`]:
+    /// crate::incremental::IncrementalAnalysis::substitute
+    pub fn invalidate(
+        &mut self,
+        aig: &Aig,
+        inc: &crate::incremental::IncrementalAnalysis,
+        dirty: &crate::incremental::DirtyRegion,
+    ) {
+        debug_assert_eq!(self.span.len(), aig.num_nodes(), "db out of sync");
+        for &seed in dirty.edited() {
+            self.enqueue(seed);
+        }
+        let mut list = std::mem::take(&mut self.list);
+        let mut merged = std::mem::take(&mut self.merged);
+        while let Some(std::cmp::Reverse(id)) = self.heap.pop() {
+            self.queued[id as usize] = false;
+            node_cut_list(
+                aig,
+                id,
+                self.k,
+                self.max_cuts,
+                &self.arena,
+                &self.span,
+                &mut merged,
+                &mut list,
+            );
+            if self.cuts(id) == &list[..] {
+                continue; // equality cutoff: consumers see no change
+            }
+            let old = self.span[id as usize];
+            if let Some(journal) = &mut self.journal {
+                journal.old_spans.push((id, old));
+            }
+            self.live = self.live + list.len() - (old.1 - old.0) as usize;
+            self.push_list_for(id, &list);
+            for &c in inc.consumers(id) {
+                self.enqueue(c);
+            }
+        }
+        self.list = list;
+        self.merged = merged;
+    }
+
+    /// Opens an edit session: span updates are journaled so
+    /// [`CutDb::rollback_edit`] can revert them exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already open.
+    pub fn begin_edit(&mut self) {
+        assert!(self.journal.is_none(), "edit session already open");
+        self.journal = Some(EditJournal {
+            old_spans: Vec::new(),
+            arena_len: self.arena.len(),
+            span_len: self.span.len(),
+            live: self.live,
+        });
+    }
+
+    /// Closes the edit session keeping every update, and compacts the
+    /// arena when stale spans outweigh live cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics without an open session.
+    pub fn commit_edit(&mut self) {
+        assert!(self.journal.take().is_some(), "no edit session open");
+        if self.arena.len() > self.live.saturating_mul(4) {
+            self.compact();
+        }
+    }
+
+    /// Closes the edit session reverting every update since
+    /// [`CutDb::begin_edit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics without an open session.
+    pub fn rollback_edit(&mut self) {
+        let journal = self.journal.take().expect("no edit session open");
+        self.span.truncate(journal.span_len);
+        self.queued.truncate(journal.span_len);
+        for &(id, old) in journal.old_spans.iter().rev() {
+            self.span[id as usize] = old;
+        }
+        self.arena.truncate(journal.arena_len);
+        self.live = journal.live;
+    }
+
+    /// Rewrites the arena without the stale spans (relative order of
+    /// live spans is irrelevant; lookups go through `span`).
+    fn compact(&mut self) {
+        let mut fresh: Vec<Cut> = Vec::with_capacity(self.live);
+        for sp in self.span.iter_mut() {
+            let (s, e) = *sp;
+            let ns = fresh.len() as u32;
+            fresh.extend_from_slice(&self.arena[s as usize..e as usize]);
+            *sp = (ns, fresh.len() as u32);
+        }
+        self.arena = fresh;
+        debug_assert_eq!(self.arena.len(), self.live);
+    }
+
+    fn push_list_for(&mut self, id: NodeId, cuts: &[Cut]) {
+        let s = self.arena.len() as u32;
+        self.arena.extend_from_slice(cuts);
+        self.span[id as usize] = (s, self.arena.len() as u32);
+    }
+
+    fn enqueue(&mut self, id: NodeId) {
+        if !self.queued[id as usize] {
+            self.queued[id as usize] = true;
+            self.heap.push(std::cmp::Reverse(id));
+        }
+    }
+
+    /// Asserts every node's list equals a fresh [`enumerate_cuts`] of
+    /// the current graph (differential-testing oracle; full-cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the node id) on the first mismatch.
+    pub fn assert_matches_fresh(&self, aig: &Aig) {
+        assert_eq!(self.span.len(), aig.num_nodes(), "node count diverged");
+        let fresh = enumerate_cuts(aig, self.k, self.max_cuts);
+        for id in aig.node_ids() {
+            assert_eq!(
+                self.cuts(id),
+                fresh.cuts(id),
+                "cut db diverged from fresh enumeration at node {id}"
+            );
+        }
     }
 }
 
@@ -562,6 +929,7 @@ pub fn enumerate_cuts_naive(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut
 mod tests {
     use super::*;
     use crate::sim::SimTable;
+    use crate::Lit;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -595,11 +963,7 @@ mod tests {
                 }
             }
             to.sort_unstable();
-            let from: Vec<NodeId> = to
-                .iter()
-                .copied()
-                .filter(|_| rng.gen::<bool>())
-                .collect();
+            let from: Vec<NodeId> = to.iter().copied().filter(|_| rng.gen::<bool>()).collect();
             if from.is_empty() {
                 continue;
             }
@@ -729,6 +1093,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Random edit walks: after every substitution + invalidate (and
+    /// every rolled-back speculative edit) the database must equal a
+    /// fresh enumeration bit for bit.
+    #[test]
+    fn cutdb_tracks_fresh_enumeration_through_edits() {
+        use crate::incremental::{IncrementalAnalysis, Transaction};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(0xCDB ^ seed);
+            let mut g = crate::test_support::random_aig(seed, 7, 80, 3);
+            let mut inc = IncrementalAnalysis::new(&g);
+            let mut db = CutDb::new(4, 8);
+            db.build(&g);
+            db.assert_matches_fresh(&g);
+
+            for _ in 0..12 {
+                let commit = rng.gen::<bool>();
+                db.begin_edit();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                for _ in 0..rng.gen_range(1..4) {
+                    let ands: Vec<NodeId> = txn.aig().and_ids().collect();
+                    let node = ands[rng.gen_range(0..ands.len())];
+                    let with = crate::Lit::new(rng.gen_range(0..node), rng.gen());
+                    txn.substitute(node, with);
+                    db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+                }
+                if commit {
+                    txn.commit();
+                    db.commit_edit();
+                } else {
+                    txn.rollback();
+                    db.rollback_edit();
+                }
+                db.assert_matches_fresh(&g);
+            }
+        }
+    }
+
+    /// Appends are absorbed incrementally, and compaction (forced by
+    /// many edits) preserves the table.
+    #[test]
+    fn cutdb_sync_appends_and_compaction() {
+        use crate::incremental::IncrementalAnalysis;
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut g = crate::test_support::random_aig(3, 6, 50, 2);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = CutDb::new(4, 8);
+        db.build(&g);
+        for round in 0..30 {
+            // Grow a little...
+            let n = g.num_nodes() as NodeId;
+            let a = Lit::new(rng.gen_range(0..n), rng.gen());
+            let b = Lit::new(rng.gen_range(0..n), rng.gen());
+            g.and(a, b);
+            inc.sync(&g);
+            db.sync_appends(&g);
+            // ...then churn one substitution, committing every time so
+            // stale spans accumulate and compaction eventually fires.
+            let ands: Vec<NodeId> = g.and_ids().collect();
+            let node = ands[rng.gen_range(0..ands.len())];
+            let with = Lit::new(rng.gen_range(0..node), rng.gen());
+            db.begin_edit();
+            inc.substitute(&mut g, node, with);
+            db.invalidate(&g, &inc, inc.last_dirty());
+            db.commit_edit();
+            db.assert_matches_fresh(&g);
+            let _ = round;
+        }
+        assert!(
+            db.arena.len() <= db.live.saturating_mul(4),
+            "commit_edit must keep the arena compact"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "edit session")]
+    fn cutdb_rejects_unpaired_commit() {
+        let mut db = CutDb::new(4, 8);
+        db.commit_edit();
     }
 
     #[test]

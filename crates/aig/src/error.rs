@@ -35,7 +35,10 @@ impl fmt::Display for AigError {
                 write!(f, "invalid AIGER at {position}: {msg}")
             }
             AigError::TooManyInputs { inputs, max } => {
-                write!(f, "exhaustive analysis limited to {max} inputs, got {inputs}")
+                write!(
+                    f,
+                    "exhaustive analysis limited to {max} inputs, got {inputs}"
+                )
             }
             AigError::Mismatch(msg) => write!(f, "{msg}"),
             AigError::Unsupported(msg) => write!(f, "unsupported feature: {msg}"),
@@ -65,7 +68,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = AigError::TooManyInputs { inputs: 20, max: 16 };
+        let e = AigError::TooManyInputs {
+            inputs: 20,
+            max: 16,
+        };
         assert!(format!("{e}").contains("20"));
         let e = AigError::ParseAiger {
             position: 3,

@@ -29,6 +29,18 @@ struct Node {
     fanin: [Lit; 2],
 }
 
+/// Undo record for one [`Aig::replace_fanins`] call (see
+/// [`Aig::undo_fanin_edit`]); part of the transaction rollback
+/// machinery in [`crate::incremental`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FaninEdit {
+    id: NodeId,
+    old: [Lit; 2],
+    removed_old_key: bool,
+    inserted_new_key: bool,
+    noop: bool,
+}
+
 impl Node {
     #[inline]
     fn is_and(&self) -> bool {
@@ -303,20 +315,85 @@ impl Aig {
     /// [`crate::incremental::IncrementalAnalysis::substitute`]; it does
     /// not re-run the trivial-AND simplifications, so the node stays an
     /// AND gate even if its fanins become equal or complementary.
-    pub(crate) fn replace_fanins(&mut self, id: NodeId, a: Lit, b: Lit) {
+    ///
+    /// Returns the [`FaninEdit`] undo record consumed by
+    /// [`Aig::undo_fanin_edit`] (the transaction rollback path);
+    /// non-transactional callers simply drop it.
+    pub(crate) fn replace_fanins(&mut self, id: NodeId, a: Lit, b: Lit) -> FaninEdit {
         let node = &self.nodes[id as usize];
         debug_assert!(node.is_and(), "node {id} is not an AND gate");
         let old = node.fanin;
         let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         if [x, y] == old {
-            return;
+            return FaninEdit {
+                id,
+                old,
+                removed_old_key: false,
+                inserted_new_key: false,
+                noop: true,
+            };
         }
         let old_key = (old[0].raw(), old[1].raw());
-        if self.strash.get(&old_key) == Some(&id) {
+        let removed_old_key = if self.strash.get(&old_key) == Some(&id) {
             self.strash.remove(&old_key);
-        }
+            true
+        } else {
+            false
+        };
         self.nodes[id as usize].fanin = [x, y];
-        self.strash.entry((x.raw(), y.raw())).or_insert(id);
+        let mut inserted_new_key = false;
+        self.strash.entry((x.raw(), y.raw())).or_insert_with(|| {
+            inserted_new_key = true;
+            id
+        });
+        FaninEdit {
+            id,
+            old,
+            removed_old_key,
+            inserted_new_key,
+            noop: false,
+        }
+    }
+
+    /// Exactly reverts one [`Aig::replace_fanins`] edit: the node's
+    /// fanins and both touched strash entries are restored. Edits must
+    /// be undone in reverse application order (the transaction journal
+    /// guarantees this), otherwise strash ownership may be wrong.
+    pub(crate) fn undo_fanin_edit(&mut self, e: &FaninEdit) {
+        if e.noop {
+            return;
+        }
+        let cur = self.nodes[e.id as usize].fanin;
+        if e.inserted_new_key {
+            let key = (cur[0].raw(), cur[1].raw());
+            debug_assert_eq!(self.strash.get(&key), Some(&e.id));
+            self.strash.remove(&key);
+        }
+        self.nodes[e.id as usize].fanin = e.old;
+        if e.removed_old_key {
+            self.strash.insert((e.old[0].raw(), e.old[1].raw()), e.id);
+        }
+    }
+
+    /// Removes node `id`, which must be the most recently appended
+    /// node (transaction rollback of an append). Drops its strash
+    /// entry (AND) or its input registration (input).
+    pub(crate) fn pop_node(&mut self, id: NodeId) {
+        assert_eq!(
+            id as usize + 1,
+            self.nodes.len(),
+            "pop_node only removes the last node"
+        );
+        let node = self.nodes.pop().expect("non-empty");
+        if node.is_and() {
+            let key = (node.fanin[0].raw(), node.fanin[1].raw());
+            debug_assert_eq!(self.strash.get(&key), Some(&id));
+            self.strash.remove(&key);
+        } else {
+            debug_assert_eq!(self.inputs.last(), Some(&id));
+            self.inputs.pop();
+            self.input_names.pop();
+        }
     }
 
     /// Returns the OR of `a` and `b` (built from AND + inversion).

@@ -1,4 +1,5 @@
-//! Incrementally maintained structural analyses for the SA loop.
+//! Incrementally maintained structural analyses and edit
+//! transactions for the SA loop.
 //!
 //! The simulated-annealing optimizer evaluates thousands of candidate
 //! graphs, and most of the per-candidate analysis cost is levels and
@@ -13,7 +14,7 @@
 //!   rewires every consumer of a node to an equivalent earlier
 //!   literal and re-levels only the *transitive fanout* of the
 //!   substituted node, stopping as soon as levels stop changing. The
-//!   set of re-leveled nodes is reported as a [`DirtyRegion`];
+//!   touched sets are reported as a [`DirtyRegion`];
 //! * wholesale graph replacement (a recipe step produced a fresh
 //!   graph) is handled by [`IncrementalAnalysis::rebuild`], which
 //!   recomputes everything but reuses every buffer.
@@ -23,28 +24,116 @@
 //! test suite drives random recipe walks and edit scripts asserting
 //! the incremental state stays bit-identical to the oracle after
 //! every step.
+//!
+//! # Edit transactions
+//!
+//! [`Transaction`] is the speculative-edit layer the SA loop uses to
+//! try a move *in place*: it borrows a graph together with its
+//! analysis, applies any number of edits (node appends via
+//! [`Transaction::and`], output retargets via
+//! [`Transaction::retarget_output`], substitutions via
+//! [`Transaction::substitute`]), and then either keeps them
+//! ([`Transaction::commit`]) or reverts every one of them
+//! ([`Transaction::rollback`]). The lifecycle and its invariants:
+//!
+//! 1. **begin** — [`Transaction::begin`] asserts the analysis is in
+//!    sync with the graph (same node count). While the transaction is
+//!    alive it holds both borrows, so no edits can bypass the
+//!    journal.
+//! 2. **edit** — every mutating call appends an inverse record to an
+//!    undo journal: fanin rewires capture the exact structural-hash
+//!    mutations they performed, substitutions additionally capture
+//!    the moved fanout units, moved consumer entries, rewritten
+//!    output literals and every changed level, and appends capture
+//!    the created node id. Analysis state (levels, fanout, consumer
+//!    adjacency, output snapshot, `max_level`) is maintained exactly
+//!    after every edit, so evaluation can read it mid-transaction.
+//! 3. **commit** — drops the journal; the edits stay. Dropping the
+//!    transaction without calling either method is equivalent to
+//!    commit.
+//! 4. **rollback** — replays the journal in reverse: node vector,
+//!    input registration, output literals, *and the structural-hash
+//!    table* are restored exactly (not merely equivalently), and the
+//!    analysis is returned to its pre-transaction state. The cost is
+//!    proportional to the journal, i.e. to the edit, not the graph.
+//!
+//! The rollback-exactness contract is what makes the SA transaction
+//! path byte-identical to the clone-based path: after a rejected
+//! move, subsequent strashed lookups ([`Aig::and`],
+//! [`Aig::find_and`]) behave as if the move never happened. The
+//! differential suites drive random edit walks with interleaved
+//! rollbacks asserting graph serialization, strash behavior, levels
+//! and fanout all match a never-edited twin.
 
 use crate::analysis;
-use crate::graph::Aig;
+use crate::graph::{Aig, FaninEdit};
 use crate::lit::{Lit, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// The set of nodes whose level was recomputed by the latest edit.
+/// The sets of nodes touched by the latest edit.
 ///
-/// A [`DirtyRegion`] is a report, not a worklist: it names exactly the
-/// nodes the incremental propagation visited, which the benchmarks use
-/// to demonstrate that single-step edits touch a small fraction of the
-/// graph.
+/// A [`DirtyRegion`] is a report, not a worklist: it names exactly
+/// what the incremental propagation visited, which downstream
+/// consumers use to bound their own incremental work. Three sets are
+/// reported, because different consumers need different
+/// approximations of "changed":
+///
+/// * [`DirtyRegion::nodes`] — nodes whose level was *recomputed*
+///   (visited by the propagation; a visited node's level may end up
+///   unchanged, and propagation stops early where levels settle, so
+///   this neither over- nor under-approximates the set of re-leveled
+///   nodes but says nothing about fanin identity);
+/// * [`DirtyRegion::edited`] — nodes whose fanin literals were
+///   rewired (deduplicated, ascending). This is the seed set for cut
+///   invalidation: a node's cut sets can only change if its own
+///   fanins changed or a node in its fanin cone was edited, so the
+///   transitive closure of this set over consumer edges bounds every
+///   cut-set change ([`crate::cut::CutDb`] walks it with an equality
+///   cutoff);
+/// * [`DirtyRegion::fanout_touched`] — nodes whose fanout *count*
+///   changed (ascending). Fanout feeds area-flow estimates in the
+///   mapper; this set (not the re-leveled set) is the exact
+///   invalidation key for per-node state derived from fanout.
 #[derive(Clone, Debug, Default)]
 pub struct DirtyRegion {
     nodes: Vec<NodeId>,
+    edited: Vec<NodeId>,
+    fanout_touched: Vec<NodeId>,
 }
 
 impl DirtyRegion {
     /// The ids whose level was recomputed, in increasing order.
     pub fn nodes(&self) -> &[NodeId] {
         &self.nodes
+    }
+
+    /// The ids whose fanin literals were rewired, deduplicated, in
+    /// increasing order (the cut-invalidation seed set).
+    pub fn edited(&self) -> &[NodeId] {
+        &self.edited
+    }
+
+    /// The ids whose fanout count changed, in increasing order.
+    pub fn fanout_touched(&self) -> &[NodeId] {
+        &self.fanout_touched
+    }
+
+    /// The smallest id in any of the three sets, or `None` when the
+    /// edit touched nothing. Since node ids are topologically sorted,
+    /// every per-node quantity of every node below this id is
+    /// untouched by the edit — the watermark the incremental mapper
+    /// uses to reuse DP rows.
+    pub fn min_touched(&self) -> Option<NodeId> {
+        [
+            self.nodes.first(),
+            self.edited.first(),
+            self.fanout_touched.first(),
+        ]
+        .into_iter()
+        .flatten()
+        .copied()
+        .min()
     }
 
     /// Number of recomputed nodes.
@@ -56,6 +145,38 @@ impl DirtyRegion {
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.edited.clear();
+        self.fanout_touched.clear();
+    }
+}
+
+/// Undo journal of one [`Transaction`].
+#[derive(Debug, Default)]
+struct Journal {
+    ops: Vec<UndoOp>,
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    Substitute(Box<SubstUndo>),
+    Append { id: NodeId },
+    Retarget { idx: usize, old: Lit },
+}
+
+/// Inverse record of one substitution: everything needed to restore
+/// graph and analysis exactly.
+#[derive(Debug, Default)]
+struct SubstUndo {
+    node: NodeId,
+    wvar: NodeId,
+    moved_edges: u32,
+    moved_outputs: u32,
+    fanin_edits: Vec<FaninEdit>,
+    level_changes: Vec<(NodeId, u32)>,
+    output_edits: Vec<(usize, Lit)>,
 }
 
 /// Incrementally maintained levels + fanout counts of one [`Aig`].
@@ -68,7 +189,7 @@ impl DirtyRegion {
 /// # Examples
 ///
 /// ```
-/// use aig::{Aig, incremental::IncrementalAnalysis};
+/// use aig::{incremental::IncrementalAnalysis, Aig};
 ///
 /// let mut g = Aig::new();
 /// let a = g.add_input();
@@ -87,7 +208,7 @@ impl DirtyRegion {
 /// assert_eq!(inc.levels(), &aig::analysis::levels(&g).level[..]);
 /// assert_eq!(inc.fanout_counts(), &aig::analysis::fanout_counts(&g)[..]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct IncrementalAnalysis {
     level: Vec<u32>,
     fanout: Vec<u32>,
@@ -106,16 +227,7 @@ pub struct IncrementalAnalysis {
 impl IncrementalAnalysis {
     /// Builds the analysis state for `aig`.
     pub fn new(aig: &Aig) -> Self {
-        let mut s = IncrementalAnalysis {
-            level: Vec::new(),
-            fanout: Vec::new(),
-            consumers: Vec::new(),
-            out_snapshot: Vec::new(),
-            max_level: 0,
-            dirty: DirtyRegion::default(),
-            queued: Vec::new(),
-            heap: BinaryHeap::new(),
-        };
+        let mut s = IncrementalAnalysis::default();
         s.rebuild(aig);
         s
     }
@@ -147,7 +259,15 @@ impl IncrementalAnalysis {
         self.fanout[id as usize]
     }
 
-    /// The nodes re-leveled by the most recent
+    /// The AND nodes currently reading node `id`, one entry per fanin
+    /// edge (a consumer reading `id` on both fanins appears twice).
+    /// Consumer ids always exceed `id` (topological order), which the
+    /// cut database relies on for ascending invalidation.
+    pub fn consumers(&self, id: NodeId) -> &[NodeId] {
+        &self.consumers[id as usize]
+    }
+
+    /// The touched sets of the most recent
     /// [`IncrementalAnalysis::substitute`].
     pub fn last_dirty(&self) -> &DirtyRegion {
         &self.dirty
@@ -240,9 +360,10 @@ impl IncrementalAnalysis {
     /// levels are re-propagated through the transitive fanout of
     /// `node` only, stopping early where levels settle.
     ///
-    /// Returns the [`DirtyRegion`] of re-leveled nodes. `node` itself
-    /// keeps its level and (now zero AND-edge) fanout; a later
-    /// [`Aig::sweep`] drops it if it became dangling.
+    /// Returns the [`DirtyRegion`] naming the re-leveled, rewired and
+    /// fanout-touched nodes. `node` itself keeps its level and (now
+    /// zero AND-edge) fanout; a later [`Aig::sweep`] drops it if it
+    /// became dangling.
     ///
     /// Functional equivalence of `node` and `with` is the *caller's*
     /// contract (the analysis stays exact either way, but the graph's
@@ -257,6 +378,16 @@ impl IncrementalAnalysis {
     /// precede `node` (required to keep node ids topologically
     /// sorted), or if the analysis is out of sync with `aig`.
     pub fn substitute(&mut self, aig: &mut Aig, node: NodeId, with: Lit) -> &DirtyRegion {
+        self.substitute_inner(aig, node, with, None)
+    }
+
+    fn substitute_inner(
+        &mut self,
+        aig: &mut Aig,
+        node: NodeId,
+        with: Lit,
+        mut undo: Option<&mut SubstUndo>,
+    ) -> &DirtyRegion {
         assert!(node != 0, "cannot substitute the constant node");
         assert!(
             with.var() < node,
@@ -269,6 +400,7 @@ impl IncrementalAnalysis {
         );
         let wvar = with.var();
         let edges = std::mem::take(&mut self.consumers[node as usize]);
+        self.dirty.clear();
         // Rewire each consumer once (duplicate entries mean both
         // fanins read `node`; the first visit rewires both).
         for &c in &edges {
@@ -286,15 +418,23 @@ impl IncrementalAnalysis {
             } else {
                 f1
             };
-            aig.replace_fanins(c, nf0, nf1);
+            let edit = aig.replace_fanins(c, nf0, nf1);
+            self.dirty.edited.push(c);
+            if let Some(u) = &mut undo {
+                u.fanin_edits.push(edit);
+            }
         }
+        self.dirty.edited.sort_unstable();
+        self.dirty.edited.dedup();
         // Every edge moves from `node` to `with.var()`.
         self.fanout[node as usize] -= edges.len() as u32;
         self.fanout[wvar as usize] += edges.len() as u32;
         for &c in &edges {
             self.consumers[wvar as usize].push(c);
         }
+        let moved_edges = edges.len() as u32;
         // Outputs driven by `node` follow.
+        let mut moved_outputs = 0u32;
         for i in 0..aig.num_outputs() {
             let lit = aig.outputs()[i].lit;
             if lit.var() == node {
@@ -303,11 +443,24 @@ impl IncrementalAnalysis {
                 self.out_snapshot[i] = nl;
                 self.fanout[node as usize] -= 1;
                 self.fanout[wvar as usize] += 1;
+                moved_outputs += 1;
+                if let Some(u) = &mut undo {
+                    u.output_edits.push((i, lit));
+                }
             }
+        }
+        if moved_edges + moved_outputs > 0 {
+            self.dirty.fanout_touched.push(wvar);
+            self.dirty.fanout_touched.push(node);
+        }
+        if let Some(u) = &mut undo {
+            u.node = node;
+            u.wvar = wvar;
+            u.moved_edges = moved_edges;
+            u.moved_outputs = moved_outputs;
         }
         // Re-level the transitive fanout, smallest id first so every
         // node is finalized exactly once (fanins always precede it).
-        self.dirty.nodes.clear();
         for &c in &edges {
             self.enqueue(c);
         }
@@ -317,6 +470,9 @@ impl IncrementalAnalysis {
             let nl = 1 + self.level[f0.var() as usize].max(self.level[f1.var() as usize]);
             self.dirty.nodes.push(id);
             if nl != self.level[id as usize] {
+                if let Some(u) = &mut undo {
+                    u.level_changes.push((id, self.level[id as usize]));
+                }
                 self.level[id as usize] = nl;
                 let cs = std::mem::take(&mut self.consumers[id as usize]);
                 for &cc in &cs {
@@ -327,6 +483,56 @@ impl IncrementalAnalysis {
         }
         self.refresh_max_level();
         &self.dirty
+    }
+
+    /// Exactly reverts one substitution (reverse-journal order).
+    fn undo_substitute(&mut self, aig: &mut Aig, u: &SubstUndo) {
+        for e in u.fanin_edits.iter().rev() {
+            aig.undo_fanin_edit(e);
+        }
+        // The moved consumer entries are the current tail of the
+        // target's list (later ops were already undone).
+        let wlist = &mut self.consumers[u.wvar as usize];
+        let tail = wlist.split_off(wlist.len() - u.moved_edges as usize);
+        debug_assert!(self.consumers[u.node as usize].is_empty());
+        self.consumers[u.node as usize] = tail;
+        let total = u.moved_edges + u.moved_outputs;
+        self.fanout[u.node as usize] += total;
+        self.fanout[u.wvar as usize] -= total;
+        for &(idx, old) in u.output_edits.iter().rev() {
+            aig.set_output(idx, old);
+            self.out_snapshot[idx] = old;
+        }
+        for &(id, old) in u.level_changes.iter().rev() {
+            self.level[id as usize] = old;
+        }
+    }
+
+    /// Absorbs the single AND node `id` just appended to `aig`
+    /// (transaction append path; `sync` covers the bulk case).
+    fn absorb_appended(&mut self, aig: &Aig, id: NodeId) {
+        debug_assert_eq!(id as usize, self.level.len());
+        self.level.push(0);
+        self.fanout.push(0);
+        self.consumers.push(Vec::new());
+        self.queued.push(false);
+        self.absorb_and(aig, id);
+    }
+
+    /// Exactly reverts one appended-AND absorb.
+    fn undo_append(&mut self, aig: &mut Aig, id: NodeId) {
+        let [f0, f1] = aig.fanins(id);
+        self.fanout[f0.var() as usize] -= 1;
+        self.fanout[f1.var() as usize] -= 1;
+        debug_assert_eq!(self.consumers[f1.var() as usize].last(), Some(&id));
+        self.consumers[f1.var() as usize].pop();
+        debug_assert_eq!(self.consumers[f0.var() as usize].last(), Some(&id));
+        self.consumers[f0.var() as usize].pop();
+        aig.pop_node(id);
+        self.level.pop();
+        self.fanout.pop();
+        self.consumers.pop();
+        self.queued.pop();
     }
 
     fn enqueue(&mut self, id: NodeId) {
@@ -370,6 +576,181 @@ impl IncrementalAnalysis {
         assert_eq!(self.max_level, lv.max_level, "max_level diverged");
         let fo = analysis::fanout_counts(aig);
         assert_eq!(self.fanout, fo, "incremental fanout diverged from oracle");
+    }
+}
+
+/// A speculative, exactly-revertible edit session over a graph and
+/// its [`IncrementalAnalysis`] (see the [module docs](self) for the
+/// lifecycle and invariants).
+///
+/// # Examples
+///
+/// ```
+/// use aig::{incremental::IncrementalAnalysis, incremental::Transaction, Aig};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input();
+/// let b = g.add_input();
+/// let ab = g.and(a, b);
+/// g.add_output(ab, None::<&str>);
+/// let baseline = aig::aiger::to_ascii(&g);
+/// let mut inc = IncrementalAnalysis::new(&g);
+///
+/// // Speculatively deepen the graph, then change our mind.
+/// let mut txn = Transaction::begin(&mut g, &mut inc);
+/// let c = txn.and(ab, !a);
+/// txn.retarget_output(0, c);
+/// assert_eq!(txn.analysis().max_level(), 2);
+/// txn.rollback();
+///
+/// assert_eq!(aig::aiger::to_ascii(&g), baseline);
+/// inc.assert_matches_oracle(&g);
+/// ```
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    aig: &'a mut Aig,
+    inc: &'a mut IncrementalAnalysis,
+    journal: Journal,
+    base_nodes: usize,
+    base_outputs: usize,
+    min_touched: NodeId,
+}
+
+impl<'a> Transaction<'a> {
+    /// Opens a transaction over `aig` and its analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inc` is out of sync with `aig`.
+    pub fn begin(aig: &'a mut Aig, inc: &'a mut IncrementalAnalysis) -> Self {
+        assert!(
+            inc.num_nodes() == aig.num_nodes(),
+            "analysis out of sync: call sync() or rebuild() first"
+        );
+        let base_nodes = aig.num_nodes();
+        let base_outputs = aig.num_outputs();
+        Transaction {
+            aig,
+            inc,
+            journal: Journal::default(),
+            base_nodes,
+            base_outputs,
+            min_touched: NodeId::MAX,
+        }
+    }
+
+    /// The graph under edit (read access; edits go through the
+    /// transaction methods so they land in the journal).
+    pub fn aig(&self) -> &Aig {
+        self.aig
+    }
+
+    /// The live analysis of the graph under edit.
+    pub fn analysis(&self) -> &IncrementalAnalysis {
+        self.inc
+    }
+
+    /// Number of journaled edits so far.
+    pub fn edit_count(&self) -> usize {
+        self.journal.ops.len()
+    }
+
+    /// The smallest node id any journaled edit may have touched
+    /// (levels, fanout, fanins, consumer lists), or [`NodeId::MAX`]
+    /// when nothing was edited. Everything strictly below is
+    /// guaranteed untouched — the watermark incremental consumers
+    /// (the mapper's DP-row reuse) key on.
+    pub fn min_touched(&self) -> NodeId {
+        self.min_touched
+    }
+
+    /// Strashed AND construction inside the transaction (the `append`
+    /// edit). Returns an existing literal when structural hashing or
+    /// the trivial rules resolve the request; otherwise the appended
+    /// node is journaled and absorbed into the analysis.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let before = self.aig.num_nodes();
+        let l = self.aig.and(a, b);
+        if self.aig.num_nodes() > before {
+            let id = l.var();
+            self.inc.absorb_appended(self.aig, id);
+            self.journal.ops.push(UndoOp::Append { id });
+            let [f0, f1] = self.aig.fanins(id);
+            self.touch(f0.var().min(f1.var()));
+        }
+        l
+    }
+
+    /// Retargets output `idx` to `lit` (journaled; analysis fanout
+    /// and `max_level` follow immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn retarget_output(&mut self, idx: usize, lit: Lit) {
+        assert!(idx < self.base_outputs, "output {idx} out of bounds");
+        let old = self.aig.outputs()[idx].lit;
+        if old == lit {
+            return;
+        }
+        self.aig.set_output(idx, lit);
+        self.inc.fanout[old.var() as usize] -= 1;
+        self.inc.fanout[lit.var() as usize] += 1;
+        self.inc.out_snapshot[idx] = lit;
+        self.inc.refresh_max_level();
+        self.journal.ops.push(UndoOp::Retarget { idx, old });
+        self.touch(old.var().min(lit.var()));
+    }
+
+    /// [`IncrementalAnalysis::substitute`] through the journal:
+    /// rewires every reader of `node` to the equivalent literal
+    /// `with` and re-levels the transitive fanout. Returns the
+    /// [`DirtyRegion`] of the step.
+    ///
+    /// # Panics
+    ///
+    /// Exactly [`IncrementalAnalysis::substitute`]'s panics.
+    pub fn substitute(&mut self, node: NodeId, with: Lit) -> &DirtyRegion {
+        let mut undo = SubstUndo::default();
+        self.inc
+            .substitute_inner(self.aig, node, with, Some(&mut undo));
+        self.journal.ops.push(UndoOp::Substitute(Box::new(undo)));
+        if let Some(m) = self.inc.dirty.min_touched() {
+            self.touch(m);
+        }
+        self.inc.last_dirty()
+    }
+
+    /// Keeps every edit (drops the journal). Dropping the transaction
+    /// without calling [`Transaction::rollback`] is equivalent.
+    pub fn commit(self) {
+        drop(self);
+    }
+
+    /// Reverts every journaled edit in reverse order, restoring the
+    /// graph (nodes, outputs, structural-hash table) and the analysis
+    /// exactly to their state at [`Transaction::begin`].
+    pub fn rollback(mut self) {
+        while let Some(op) = self.journal.ops.pop() {
+            match op {
+                UndoOp::Substitute(u) => self.inc.undo_substitute(self.aig, &u),
+                UndoOp::Append { id } => self.inc.undo_append(self.aig, id),
+                UndoOp::Retarget { idx, old } => {
+                    let cur = self.aig.outputs()[idx].lit;
+                    self.aig.set_output(idx, old);
+                    self.inc.out_snapshot[idx] = old;
+                    self.inc.fanout[cur.var() as usize] -= 1;
+                    self.inc.fanout[old.var() as usize] += 1;
+                }
+            }
+        }
+        self.inc.refresh_max_level();
+        debug_assert_eq!(self.aig.num_nodes(), self.base_nodes);
+        debug_assert_eq!(self.aig.num_outputs(), self.base_outputs);
+    }
+
+    fn touch(&mut self, id: NodeId) {
+        self.min_touched = self.min_touched.min(id);
     }
 }
 
@@ -417,8 +798,7 @@ mod tests {
                         continue;
                     }
                     let node = ands[rng.gen_range(0..ands.len())];
-                    let with =
-                        Lit::new(rng.gen_range(0..node), rng.gen());
+                    let with = Lit::new(rng.gen_range(0..node), rng.gen());
                     inc.substitute(&mut g, node, with);
                 }
             }
@@ -454,11 +834,18 @@ mod tests {
         // Substitute the first AND of the left chain by an input.
         let first_and = g.and_ids().next().unwrap();
         let dirty = inc.substitute(&mut g, first_and, ins[0]);
-        let dirty: Vec<NodeId> = dirty.nodes().to_vec();
+        let releveled: Vec<NodeId> = dirty.nodes().to_vec();
+        let edited: Vec<NodeId> = dirty.edited().to_vec();
+        let fanout_touched: Vec<NodeId> = dirty.fanout_touched().to_vec();
+        let min = dirty.min_touched();
         inc.assert_matches_oracle(&g);
         // Only the left chain's remaining AND is re-leveled; the
         // right chain stays untouched.
-        assert_eq!(dirty, vec![left.var()]);
+        assert_eq!(releveled, vec![left.var()]);
+        assert_eq!(edited, vec![left.var()]);
+        // Fanout moved from the substituted AND to the input.
+        assert_eq!(fanout_touched, vec![ins[0].var(), first_and]);
+        assert_eq!(min, Some(ins[0].var()));
     }
 
     #[test]
@@ -506,5 +893,166 @@ mod tests {
         g.add_output(h, None::<&str>);
         let mut inc = IncrementalAnalysis::new(&g);
         inc.substitute(&mut g, f.var(), Lit::new(h.var(), false));
+    }
+
+    /// A graph fingerprint that includes strash *behavior*: serialize
+    /// the structure, then probe `find_and` over every node pair.
+    fn strash_probe(g: &Aig) -> Vec<Option<Lit>> {
+        let n = g.num_nodes() as NodeId;
+        let mut probes = Vec::new();
+        for a in 0..n {
+            for b in a..n {
+                probes.push(g.find_and(Lit::new(a, false), Lit::new(b, true)));
+                probes.push(g.find_and(Lit::new(a, false), Lit::new(b, false)));
+            }
+        }
+        probes
+    }
+
+    /// Random transactions (substitutions, retargets, appends) rolled
+    /// back must restore serialization, strash behavior, and analysis
+    /// exactly; committed ones must match the oracle.
+    #[test]
+    fn transaction_rollback_restores_everything() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(0xBEEF ^ seed);
+            let mut g = Aig::new();
+            let mut lits: Vec<Lit> = (0..5).map(|_| g.add_input()).collect();
+            for _ in 0..30 {
+                let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                lits.push(g.and(a, b));
+            }
+            for _ in 0..3 {
+                let l = lits[rng.gen_range(0..lits.len())];
+                g.add_output(l.complement_if(rng.gen()), None::<&str>);
+            }
+            let mut inc = IncrementalAnalysis::new(&g);
+
+            for _ in 0..12 {
+                let before_ascii = crate::aiger::to_ascii(&g);
+                let before_probe = strash_probe(&g);
+                let before_inc = (
+                    inc.level.clone(),
+                    inc.fanout.clone(),
+                    inc.out_snapshot.clone(),
+                    inc.max_level,
+                );
+                let commit = rng.gen::<bool>();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                for _ in 0..rng.gen_range(1..6) {
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            let n = txn.aig().num_nodes() as NodeId;
+                            let a = Lit::new(rng.gen_range(0..n), rng.gen());
+                            let b = Lit::new(rng.gen_range(0..n), rng.gen());
+                            txn.and(a, b);
+                        }
+                        1 => {
+                            let idx = rng.gen_range(0..txn.aig().num_outputs());
+                            let n = txn.aig().num_nodes() as NodeId;
+                            let l = Lit::new(rng.gen_range(0..n), rng.gen());
+                            txn.retarget_output(idx, l);
+                        }
+                        _ => {
+                            let ands: Vec<NodeId> = txn.aig().and_ids().collect();
+                            if ands.is_empty() {
+                                continue;
+                            }
+                            let node = ands[rng.gen_range(0..ands.len())];
+                            let with = Lit::new(rng.gen_range(0..node), rng.gen());
+                            txn.substitute(node, with);
+                        }
+                    }
+                }
+                if commit {
+                    txn.commit();
+                    inc.assert_matches_oracle(&g);
+                } else {
+                    txn.rollback();
+                    assert_eq!(
+                        crate::aiger::to_ascii(&g),
+                        before_ascii,
+                        "seed {seed}: rollback must restore the graph"
+                    );
+                    assert_eq!(
+                        strash_probe(&g),
+                        before_probe,
+                        "seed {seed}: rollback must restore strash behavior"
+                    );
+                    assert_eq!(inc.level, before_inc.0, "seed {seed}: levels");
+                    assert_eq!(inc.fanout, before_inc.1, "seed {seed}: fanout");
+                    assert_eq!(inc.out_snapshot, before_inc.2, "seed {seed}: outputs");
+                    assert_eq!(inc.max_level, before_inc.3, "seed {seed}: max_level");
+                    inc.assert_matches_oracle(&g);
+                }
+            }
+        }
+    }
+
+    /// The transaction's min-touched watermark never exceeds any
+    /// touched id: everything below it must be bit-identical across
+    /// the edit.
+    #[test]
+    fn min_touched_is_a_true_watermark() {
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(0xAB ^ seed);
+            let mut g = Aig::new();
+            let mut lits: Vec<Lit> = (0..5).map(|_| g.add_input()).collect();
+            for _ in 0..40 {
+                let a = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                let b = lits[rng.gen_range(0..lits.len())].complement_if(rng.gen());
+                lits.push(g.and(a, b));
+            }
+            g.add_output(*lits.last().unwrap(), None::<&str>);
+            let mut inc = IncrementalAnalysis::new(&g);
+            let before_levels = inc.level.clone();
+            let before_fanout = inc.fanout.clone();
+            let before_fanins: Vec<[Lit; 2]> = g.and_ids().map(|id| g.fanins(id)).collect();
+            let and_ids: Vec<NodeId> = g.and_ids().collect();
+
+            let mut txn = Transaction::begin(&mut g, &mut inc);
+            for _ in 0..4 {
+                let ands: Vec<NodeId> = txn.aig().and_ids().collect();
+                let node = ands[rng.gen_range(0..ands.len())];
+                let with = Lit::new(rng.gen_range(0..node), rng.gen());
+                txn.substitute(node, with);
+            }
+            let wm = txn.min_touched();
+            txn.commit();
+
+            for id in 0..wm {
+                assert_eq!(inc.level[id as usize], before_levels[id as usize]);
+                assert_eq!(inc.fanout[id as usize], before_fanout[id as usize]);
+            }
+            for (k, &id) in and_ids.iter().enumerate() {
+                if id < wm {
+                    assert_eq!(g.fanins(id), before_fanins[k], "node {id} below watermark");
+                }
+            }
+        }
+    }
+
+    /// `and()` inside a transaction strashes against the live table,
+    /// and rollback of an append removes the strash entry again.
+    #[test]
+    fn transaction_append_strash_roundtrip() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let ab = g.and(a, b);
+        g.add_output(ab, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        assert_eq!(txn.and(a, b), ab, "existing node is strashed");
+        assert_eq!(txn.edit_count(), 0, "no journal entry for a strash hit");
+        let fresh = txn.and(ab, !a);
+        assert_eq!(txn.analysis().level(fresh.var()), 2);
+        txn.rollback();
+
+        assert!(g.find_and(ab, !a).is_none(), "appended entry removed");
+        assert_eq!(g.find_and(a, b), Some(ab), "original entry intact");
+        inc.assert_matches_oracle(&g);
     }
 }

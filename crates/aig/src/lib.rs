@@ -9,11 +9,17 @@
 //! * [`analysis`] — levels, fanout, weighted path depths and path
 //!   counts (the raw material for the paper's Table II features);
 //! * [`incremental`] — incrementally maintained levels/fanout with a
-//!   dirty-region tracker, so SA evaluation cost scales with the edit
-//!   size instead of the graph size ([`analysis`] stays the
+//!   dirty-region tracker, plus the edit
+//!   [`Transaction`](incremental::Transaction) layer (speculative
+//!   substitutions/retargets/appends with exact rollback of graph,
+//!   strash table and analyses), so SA moves mutate the current
+//!   graph in place and evaluation cost scales with the edit size
+//!   instead of the graph size ([`analysis`] stays the
 //!   full-recompute oracle);
 //! * [`cut`] — k-feasible cut enumeration with cut truth tables
-//!   (used by rewriting and technology mapping);
+//!   (used by rewriting and technology mapping), and the
+//!   [`CutDb`](cut::CutDb) incremental cut database invalidated by
+//!   dirty regions instead of rebuilt;
 //! * [`tt`] — truth-table arithmetic, ISOP covers, NPN canonization;
 //! * [`sim`] — bit-parallel random/exhaustive simulation and
 //!   equivalence checking;

@@ -300,7 +300,9 @@ impl SimTable {
     /// uses [`SimTable::signature_eq`] instead, which compares in
     /// place.
     pub fn lit_signature(&self, l: Lit) -> Vec<u64> {
-        (0..self.words).map(|w| self.masked_lit_word(l, w)).collect()
+        (0..self.words)
+            .map(|w| self.masked_lit_word(l, w))
+            .collect()
     }
 }
 

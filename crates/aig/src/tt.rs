@@ -671,7 +671,10 @@ mod tests {
 
     #[test]
     fn cube_eval_and_tt() {
-        let c = Cube { pos: 0b01, neg: 0b10 }; // x0 & !x1
+        let c = Cube {
+            pos: 0b01,
+            neg: 0b10,
+        }; // x0 & !x1
         assert!(c.eval(0b01));
         assert!(!c.eval(0b11));
         assert!(!c.eval(0b00));

@@ -111,6 +111,42 @@ fn bench_components(c: &mut Criterion) {
             })
         });
     }
+    // Full cut enumeration vs dirty-region invalidation of a warm cut
+    // database: one substitution's footprint worth of lists is
+    // recomputed instead of every node's. Same fixed-plan replay
+    // scheme as `analysis_incr_substitute_ex28` (rebuild per cycle
+    // amortized over the plan).
+    g.bench_function("cut_enum_full_ex28", |b| {
+        b.iter(|| aig::cut::enumerate_cuts(black_box(&large.aig), 4, 8))
+    });
+    {
+        let base = large.aig.clone();
+        let ands: Vec<NodeId> = base.and_ids().collect();
+        let stride = ((ands.len() / 2) / 64).max(1);
+        let plan: Vec<NodeId> = (0..64.min(ands.len() / 2))
+            .map(|i| ands[ands.len() / 4 + i * stride])
+            .collect();
+        let with = Lit::new(base.inputs()[0], false);
+        let mut edited = base.clone();
+        let mut inc = IncrementalAnalysis::new(&edited);
+        let mut db = aig::cut::CutDb::new(4, 8);
+        db.build(&edited);
+        let mut step = 0usize;
+        g.bench_function("cutdb_invalidate_substitute_ex28", |b| {
+            b.iter(|| {
+                if step == plan.len() {
+                    step = 0;
+                    edited = base.clone();
+                    inc.rebuild(&edited);
+                    db.build(&edited);
+                }
+                inc.substitute(&mut edited, plan[step], with);
+                db.invalidate(&edited, &inc, inc.last_dirty());
+                step += 1;
+                black_box(db.num_nodes())
+            })
+        });
+    }
     g.bench_function("sta_ex28", |b| {
         b.iter(|| sta::delay_and_area(black_box(&netlist), &lib))
     });
@@ -144,7 +180,10 @@ fn bench_components(c: &mut Criterion) {
         let fast = c.median_ns("components", &format!("cut_enum_{k}_ex28"));
         let naive = c.median_ns("components", &format!("cut_enum_naive_ref_{k}_ex28"));
         if let (Some(fast), Some(naive)) = (fast, naive) {
-            eprintln!("cut_enum {k}: {:.2}x faster than naive reference", naive / fast);
+            eprintln!(
+                "cut_enum {k}: {:.2}x faster than naive reference",
+                naive / fast
+            );
         }
     }
     let full = c.median_ns("components", "analysis_full_recompute_ex28");
@@ -153,7 +192,10 @@ fn bench_components(c: &mut Criterion) {
         "analysis_incr_substitute_ex28",
     ] {
         if let (Some(full), Some(incr)) = (full, c.median_ns("components", name)) {
-            eprintln!("{name}: {:.1}x faster than full recompute (tracked >= 5x)", full / incr);
+            eprintln!(
+                "{name}: {:.1}x faster than full recompute (tracked >= 5x)",
+                full / incr
+            );
         }
     }
     for ex in ["ex00", "ex28"] {
@@ -163,6 +205,15 @@ fn bench_components(c: &mut Criterion) {
         ) {
             eprintln!("map_ctx_reuse {ex}: {:.2}x vs fresh map", fresh / reused);
         }
+    }
+    if let (Some(full), Some(incr)) = (
+        c.median_ns("components", "cut_enum_full_ex28"),
+        c.median_ns("components", "cutdb_invalidate_substitute_ex28"),
+    ) {
+        eprintln!(
+            "cutdb_invalidate_substitute_ex28: {:.1}x faster than full cut enumeration (tracked >= 5x)",
+            full / incr
+        );
     }
     c.save_json(bench_json_path("BENCH_components.json"))
         .expect("bench report writable");

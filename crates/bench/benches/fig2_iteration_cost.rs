@@ -5,11 +5,14 @@
 //! Results are written to `BENCH_fig2.json` at the workspace root so
 //! the iteration-cost trajectory is tracked across PRs.
 
+use aig::cut::CutDb;
+use aig::incremental::{IncrementalAnalysis, Transaction};
 use bench::{bench_json_path, candidate_of, design_pair, library};
 use criterion::{criterion_group, criterion_main, Criterion};
 use saopt::{CostEvaluator, GroundTruthCost, ProxyCost};
 use std::hint::black_box;
 use techmap::{MapOptions, Mapper};
+use transform::{InplaceMode, ResynthCache};
 
 fn bench_fig2(c: &mut Criterion) {
     let (small, large) = design_pair();
@@ -40,14 +43,71 @@ fn bench_fig2(c: &mut Criterion) {
             })
         });
     }
+    // One SA move end to end, whole-graph vs transaction path: the
+    // rebuild step applies the `rw` recipe (sweep + full cut
+    // enumeration + resynthesis + rebuild) and prices the candidate;
+    // the in-place step runs the same-cut-size local rewrite through
+    // an edit transaction over a warm analysis + cut database, prices
+    // it, and rolls back (the steady-state reject path, so every
+    // iteration sees the same graph). The ratio is the per-iteration
+    // O(graph) -> O(edit) win (tracked >= 5x).
+    {
+        let cand = candidate_of(&large);
+        let cache = ResynthCache::new();
+        g.bench_function("sa_step_rebuild_ex28", |b| {
+            let mut e = ProxyCost;
+            b.iter(|| {
+                let next = transform::rewrite_with(black_box(&cand), &cache);
+                e.evaluate(&next)
+            })
+        });
+        g.bench_function("sa_step_inplace_ex28", |b| {
+            let mut e = ProxyCost;
+            let mut current = cand.clone();
+            let n = current.num_nodes() as u32;
+            let mut inc = IncrementalAnalysis::new(&current);
+            let mut db = CutDb::new(4, 8);
+            db.build(&current);
+            let mut start = 1u32;
+            b.iter(|| {
+                start = (start.wrapping_mul(2654435761)) % n.max(2); // rotate the window like SA's RNG draw
+                db.begin_edit();
+                let mut txn = Transaction::begin(&mut current, &mut inc);
+                transform::rewrite_inplace_window(
+                    &mut txn,
+                    &mut db,
+                    &cache,
+                    InplaceMode::ZeroCost,
+                    start,
+                    64,
+                );
+                let m = e.evaluate(black_box(txn.aig()));
+                txn.rollback();
+                db.rollback_edit();
+                m
+            })
+        });
+    }
     g.finish();
+    if let (Some(rebuild), Some(inplace)) = (
+        c.median_ns("fig2_iteration", "sa_step_rebuild_ex28"),
+        c.median_ns("fig2_iteration", "sa_step_inplace_ex28"),
+    ) {
+        eprintln!(
+            "sa_step_inplace_ex28: {:.1}x faster than the rebuild step (tracked >= 5x)",
+            rebuild / inplace
+        );
+    }
     for design in [&small, &large] {
         if let (Some(fresh), Some(warm)) = (
             c.median_ns(
                 "fig2_iteration",
                 &format!("ground_truth_eval_fresh_{}", design.name),
             ),
-            c.median_ns("fig2_iteration", &format!("ground_truth_eval_{}", design.name)),
+            c.median_ns(
+                "fig2_iteration",
+                &format!("ground_truth_eval_{}", design.name),
+            ),
         ) {
             eprintln!(
                 "ground_truth_eval_{}: {:.2}x vs fresh-table mapping",

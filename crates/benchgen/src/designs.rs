@@ -208,8 +208,10 @@ mod tests {
             assert_eq!(d.name, name);
             assert_eq!(d.aig.num_inputs(), pi, "{name} PI");
             assert_eq!(d.aig.num_outputs(), po, "{name} PO");
-            assert!(d.aig.num_outputs() > 3 || d.aig.num_outputs() >= 5,
-                "{name}: paper requires more than three POs");
+            assert!(
+                d.aig.num_outputs() > 3 || d.aig.num_outputs() >= 5,
+                "{name}: paper requires more than three POs"
+            );
         }
     }
 

@@ -31,7 +31,11 @@ pub struct ParseExprError {
 
 impl fmt::Display for ParseExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bad boolean expression at byte {}: {}", self.position, self.msg)
+        write!(
+            f,
+            "bad boolean expression at byte {}: {}",
+            self.position, self.msg
+        )
     }
 }
 
@@ -239,9 +243,13 @@ mod tests {
         // a | b & c == a | (b & c)
         let e = BoolExpr::parse("a | b & c").expect("parse");
         let tt = e.to_tt(&["a", "b", "c"]);
-        let want = BoolExpr::parse("a | (b & c)").expect("parse").to_tt(&["a", "b", "c"]);
+        let want = BoolExpr::parse("a | (b & c)")
+            .expect("parse")
+            .to_tt(&["a", "b", "c"]);
         assert_eq!(tt, want);
-        let not_want = BoolExpr::parse("(a | b) & c").expect("parse").to_tt(&["a", "b", "c"]);
+        let not_want = BoolExpr::parse("(a | b) & c")
+            .expect("parse")
+            .to_tt(&["a", "b", "c"]);
         assert_ne!(tt, not_want);
     }
 

@@ -21,8 +21,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod expr;
-mod library;
 pub mod liberty;
+mod library;
 
 pub use expr::BoolExpr;
 pub use library::{asap7ish, sky130ish, Cell, CellId, Library, Pin};

@@ -33,7 +33,11 @@ pub struct ParseLibertyError {
 
 impl fmt::Display for ParseLibertyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "liberty-lite parse error on line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "liberty-lite parse error on line {}: {}",
+            self.line, self.msg
+        )
     }
 }
 
@@ -120,9 +124,9 @@ pub fn parse(text: &str) -> Result<Library, ParseLibertyError> {
         if line == "}" {
             match current.take() {
                 Some(pc) => {
-                    let function = pc
-                        .function
-                        .ok_or_else(|| err(pc.line, format!("cell {} missing function", pc.name)))?;
+                    let function = pc.function.ok_or_else(|| {
+                        err(pc.line, format!("cell {} missing function", pc.name))
+                    })?;
                     let names: Vec<&str> = pc.pin_names.iter().map(String::as_str).collect();
                     for p in function.pins() {
                         if !names.contains(&p) {
@@ -138,9 +142,7 @@ pub fn parse(text: &str) -> Result<Library, ParseLibertyError> {
                     let tt = function.to_tt(&names);
                     cells.push(Cell {
                         name: pc.name,
-                        area_um2: pc
-                            .area
-                            .ok_or_else(|| err(pc.line, "cell missing area"))?,
+                        area_um2: pc.area.ok_or_else(|| err(pc.line, "cell missing area"))?,
                         tt,
                         pins: pc.pins,
                         drive_res: pc

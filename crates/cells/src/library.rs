@@ -59,11 +59,7 @@ impl Cell {
 
     /// Worst-case pin-to-output delay at the given load.
     pub fn worst_delay_ps(&self, load_ff: f64) -> f64 {
-        self.pins
-            .iter()
-            .map(|p| p.intrinsic_ps)
-            .fold(0.0, f64::max)
-            + self.drive_res * load_ff
+        self.pins.iter().map(|p| p.intrinsic_ps).fold(0.0, f64::max) + self.drive_res * load_ff
     }
 }
 
@@ -268,19 +264,59 @@ pub fn sky130ish() -> Library {
         cell("OR3_X1", 6.3, "a | b | c", &a3, 3.2, 50.0, 9.6),
         cell("OR4_X1", 7.5, "a | b | c | d", &a4, 3.4, 59.0, 10.2),
         cell("AOI21_X1", 5.0, "!((a & b) | c)", &a3, 3.5, 30.0, 12.0),
-        cell("AOI22_X1", 6.3, "!((a & b) | (c & d))", &a4, 3.7, 35.0, 12.8),
+        cell(
+            "AOI22_X1",
+            6.3,
+            "!((a & b) | (c & d))",
+            &a4,
+            3.7,
+            35.0,
+            12.8,
+        ),
         cell("AOI211_X1", 6.9, "!((a & b) | c | d)", &a4, 3.8, 39.0, 13.6),
         cell("OAI21_X1", 5.0, "!((a | b) & c)", &a3, 3.5, 29.0, 11.8),
-        cell("OAI22_X1", 6.3, "!((a | b) & (c | d))", &a4, 3.7, 34.0, 12.6),
+        cell(
+            "OAI22_X1",
+            6.3,
+            "!((a | b) & (c | d))",
+            &a4,
+            3.7,
+            34.0,
+            12.6,
+        ),
         cell("OAI211_X1", 6.9, "!((a | b) & c & d)", &a4, 3.8, 38.0, 13.4),
         cell("ANDNOT_X1", 5.0, "a & !b", &a2, 3.1, 36.0, 9.2),
         cell("ORNOT_X1", 5.0, "a | !b", &a2, 3.1, 39.0, 9.4),
         cell("XOR2_X1", 7.5, "a ^ b", &a2, 4.3, 52.0, 11.0),
         cell("XNOR2_X1", 7.5, "!(a ^ b)", &a2, 4.3, 52.0, 11.0),
         cell("XOR3_X1", 11.9, "a ^ b ^ c", &a3, 4.9, 78.0, 12.5),
-        cell("MUX2_X1", 8.8, "(s & b) | (!s & a)", &["a", "b", "s"], 3.9, 48.0, 10.5),
-        cell("NMUX2_X1", 8.2, "!((s & b) | (!s & a))", &["a", "b", "s"], 3.8, 41.0, 11.0),
-        cell("MAJ3_X1", 10.0, "(a & b) | (b & c) | (a & c)", &a3, 4.1, 56.0, 11.5),
+        cell(
+            "MUX2_X1",
+            8.8,
+            "(s & b) | (!s & a)",
+            &["a", "b", "s"],
+            3.9,
+            48.0,
+            10.5,
+        ),
+        cell(
+            "NMUX2_X1",
+            8.2,
+            "!((s & b) | (!s & a))",
+            &["a", "b", "s"],
+            3.8,
+            41.0,
+            11.0,
+        ),
+        cell(
+            "MAJ3_X1",
+            10.0,
+            "(a & b) | (b & c) | (a & c)",
+            &a3,
+            4.1,
+            56.0,
+            11.5,
+        ),
         cell("AO21_X1", 5.7, "(a & b) | c", &a3, 3.4, 42.0, 9.8),
         cell("OA21_X1", 5.7, "(a | b) & c", &a3, 3.4, 41.0, 9.7),
         cell("AO22_X1", 6.9, "(a & b) | (c & d)", &a4, 3.6, 47.0, 10.4),
@@ -375,7 +411,11 @@ mod tests {
             assert!(c.drive_res > 0.0);
             // tt must not be constant (no tie cells in this library)
             let bits = 1u32 << c.num_inputs();
-            let mask = if bits >= 16 { 0xFFFF } else { (1u16 << bits) - 1 };
+            let mask = if bits >= 16 {
+                0xFFFF
+            } else {
+                (1u16 << bits) - 1
+            };
             assert_ne!(c.tt & mask, 0, "{} constant 0", c.name);
             assert_ne!(c.tt & mask, mask, "{} constant 1", c.name);
             // function expression agrees with the stored tt

@@ -310,10 +310,7 @@ mod tests {
         c.save_json(&path).expect("writable temp");
         let text = std::fs::read_to_string(&path).expect("written");
         let doc = minijson::Json::parse(&text).expect("valid json");
-        assert_eq!(
-            doc.field("benchmarks").unwrap().as_arr().unwrap().len(),
-            1
-        );
+        assert_eq!(doc.field("benchmarks").unwrap().as_arr().unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,9 +1,25 @@
 use saopt::{CostEvaluator, GroundTruthCost};
-use transform::{resynthesize, ResynthOptions, reshape};
+use transform::{reshape, resynthesize, ResynthOptions};
 fn degrade(aig: &aig::Aig, seed: u64) -> aig::Aig {
-    let p1 = resynthesize(aig, &ResynthOptions { cut_size: 5, max_cuts: 6, zero_cost: false, perturb: Some((seed, 0.9)) });
+    let p1 = resynthesize(
+        aig,
+        &ResynthOptions {
+            cut_size: 5,
+            max_cuts: 6,
+            zero_cost: false,
+            perturb: Some((seed, 0.9)),
+        },
+    );
     let p2 = reshape(&p1, seed ^ 0xABCD);
-    resynthesize(&p2, &ResynthOptions { cut_size: 5, max_cuts: 6, zero_cost: false, perturb: Some((seed ^ 0x1234, 0.9)) })
+    resynthesize(
+        &p2,
+        &ResynthOptions {
+            cut_size: 5,
+            max_cuts: 6,
+            zero_cost: false,
+            perturb: Some((seed ^ 0x1234, 0.9)),
+        },
+    )
 }
 fn main() {
     let lib = cells::sky130ish();
@@ -12,9 +28,15 @@ fn main() {
     let m0 = gt.evaluate(&d.aig);
     let raw = degrade(&d.aig, 77);
     let m1 = gt.evaluate(&raw);
-    println!("orig {:.0}ps/{:.0}um2, degraded {:.0}ps/{:.0}um2 (lev {} -> {})",
-        m0.delay, m0.area, m1.delay, m1.area,
-        aig::analysis::levels(&d.aig).max_level, aig::analysis::levels(&raw).max_level);
+    println!(
+        "orig {:.0}ps/{:.0}um2, degraded {:.0}ps/{:.0}um2 (lev {} -> {})",
+        m0.delay,
+        m0.area,
+        m1.delay,
+        m1.area,
+        aig::analysis::levels(&d.aig).max_level,
+        aig::analysis::levels(&raw).max_level
+    );
     assert!(aig::sim::equiv_random(&d.aig, &raw, 8, 5).unwrap());
     println!("equivalent: yes");
 }

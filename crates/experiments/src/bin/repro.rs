@@ -27,7 +27,9 @@
 //!   --smoke            tiny preset for a quick check
 //! ```
 
-use experiments::{crosstech, feature_ablation, fig1, fig2, fig5, gnn_ablation, table1, table3, table4, Config};
+use experiments::{
+    crosstech, feature_ablation, fig1, fig2, fig5, gnn_ablation, table1, table3, table4, Config,
+};
 use std::time::Instant;
 
 fn main() {

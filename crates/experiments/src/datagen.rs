@@ -213,7 +213,6 @@ pub fn labeled_set(design: &Design, count: usize, seed: u64, lib: &Library) -> L
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,8 +263,8 @@ mod tests {
         assert_eq!(ds.len(), 6);
         assert_eq!(ds.num_features(), NUM_FEATURES);
         let da = set.to_dataset(Target::Area);
-        let rel = (f64::from(da.label(0)) - set.samples[0].area_um2).abs()
-            / set.samples[0].area_um2;
+        let rel =
+            (f64::from(da.label(0)) - set.samples[0].area_um2).abs() / set.samples[0].area_um2;
         assert!(rel < 1e-5, "f32 label should match to rounding, rel {rel}");
     }
 

@@ -83,11 +83,7 @@ pub fn run_on(cfg: &Config, corpus: &Corpus) -> FeatureAblationResult {
         // Pool the test designs.
         let mut preds = Vec::new();
         let mut truths = Vec::new();
-        for set in corpus
-            .sets
-            .iter()
-            .filter(|s| !Corpus::is_train(&s.design))
-        {
+        for set in corpus.sets.iter().filter(|s| !Corpus::is_train(&s.design)) {
             let ds = project(&set.to_dataset(Target::Delay), keep);
             preds.extend(model.predict_all(&ds));
             truths.extend(ds.labels().iter().map(|&v| f64::from(v)));

@@ -85,7 +85,11 @@ pub fn summarize(r: &Fig1Result) -> String {
         r.best_delay_levels,
         r.min_levels,
         r.min_level_best_delay_ps,
-        if r.best_delay_not_at_min_level() { "no" } else { "yes" },
+        if r.best_delay_not_at_min_level() {
+            "no"
+        } else {
+            "yes"
+        },
     )
 }
 
@@ -104,7 +108,11 @@ mod tests {
         assert_eq!(r.points.len(), 25);
         // Levels and delay correlate imperfectly; at smoke scale we
         // only check the statistic is a sane, non-degenerate value.
-        assert!(r.pearson.is_finite() && r.pearson < 0.9999, "r = {}", r.pearson);
+        assert!(
+            r.pearson.is_finite() && r.pearson < 0.9999,
+            "r = {}",
+            r.pearson
+        );
         assert!(r.pearson > -0.5, "r = {}", r.pearson);
         assert!(r.best_delay_ps > 0.0);
         assert!(summarize(&r).contains("Pearson"));

@@ -45,10 +45,7 @@ pub struct Fig2Result {
 impl Fig2Result {
     /// Maximum slowdown across designs (the paper's "20×" headline).
     pub fn max_slowdown(&self) -> f64 {
-        self.rows
-            .iter()
-            .map(Fig2Row::slowdown)
-            .fold(0.0, f64::max)
+        self.rows.iter().map(Fig2Row::slowdown).fold(0.0, f64::max)
     }
 }
 

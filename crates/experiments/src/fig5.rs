@@ -152,7 +152,13 @@ pub fn run_on_design(cfg: &Config, design_name: &str) -> Fig5Result {
         .points
         .iter()
         .map(|p| ("baseline", p))
-        .chain(result.ground_truth.points.iter().map(|p| ("ground-truth", p)))
+        .chain(
+            result
+                .ground_truth
+                .points
+                .iter()
+                .map(|p| ("ground-truth", p)),
+        )
         .chain(result.ml.points.iter().map(|p| ("ml", p)))
         .map(|(f, p)| format!("{f},{:.2},{:.2}", p.delay, p.area))
         .collect::<Vec<_>>();

@@ -96,7 +96,10 @@ pub fn run(cfg: &Config) -> GnnAblationResult {
         },
     );
     let gnn_train_s = t1.elapsed().as_secs_f64();
-    let gnn_preds: Vec<f64> = test_graphs.iter().map(|(g, _)| gnn_model.predict(g)).collect();
+    let gnn_preds: Vec<f64> = test_graphs
+        .iter()
+        .map(|(g, _)| gnn_model.predict(g))
+        .collect();
     let gnn_truths: Vec<f64> = test_graphs.iter().map(|(_, y)| *y).collect();
     let gnn_stats = pct_error_stats(&gnn_preds, &gnn_truths);
 
@@ -111,8 +114,14 @@ pub fn run(cfg: &Config) -> GnnAblationResult {
         "gnn_ablation.csv",
         "model,test_mean_pct_err,train_seconds",
         [
-            format!("gbt,{:.3},{:.3}", result.gbt_test_mean_pct, result.gbt_train_s),
-            format!("gnn,{:.3},{:.3}", result.gnn_test_mean_pct, result.gnn_train_s),
+            format!(
+                "gbt,{:.3},{:.3}",
+                result.gbt_test_mean_pct, result.gbt_train_s
+            ),
+            format!(
+                "gnn,{:.3},{:.3}",
+                result.gnn_test_mean_pct, result.gnn_train_s
+            ),
         ],
     );
     result

@@ -42,7 +42,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use aig::analysis::{fanout_counts, levels, long_path_nodes, po_depths, po_path_counts, DepthWeight};
+use aig::analysis::{
+    fanout_counts, levels, long_path_nodes, po_depths, po_path_counts, DepthWeight,
+};
 use aig::Aig;
 use std::fmt;
 use std::ops::Index;

@@ -3,8 +3,8 @@
 use crate::dataset::Dataset;
 use crate::metrics::rmse;
 use crate::tree::{grow_tree, Bins, Tree, TreeParams};
-use rand::rngs::SmallRng;
 use minijson::Json;
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
@@ -83,7 +83,7 @@ impl GbtParams {
 }
 
 impl GbtParams {
-    fn to_json_value(&self) -> Json {
+    fn to_json_value(self) -> Json {
         Json::Obj(vec![
             ("num_rounds".into(), Json::Num(self.num_rounds as f64)),
             ("learning_rate".into(), Json::Num(self.learning_rate)),
@@ -92,10 +92,7 @@ impl GbtParams {
             ("colsample".into(), Json::Num(self.colsample)),
             ("lambda".into(), Json::Num(self.lambda)),
             ("gamma".into(), Json::Num(self.gamma)),
-            (
-                "min_child_weight".into(),
-                Json::Num(self.min_child_weight),
-            ),
+            ("min_child_weight".into(), Json::Num(self.min_child_weight)),
             ("max_bins".into(), Json::Num(self.max_bins as f64)),
             ("seed".into(), Json::from_u64(self.seed)),
             (
@@ -281,7 +278,9 @@ pub fn train_with_validation(
     }
     let base = data.label_mean();
     let mut pred: Vec<f64> = vec![f64::from(base); n];
-    let mut valid_pred: Vec<f64> = valid.map(|v| vec![f64::from(base); v.len()]).unwrap_or_default();
+    let mut valid_pred: Vec<f64> = valid
+        .map(|v| vec![f64::from(base); v.len()])
+        .unwrap_or_default();
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let tree_params = TreeParams {
         max_depth: params.max_depth,
@@ -330,14 +329,27 @@ pub fn train_with_validation(
         } else {
             all_cols.clone()
         };
-        let tree = grow_tree(data, &bins, &binned, &rows, &cols, &grad, &hess, &tree_params);
+        let tree = grow_tree(
+            data,
+            &bins,
+            &binned,
+            &rows,
+            &cols,
+            &grad,
+            &hess,
+            &tree_params,
+        );
         #[allow(clippy::needless_range_loop)] // pred and data.row share the index
         for r in 0..n {
             pred[r] += f64::from(tree.predict_row(data.row(r)));
         }
         let train_rmse_now = rmse(
             &pred,
-            &data.labels().iter().map(|&v| f64::from(v)).collect::<Vec<_>>(),
+            &data
+                .labels()
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect::<Vec<_>>(),
         );
         log.train_rmse.push(train_rmse_now);
         if let Some(v) = valid {
@@ -361,7 +373,11 @@ pub fn train_with_validation(
         }
         model.trees.push(tree);
     }
-    log.best_round = if valid.is_some() { best_round } else { model.trees.len().saturating_sub(1) };
+    log.best_round = if valid.is_some() {
+        best_round
+    } else {
+        model.trees.len().saturating_sub(1)
+    };
     if valid.is_some() && model.trees.len() > best_round + 1 {
         model.trees.truncate(best_round + 1);
     }

@@ -25,7 +25,11 @@ pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty input");
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Pearson correlation coefficient (the statistic of the paper's

@@ -210,7 +210,16 @@ pub fn grow_tree(
     let mut tree = Tree::default();
     let mut rows_owned = rows.to_vec();
     grow_node(
-        data, bins, binned, &mut rows_owned, cols, grad, hess, params, &mut tree, 0,
+        data,
+        bins,
+        binned,
+        &mut rows_owned,
+        cols,
+        grad,
+        hess,
+        params,
+        &mut tree,
+        0,
     );
     tree
 }
@@ -313,10 +322,28 @@ fn grow_node(
     });
     let (left_rows, right_rows) = rows.split_at_mut(lo);
     let left = grow_node(
-        data, bins, binned, left_rows, cols, grad, hess, params, tree, depth + 1,
+        data,
+        bins,
+        binned,
+        left_rows,
+        cols,
+        grad,
+        hess,
+        params,
+        tree,
+        depth + 1,
     );
     let right = grow_node(
-        data, bins, binned, right_rows, cols, grad, hess, params, tree, depth + 1,
+        data,
+        bins,
+        binned,
+        right_rows,
+        cols,
+        grad,
+        hess,
+        params,
+        tree,
+        depth + 1,
     );
     tree.nodes[node_idx as usize].left = left;
     tree.nodes[node_idx as usize].right = right;
@@ -367,7 +394,16 @@ mod tests {
         // grad for rmse with pred=0: pred - y = -y
         let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
         let hess = vec![1.0f64; d.len()];
-        let t = grow_tree(&d, &bins, &binned, &rows, &cols, &grad, &hess, &default_params());
+        let t = grow_tree(
+            &d,
+            &bins,
+            &binned,
+            &rows,
+            &cols,
+            &grad,
+            &hess,
+            &default_params(),
+        );
         // Should split near 4.5 and predict ~0 / ~10 (lambda shrinks).
         assert!(t.predict_row(&[2.0]) < 1.0);
         assert!(t.predict_row(&[8.0]) > 7.0);
@@ -401,7 +437,16 @@ mod tests {
         // grad with pred = 5 (perfect): zero gradients.
         let grad = vec![0.0f64; 10];
         let hess = vec![1.0f64; 10];
-        let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &default_params());
+        let t = grow_tree(
+            &d,
+            &bins,
+            &binned,
+            &rows,
+            &[0],
+            &grad,
+            &hess,
+            &default_params(),
+        );
         assert_eq!(t.num_leaves(), 1);
         assert!(t.predict_row(&[3.0]).abs() < 1e-6);
     }
@@ -446,7 +491,16 @@ mod tests {
         let rows: Vec<u32> = (0..d.len() as u32).collect();
         let grad: Vec<f64> = d.labels().iter().map(|&y| -f64::from(y)).collect();
         let hess = vec![1.0f64; d.len()];
-        let t = grow_tree(&d, &bins, &binned, &rows, &[0], &grad, &hess, &default_params());
+        let t = grow_tree(
+            &d,
+            &bins,
+            &binned,
+            &rows,
+            &[0],
+            &grad,
+            &hess,
+            &default_params(),
+        );
         let json = t.to_json_value().dump();
         let back = Tree::from_json_value(&minijson::Json::parse(&json).expect("parses"))
             .expect("deserialize");

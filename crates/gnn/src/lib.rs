@@ -40,10 +40,10 @@ pub use tensor::{Adam, Tensor};
 
 use aig::analysis::{fanout_counts, levels};
 use aig::Aig;
+use minijson::Json;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use minijson::Json;
 
 /// Number of per-node input features.
 pub const NODE_FEATURES: usize = 6;
@@ -134,7 +134,7 @@ impl Default for GnnParams {
 }
 
 impl GnnParams {
-    fn to_json_value(&self) -> Json {
+    fn to_json_value(self) -> Json {
         Json::Obj(vec![
             ("hidden".into(), Json::Num(self.hidden as f64)),
             ("layers".into(), Json::Num(self.layers as f64)),
@@ -405,8 +405,7 @@ impl GnnModel {
                     let mut dagg = vec![0.0f32; in_dim];
                     self.weights[base + 1].tmatvec_add(&dpre, &mut dagg);
                     for &u in &g.fanins[v] {
-                        for (slot, da) in dprev
-                            [u as usize * in_dim..(u as usize + 1) * in_dim]
+                        for (slot, da) in dprev[u as usize * in_dim..(u as usize + 1) * in_dim]
                             .iter_mut()
                             .zip(&dagg)
                         {
@@ -429,8 +428,7 @@ impl GnnModel {
                     let mut dagg = vec![0.0f32; in_dim];
                     self.weights[base + 2].tmatvec_add(&dpre, &mut dagg);
                     for &u in &g.fanouts[v] {
-                        for (slot, da) in dprev
-                            [u as usize * in_dim..(u as usize + 1) * in_dim]
+                        for (slot, da) in dprev[u as usize * in_dim..(u as usize + 1) * in_dim]
                             .iter_mut()
                             .zip(&dagg)
                         {

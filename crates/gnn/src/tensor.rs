@@ -22,12 +22,7 @@ impl Tensor {
             ("cols".into(), Json::Num(self.cols as f64)),
             (
                 "data".into(),
-                Json::Arr(
-                    self.data
-                        .iter()
-                        .map(|&x| Json::Num(f64::from(x)))
-                        .collect(),
-                ),
+                Json::Arr(self.data.iter().map(|&x| Json::Num(f64::from(x))).collect()),
             ),
         ])
     }

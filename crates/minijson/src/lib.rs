@@ -403,13 +403,10 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or_else(|| Error {
-                                    msg: "truncated \\u escape".into(),
-                                    pos: self.i,
-                                })?;
+                            let hex = self.b.get(self.i + 1..self.i + 5).ok_or_else(|| Error {
+                                msg: "truncated \\u escape".into(),
+                                pos: self.i,
+                            })?;
                             let code = u32::from_str_radix(
                                 std::str::from_utf8(hex).map_err(|_| Error {
                                     msg: "bad \\u escape".into(),
@@ -440,12 +437,11 @@ impl Parser<'_> {
                         0xE0..=0xEF => 3,
                         _ => 4,
                     };
-                    let s = std::str::from_utf8(&self.b[self.i..self.i + len]).map_err(|_| {
-                        Error {
+                    let s =
+                        std::str::from_utf8(&self.b[self.i..self.i + len]).map_err(|_| Error {
                             msg: "invalid utf8".into(),
                             pos: self.i,
-                        }
-                    })?;
+                        })?;
                     out.push_str(s);
                     self.i += len;
                 }

@@ -199,10 +199,7 @@ pub mod rngs {
         #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -277,7 +274,10 @@ mod tests {
     fn bool_and_floats_reasonably_distributed() {
         let mut r = SmallRng::seed_from_u64(11);
         let trues = (0..10_000).filter(|_| r.gen::<bool>()).count();
-        assert!((4000..6000).contains(&trues), "bool heavily biased: {trues}");
+        assert!(
+            (4000..6000).contains(&trues),
+            "bool heavily biased: {trues}"
+        );
         let mean: f64 = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
         assert!((0.45..0.55).contains(&mean), "f64 mean off: {mean}");
     }

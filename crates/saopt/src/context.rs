@@ -35,6 +35,12 @@ use transform::ResynthCache;
 pub struct EvalContext {
     resynth: Arc<ResynthCache>,
     levels: Levels,
+    /// Whether in-place-capable SA moves run through the edit
+    /// transaction engine (`true`, the default) or through the
+    /// clone-based oracle path. Results are byte-identical either
+    /// way; the toggle exists so the determinism suite can pit the
+    /// two against each other.
+    inplace: bool,
 }
 
 impl Default for EvalContext {
@@ -64,7 +70,21 @@ impl EvalContext {
                 level: Vec::new(),
                 max_level: 0,
             },
+            inplace: true,
         }
+    }
+
+    /// Whether [`crate::optimize_with`] executes in-place-capable
+    /// moves through the edit transaction engine (default `true`).
+    pub fn inplace_transactions(&self) -> bool {
+        self.inplace
+    }
+
+    /// Switches the transaction engine on or off. Off routes every
+    /// in-place-capable move through the clone-based whole-graph
+    /// path — the oracle the byte-identity tests compare against.
+    pub fn set_inplace_transactions(&mut self, on: bool) {
+        self.inplace = on;
     }
 
     /// The resynthesis cache recipes are applied against.

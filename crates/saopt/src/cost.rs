@@ -2,7 +2,8 @@
 
 use crate::context::EvalContext;
 use aig::analysis::levels;
-use aig::Aig;
+use aig::cut::CutDb;
+use aig::{Aig, NodeId};
 use cells::Library;
 use features::extract;
 use gbt::GbtModel;
@@ -33,6 +34,25 @@ pub trait CostEvaluator {
     /// allocations. The default ignores the context.
     fn evaluate_ctx(&mut self, aig: &Aig, _ctx: &mut EvalContext) -> CostMetrics {
         self.evaluate(aig)
+    }
+
+    /// Prices a graph that was **edited in place** since this
+    /// evaluator's previous call: `cuts` is the live cut database of
+    /// `aig`, and every per-node quantity below `dirty_since` is
+    /// unchanged since that previous call (the SA loop accumulates
+    /// the watermark across rejected moves). Metrics are identical to
+    /// [`CostEvaluator::evaluate`]; the point is cost — evaluators
+    /// with per-node state (the ground-truth mapper) reuse their
+    /// clean-prefix rows and skip cut enumeration entirely. The
+    /// default ignores the hints.
+    fn evaluate_edit(
+        &mut self,
+        aig: &Aig,
+        _cuts: &CutDb,
+        _dirty_since: NodeId,
+        ctx: &mut EvalContext,
+    ) -> CostMetrics {
+        self.evaluate_ctx(aig, ctx)
     }
 
     /// Evaluator name for reports (`proxy`, `ground-truth`, `ml`).
@@ -97,6 +117,30 @@ impl CostEvaluator for GroundTruthCost<'_> {
         let mut nl = self
             .mapper
             .map_with(&mut self.map_ctx, aig)
+            .expect("builtin library maps every strashed AIG");
+        techmap::resize_greedy(&mut nl, self.lib, 2);
+        let (delay, area) = sta::delay_and_area(&nl, self.lib);
+        CostMetrics { delay, area }
+    }
+
+    /// In-place steps skip cut enumeration (lists come from `cuts`)
+    /// and the DP rows below the watermark
+    /// ([`Mapper::map_incremental`]); the netlist — and therefore the
+    /// metrics — are identical to [`CostEvaluator::evaluate`]'s.
+    fn evaluate_edit(
+        &mut self,
+        aig: &Aig,
+        cuts: &CutDb,
+        dirty_since: NodeId,
+        _ctx: &mut EvalContext,
+    ) -> CostMetrics {
+        let opts = self.mapper.options();
+        if cuts.k() != opts.cut_size || cuts.max_cuts() != opts.max_cuts {
+            return self.evaluate(aig); // foreign cut parameters: full path
+        }
+        let mut nl = self
+            .mapper
+            .map_incremental(&mut self.map_ctx, aig, cuts, dirty_since)
             .expect("builtin library maps every strashed AIG");
         techmap::resize_greedy(&mut nl, self.lib, 2);
         let (delay, area) = sta::delay_and_area(&nl, self.lib);

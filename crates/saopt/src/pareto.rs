@@ -77,9 +77,7 @@ pub fn delay_advantage(a: &[Point], b: &[Point]) -> Option<f64> {
 
 /// Maximum relative delay advantage (the paper's "up to X%" number).
 pub fn max_delay_advantage(a: &[Point], b: &[Point]) -> Option<f64> {
-    advantage_samples(a, b)
-        .into_iter()
-        .max_by(f64::total_cmp)
+    advantage_samples(a, b).into_iter().max_by(f64::total_cmp)
 }
 
 /// Relative delay advantages of `a` over `b` at every area budget
@@ -109,7 +107,13 @@ mod tests {
 
     #[test]
     fn front_filters_dominated() {
-        let pts = [p(1.0, 10.0), p(2.0, 5.0), p(3.0, 5.0), p(0.5, 20.0), p(1.0, 10.0)];
+        let pts = [
+            p(1.0, 10.0),
+            p(2.0, 5.0),
+            p(3.0, 5.0),
+            p(0.5, 20.0),
+            p(1.0, 10.0),
+        ];
         let f = pareto_front(&pts);
         // Sorted by delay: 0.5/20, 1/10, 2/5 survive; 3/5 dominated by 2/5.
         assert_eq!(f.len(), 3);

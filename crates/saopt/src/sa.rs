@@ -3,11 +3,33 @@
 
 use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
-use aig::Aig;
+use aig::cut::CutDb;
+use aig::incremental::{IncrementalAnalysis, Transaction};
+use aig::{Aig, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use transform::{Recipe, ResynthCache};
+use transform::{rewrite_inplace_window, Recipe, ResynthCache};
+
+/// Cut parameters of the in-place engine: identical to `rewrite`'s
+/// 4-input cuts *and* to the default `techmap::MapOptions`, so one
+/// database serves both the local rewriter and the incremental
+/// ground-truth evaluator.
+const INPLACE_CUT_SIZE: usize = 4;
+const INPLACE_MAX_CUTS: usize = 8;
+/// Live AND nodes examined by one in-place move
+/// ([`transform::rewrite_inplace_window`]); the window start is drawn
+/// from the chain's RNG as part of the move, so edits stay local and
+/// the per-iteration cost is independent of the graph size.
+const INPLACE_WINDOW: usize = 64;
+
+/// The Metropolis acceptance rule. One definition on purpose: the
+/// engine-on and whole-graph paths must draw from the RNG identically
+/// for the byte-identity contract to hold (the draw happens only when
+/// the move is uphill).
+fn metropolis(delta: f64, temp: f64, rng: &mut SmallRng) -> bool {
+    delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp()
+}
 
 /// SA hyperparameters.
 ///
@@ -115,6 +137,28 @@ pub fn optimize(
 /// context state — warm, cold, shared with other chains, or with the
 /// cache disabled (the determinism tests assert this).
 ///
+/// # The in-place transaction engine
+///
+/// Moves whose recipe has an in-place plan
+/// ([`Recipe::as_inplace`]: single-step `rw`/`rwz`) do **not**
+/// rebuild the graph. The loop keeps an [`IncrementalAnalysis`] and a
+/// [`CutDb`] live for the current graph and executes the move as
+/// [`transform::rewrite_inplace`] inside an edit
+/// [`Transaction`]: accept commits the edits (ids stable, analyses
+/// and cut lists already updated), reject rolls graph, analysis and
+/// cut database back exactly. Evaluation goes through
+/// [`CostEvaluator::evaluate_edit`] with the edit's dirty watermark,
+/// so the ground-truth evaluator reuses its clean-prefix DP rows and
+/// never re-enumerates cuts. Per-iteration cost of these moves is
+/// therefore governed by the edit footprint, not the graph size.
+///
+/// [`EvalContext::set_inplace_transactions`]`(false)` reroutes the
+/// same moves through a clone of the current graph (the whole-graph
+/// path, which also backs every recipe without an in-place plan) —
+/// results are byte-identical with the engine on or off, for any
+/// `AIG_THREADS` and any context state, as the determinism suite
+/// asserts.
+///
 /// # Panics
 ///
 /// Exactly [`optimize`]'s panics.
@@ -138,29 +182,102 @@ pub fn optimize_with(
     };
     let mut current = aig.clone();
     let mut current_cost = scalar(&initial);
-    let mut best = current.clone();
+    // `best` is tracked lazily: `None` means the input itself is
+    // still the best seen, so runs that never improve clone nothing.
+    let mut best: Option<Aig> = None;
     let mut best_metrics = initial;
     let mut best_cost = current_cost;
     let mut temp = opts.initial_temp;
-    let mut evaluated = vec![initial];
+    let mut evaluated = Vec::with_capacity(opts.iterations + 1);
+    evaluated.push(initial);
     let mut accepted = 0usize;
-    let mut history = Vec::with_capacity(opts.iterations);
+    let mut history = Vec::with_capacity(opts.iterations + 1);
+    // In-place engine state for `current`, built on the first
+    // in-place move and discarded whenever a whole-graph move
+    // replaces the graph.
+    let mut engine: Option<(IncrementalAnalysis, CutDb)> = None;
+    // First node id whose evaluator-side per-node state (mapper DP
+    // rows) may disagree with `current`: rejected in-place moves
+    // leave rows of the rejected candidate behind, whole-graph
+    // evaluations leave rows of a different graph entirely.
+    let mut rows_since: NodeId = 0;
 
     for _ in 0..opts.iterations {
         let recipe = &actions[rng.gen_range(0..actions.len())];
-        let candidate = recipe.apply_with(&current, ctx.resynth());
-        let metrics = evaluator.evaluate_ctx(&candidate, ctx);
+        let metrics;
+        let cost;
+        let accept;
+        let inplace_move = recipe.as_inplace().map(|mode| {
+            // The window start is part of the move: drawn before the
+            // engine split so both paths see the same draw.
+            (mode, rng.gen_range(0..current.num_nodes() as NodeId))
+        });
+        match inplace_move {
+            Some((mode, start)) if ctx.inplace_transactions() => {
+                let (inc, db) = engine.get_or_insert_with(|| {
+                    let inc = IncrementalAnalysis::new(&current);
+                    let mut db = CutDb::new(INPLACE_CUT_SIZE, INPLACE_MAX_CUTS);
+                    db.build(&current);
+                    (inc, db)
+                });
+                db.begin_edit();
+                let mut txn = Transaction::begin(&mut current, inc);
+                rewrite_inplace_window(&mut txn, db, ctx.resynth(), mode, start, INPLACE_WINDOW);
+                let move_min = txn.min_touched();
+                metrics = evaluator.evaluate_edit(txn.aig(), db, rows_since.min(move_min), ctx);
+                cost = scalar(&metrics);
+                accept = metropolis(cost - current_cost, temp, &mut rng);
+                if accept {
+                    txn.commit();
+                    db.commit_edit();
+                    rows_since = NodeId::MAX; // rows now match `current`
+                } else {
+                    txn.rollback();
+                    db.rollback_edit();
+                    rows_since = rows_since.min(move_min);
+                }
+            }
+            _ => {
+                // The whole-graph path: recipes without an in-place
+                // plan, and (engine off) the same in-place move
+                // through a clone — the byte-identity oracle.
+                let candidate = match inplace_move {
+                    Some((mode, start)) => {
+                        let mut cand = current.clone();
+                        let mut inc = IncrementalAnalysis::new(&cand);
+                        let mut db = CutDb::new(INPLACE_CUT_SIZE, INPLACE_MAX_CUTS);
+                        db.build(&cand);
+                        let mut txn = Transaction::begin(&mut cand, &mut inc);
+                        rewrite_inplace_window(
+                            &mut txn,
+                            &mut db,
+                            ctx.resynth(),
+                            mode,
+                            start,
+                            INPLACE_WINDOW,
+                        );
+                        txn.commit();
+                        cand
+                    }
+                    None => recipe.apply_with(&current, ctx.resynth()),
+                };
+                metrics = evaluator.evaluate_ctx(&candidate, ctx);
+                cost = scalar(&metrics);
+                accept = metropolis(cost - current_cost, temp, &mut rng);
+                if accept {
+                    current = candidate;
+                    engine = None;
+                }
+                rows_since = 0;
+            }
+        }
         evaluated.push(metrics);
-        let cost = scalar(&metrics);
-        let delta = cost - current_cost;
-        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp();
         if accept {
-            current = candidate;
             current_cost = cost;
             accepted += 1;
             if cost < best_cost {
                 best_cost = cost;
-                best = current.clone();
+                best = Some(current.clone());
                 best_metrics = metrics;
             }
         }
@@ -168,7 +285,7 @@ pub fn optimize_with(
         history.push(current_cost);
     }
     SaResult {
-        best,
+        best: best.unwrap_or_else(|| aig.clone()),
         best_metrics,
         best_cost,
         evaluated,
@@ -253,7 +370,13 @@ where
 {
     optimize_seeds(aig, make_eval, actions, opts, seeds)
         .into_iter()
-        .reduce(|best, r| if r.best_cost < best.best_cost { r } else { best })
+        .reduce(|best, r| {
+            if r.best_cost < best.best_cost {
+                r
+            } else {
+                best
+            }
+        })
         .expect("seeds is non-empty")
 }
 
@@ -293,8 +416,7 @@ mod tests {
         let res = optimize(&g, &mut ProxyCost, &actions, &opts);
         let initial = ProxyCost.evaluate(&g);
         assert!(
-            res.best_cost
-                <= opts.weight_delay + opts.weight_area + 1e-9,
+            res.best_cost <= opts.weight_delay + opts.weight_area + 1e-9,
             "best must not be worse than start"
         );
         assert!(
@@ -371,6 +493,84 @@ mod tests {
         assert!(area_first.best_metrics.area <= delay_first.best_metrics.area + 2.0);
     }
 
+    /// The transaction engine must be invisible in the results: with
+    /// the same seed, engine-on and engine-off (clone oracle) runs
+    /// produce byte-identical histories, metrics and best graphs —
+    /// under both the proxy and the ground-truth evaluator, on an
+    /// action mix that interleaves in-place and whole-graph moves.
+    #[test]
+    fn inplace_engine_matches_clone_oracle() {
+        use transform::Transform;
+        let g = messy_graph(12);
+        let actions = vec![
+            Recipe(vec![Transform::Rewrite]),
+            Recipe(vec![Transform::RewriteZero]),
+            Recipe(vec![Transform::Balance]),
+            Recipe(vec![Transform::Sweep]),
+            Recipe(vec![Transform::Rewrite, Transform::Balance]),
+        ];
+        let opts = SaOptions {
+            iterations: 24,
+            seed: 77,
+            ..SaOptions::default()
+        };
+        let run = |inplace: bool, eval: &mut dyn crate::CostEvaluator, opts: &SaOptions| {
+            let mut ctx = EvalContext::new();
+            ctx.set_inplace_transactions(inplace);
+            optimize_with(&g, eval, &actions, opts, &mut ctx)
+        };
+        let on = run(true, &mut ProxyCost, &opts);
+        let off = run(false, &mut ProxyCost, &opts);
+        assert_eq!(
+            aig::aiger::to_ascii(&on.best),
+            aig::aiger::to_ascii(&off.best),
+            "proxy: best graph diverged"
+        );
+        assert_eq!(on.history, off.history, "proxy: history diverged");
+        assert_eq!(on.evaluated, off.evaluated, "proxy: metrics diverged");
+        assert_eq!(on.accepted, off.accepted);
+
+        let lib = cells::sky130ish();
+        let gt_opts = SaOptions {
+            iterations: 10,
+            ..opts
+        };
+        let on = run(true, &mut crate::GroundTruthCost::new(&lib), &gt_opts);
+        let off = run(false, &mut crate::GroundTruthCost::new(&lib), &gt_opts);
+        assert_eq!(
+            aig::aiger::to_ascii(&on.best),
+            aig::aiger::to_ascii(&off.best),
+            "ground-truth: best graph diverged"
+        );
+        assert_eq!(on.history, off.history, "ground-truth: history diverged");
+        assert_eq!(
+            on.evaluated, off.evaluated,
+            "ground-truth: metrics diverged"
+        );
+    }
+
+    /// In-place moves preserve the Boolean function end to end.
+    #[test]
+    fn inplace_moves_preserve_function() {
+        use transform::Transform;
+        let g = messy_graph(13);
+        let actions = vec![
+            Recipe(vec![Transform::Rewrite]),
+            Recipe(vec![Transform::RewriteZero]),
+        ];
+        let res = optimize(
+            &g,
+            &mut ProxyCost,
+            &actions,
+            &SaOptions {
+                iterations: 20,
+                seed: 5,
+                ..SaOptions::default()
+            },
+        );
+        assert!(aig::sim::equiv_exhaustive(&g, &res.best).expect("10 inputs"));
+    }
+
     #[test]
     #[should_panic(expected = "at least one action")]
     fn empty_actions_panic() {
@@ -397,7 +597,10 @@ mod tests {
             assert_eq!(r.history, serial.history, "seed {seed}");
         }
         let best = optimize_best_of(&g, || ProxyCost, &actions, &opts, &seeds);
-        let min = par.iter().map(|r| r.best_cost).fold(f64::INFINITY, f64::min);
+        let min = par
+            .iter()
+            .map(|r| r.best_cost)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(best.best_cost, min);
     }
 

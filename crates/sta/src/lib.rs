@@ -341,7 +341,9 @@ mod tests {
         let lits: Vec<aig::Lit> = (0..8).map(|_| g.add_input()).collect();
         let f = g.xor_many(&lits);
         g.add_output(f, Some("parity"));
-        let nl = Mapper::new(&lib, MapOptions::default()).map(&g).expect("ok");
+        let nl = Mapper::new(&lib, MapOptions::default())
+            .map(&g)
+            .expect("ok");
         let rep = analyze(&nl, &lib);
         assert!(rep.max_delay_ps > 100.0, "3 XOR stages at least");
         assert!(rep.critical_output == Some(0));

@@ -46,7 +46,7 @@ mod sizing;
 mod verilog;
 
 pub use mapper::{MapContext, MapError, MapGoal, MapOptions, Mapper};
-pub use sizing::resize_greedy;
-pub use verilog::{library_models, to_verilog};
 pub use matcher::{CellMatch, Matcher};
 pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, OutputPort};
+pub use sizing::resize_greedy;
+pub use verilog::{library_models, to_verilog};

@@ -252,10 +252,7 @@ impl Netlist {
         for g in &self.gates {
             *counts.entry(&lib.cell(g.cell).name).or_default() += 1;
         }
-        counts
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect()
+        counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
 }
 

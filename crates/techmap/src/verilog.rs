@@ -130,7 +130,13 @@ fn net_name(netlist: &Netlist, net: NetId, input_names: &[String]) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("p_{cleaned}")
@@ -157,7 +163,9 @@ mod tests {
         g.add_output(f, Some("f"));
         g.add_output(!ab, Some("nab"));
         g.add_output(aig::Lit::TRUE, Some("tie"));
-        let nl = Mapper::new(&lib, MapOptions::default()).map(&g).expect("ok");
+        let nl = Mapper::new(&lib, MapOptions::default())
+            .map(&g)
+            .expect("ok");
         (nl, lib)
     }
 

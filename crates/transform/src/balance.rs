@@ -145,7 +145,8 @@ impl State<'_> {
         let before = self.new.num_nodes();
         let r = self.new.and(a, b);
         if self.new.num_nodes() > before {
-            self.level.push(1 + self.lit_level(a).max(self.lit_level(b)));
+            self.level
+                .push(1 + self.lit_level(a).max(self.lit_level(b)));
         }
         r
     }

@@ -32,6 +32,9 @@ use std::sync::{Arc, RwLock};
 /// chains rarely contend on the same lock.
 const SHARDS: usize = 16;
 
+/// One shard of the raw `(nv, tt) -> structure` memo.
+type RawShard = RwLock<HashMap<(u8, u64), Arc<SmallStructure>>>;
+
 /// A shareable, thread-safe memo of cut-function resyntheses.
 ///
 /// Create one per optimization run ([`ResynthCache::new`]) and thread
@@ -42,7 +45,7 @@ const SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ResynthCache {
     enabled: bool,
-    raw: [RwLock<HashMap<(u8, u64), Arc<SmallStructure>>>; SHARDS],
+    raw: [RawShard; SHARDS],
     canon: [RwLock<HashMap<u16, Arc<SmallStructure>>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
@@ -94,7 +97,10 @@ impl ResynthCache {
 
     /// Number of distinct `(nv, tt)` structures held.
     pub fn len(&self) -> usize {
-        self.raw.iter().map(|s| s.read().expect("not poisoned").len()).sum()
+        self.raw
+            .iter()
+            .map(|s| s.read().expect("not poisoned").len())
+            .sum()
     }
 
     /// Whether no structure is cached yet.
@@ -123,13 +129,7 @@ impl ResynthCache {
         let s = Arc::new(self.compute(nv, tt));
         // A racing thread may have inserted the same (identical)
         // value; keep the first so repeated lookups share one Arc.
-        Arc::clone(
-            shard
-                .write()
-                .expect("not poisoned")
-                .entry(key)
-                .or_insert(s),
-        )
+        Arc::clone(shard.write().expect("not poisoned").entry(key).or_insert(s))
     }
 
     fn shard_of(tt: u64, nv: usize) -> usize {
@@ -230,7 +230,11 @@ mod tests {
         for _ in 0..500 {
             let nv = rng.gen_range(1..7usize);
             let bits = 1usize << nv;
-            let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let tt = rng.gen::<u64>() & mask;
             let a = on.structure_for(nv, tt);
             let b = off.structure_for(nv, tt);

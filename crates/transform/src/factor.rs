@@ -179,7 +179,11 @@ mod tests {
         let s = synthesize(f);
         let nv = f.num_vars();
         let bits = 1usize << nv;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         assert_eq!(
             s.to_tt(nv) & mask,
             f.as_u64() & mask,

@@ -52,10 +52,10 @@ pub mod structure;
 
 pub use balance::{balance, balance_dup, reshape};
 pub use cache::ResynthCache;
-pub use resub::resub;
 pub use recipes::{apply, apply_with, recipes, ParseRecipeError, Recipe, Transform};
+pub use resub::resub;
 pub use rewrite::{
     perturb, perturb_with, refactor, refactor_with, refactor_zero, refactor_zero_with,
-    resynthesize, resynthesize_with, rewrite, rewrite_with, rewrite_zero, rewrite_zero_with,
-    ResynthOptions,
+    resynthesize, resynthesize_with, rewrite, rewrite_inplace, rewrite_inplace_window,
+    rewrite_with, rewrite_zero, rewrite_zero_with, InplaceMode, ResynthOptions,
 };

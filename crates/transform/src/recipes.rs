@@ -140,6 +140,23 @@ impl Recipe {
         g
     }
 
+    /// The in-place execution plan of this recipe, when it has one.
+    ///
+    /// The SA loop's transaction engine executes in-place-capable
+    /// moves by editing the current graph through an
+    /// [`aig::incremental::Transaction`] (accept = commit, reject =
+    /// rollback) instead of rebuilding it: single-step `rw` runs
+    /// [`crate::rewrite_inplace`] in depth-improving mode, single-step
+    /// `rwz` in zero-cost mode. Multi-step recipes and the remaining
+    /// primitives return `None` and take the whole-graph path.
+    pub fn as_inplace(&self) -> Option<crate::InplaceMode> {
+        match self.0.as_slice() {
+            [Transform::Rewrite] => Some(crate::InplaceMode::Standard),
+            [Transform::RewriteZero] => Some(crate::InplaceMode::ZeroCost),
+            _ => None,
+        }
+    }
+
     /// Number of primitive steps.
     pub fn len(&self) -> usize {
         self.0.len()
@@ -282,8 +299,7 @@ mod tests {
     #[test]
     fn recipes_are_distinct() {
         let r = recipes();
-        let set: std::collections::HashSet<String> =
-            r.iter().map(|x| x.to_string()).collect();
+        let set: std::collections::HashSet<String> = r.iter().map(|x| x.to_string()).collect();
         assert_eq!(set.len(), r.len());
     }
 

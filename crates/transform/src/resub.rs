@@ -67,7 +67,11 @@ pub fn resub(aig: &Aig) -> Aig {
             }
             let nv = cut.size();
             let bits = 1usize << nv;
-            let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             // Collect the cone between the cut and `id` (DFS).
             cone.clear();
             tts.clear();

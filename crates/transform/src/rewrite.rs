@@ -16,7 +16,8 @@
 use crate::cache::ResynthCache;
 use crate::structure::SmallStructure;
 use aig::analysis::levels;
-use aig::cut::enumerate_cuts;
+use aig::cut::{enumerate_cuts, CutDb};
+use aig::incremental::Transaction;
 use aig::{Aig, Lit, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -158,6 +159,158 @@ pub fn refactor_zero_with(aig: &Aig, cache: &ResynthCache) -> Aig {
     )
 }
 
+/// Acceptance rule of [`rewrite_inplace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InplaceMode {
+    /// Substitute only when the replacement literal sits at a
+    /// strictly smaller level than the node (depth-improving).
+    Standard,
+    /// Also accept equal-level replacements (zero-cost
+    /// restructurings that redirect fanout onto shared logic,
+    /// diversifying the search like the `-z` transforms).
+    ZeroCost,
+}
+
+/// In-place local rewriting: the transaction-native sibling of
+/// [`rewrite`], for the SA loop's cheap moves.
+///
+/// Where [`rewrite`] rebuilds the whole graph, this walks the current
+/// graph's AND nodes in ascending id order and applies **zero-new-node**
+/// replacements through `txn`: for each live node, each cached cut
+/// function (from `cuts`) is resynthesized via `cache`, and if the
+/// resulting structure already exists in the graph *below* the node
+/// (probed with [`SmallStructure::find`]; constants count), the node
+/// is substituted by that literal — rewiring its readers, re-leveling
+/// its transitive fanout, and invalidating exactly the affected cut
+/// lists before the walk proceeds. Among acceptable candidates the
+/// one with the smallest `(level, literal)` wins, so the result is a
+/// pure function of the inputs.
+///
+/// The graph's function is preserved (cut functions are exact and the
+/// probe is strashed), no nodes are created, and ids are stable;
+/// replaced nodes go dangling until a later sweep. Because everything
+/// flows through `txn`, the whole move can be rolled back exactly —
+/// pair with [`CutDb::begin_edit`]/[`CutDb::rollback_edit`].
+///
+/// Returns the number of substitutions performed.
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
+pub fn rewrite_inplace(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    cache: &ResynthCache,
+    mode: InplaceMode,
+) -> usize {
+    rewrite_inplace_window(txn, cuts, cache, mode, 1, usize::MAX)
+}
+
+/// [`rewrite_inplace`] restricted to a *window* of the graph: at most
+/// `max_nodes` live AND nodes are examined, beginning at the first
+/// AND node with id `>= start` and wrapping around to the low ids.
+/// This is the SA loop's actual in-place move: the examined set — and
+/// with it the edit footprint — is a constant, so the per-iteration
+/// cost is independent of the graph size, which is the paper's
+/// O(edit) claim. The window position is part of the move (SA draws
+/// it from the chain's RNG), so the result stays a pure function of
+/// `(graph, start, max_nodes)`.
+///
+/// Returns the number of substitutions performed.
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
+pub fn rewrite_inplace_window(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    cache: &ResynthCache,
+    mode: InplaceMode,
+    start: NodeId,
+    max_nodes: usize,
+) -> usize {
+    debug_assert_eq!(
+        cuts.num_nodes(),
+        txn.aig().num_nodes(),
+        "cut database out of sync with the transaction's graph"
+    );
+    let n = txn.aig().num_nodes() as NodeId;
+    if n <= 1 {
+        return 0;
+    }
+    let start = start.clamp(1, n - 1);
+    let mut examined = 0usize;
+    let mut substitutions = 0usize;
+    for id in (start..n).chain(1..start) {
+        if examined >= max_nodes {
+            break;
+        }
+        if !txn.aig().is_and(id) || txn.analysis().fanout(id) == 0 {
+            continue;
+        }
+        examined += 1;
+        let node_level = txn.analysis().level(id);
+        // Smallest (level, literal) acceptable replacement.
+        let mut best: Option<(u32, Lit)> = None;
+        for cut in cuts.cuts(id) {
+            if cut.size() == 1 && cut.leaves()[0] == id {
+                continue; // trivial cut: a node cannot define itself
+            }
+            match shrink_support_u64(cut.masked_tt(), cut.leaves()) {
+                None => {
+                    // Constant cone: always the best possible outcome.
+                    let lit = if cut.masked_tt() & 1 == 1 {
+                        Lit::TRUE
+                    } else {
+                        Lit::FALSE
+                    };
+                    best = Some((0, lit));
+                    break;
+                }
+                Some((tt, kept)) => {
+                    // One-variable functions resolve without touching
+                    // the cache: identity or NOT of the surviving
+                    // leaf — exactly what the synthesized structure's
+                    // probe would return (pinned by a unit test).
+                    let found = if kept.len() == 1 {
+                        Some(Lit::new(kept[0], false).complement_if(tt & 0b11 == 0b01))
+                    } else {
+                        let mut leaves = [Lit::FALSE; 6];
+                        for (j, &l) in kept.iter().enumerate() {
+                            leaves[j] = Lit::new(l, false);
+                        }
+                        cache
+                            .structure_for(kept.len(), tt)
+                            .find(txn.aig(), &leaves[..kept.len()])
+                    };
+                    let Some(lit) = found else {
+                        continue;
+                    };
+                    if lit.var() >= id {
+                        continue; // ids must stay topological
+                    }
+                    let lv = txn.analysis().level(lit.var());
+                    let improves = match mode {
+                        InplaceMode::Standard => lv < node_level,
+                        InplaceMode::ZeroCost => lv <= node_level,
+                    };
+                    if improves && best.is_none_or(|b| (lv, lit) < b) {
+                        best = Some((lv, lit));
+                    }
+                }
+            }
+        }
+        if let Some((_, with)) = best {
+            txn.substitute(id, with);
+            cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+            substitutions += 1;
+        }
+    }
+    substitutions
+}
+
 enum Candidate {
     /// The node's function over some cut is constant.
     Const(bool),
@@ -232,7 +385,9 @@ pub fn resynthesize_with(aig: &Aig, opts: &ResynthOptions, cache: &ResynthCache)
     for (idx, &pi) in old.inputs().iter().enumerate() {
         map[pi as usize] = new.add_named_input(old.input_name(idx).map(str::to_owned));
     }
-    let mut rng = opts.perturb.map(|(seed, prob)| (SmallRng::seed_from_u64(seed), prob));
+    let mut rng = opts
+        .perturb
+        .map(|(seed, prob)| (SmallRng::seed_from_u64(seed), prob));
 
     for id in old.and_ids() {
         let [f0, f1] = old.fanins(id);
@@ -335,7 +490,11 @@ fn shrink_support_u64(tt: u64, leaves: &[NodeId]) -> Option<(u64, Vec<NodeId>)> 
         0x0000_0000_FFFF_FFFF,
     ];
     let bits = 1usize << nv;
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut kept = Vec::with_capacity(nv);
     for (i, &leaf) in leaves.iter().enumerate() {
         let shift = 1usize << i;
@@ -482,6 +641,127 @@ mod tests {
         assert_eq!(tt & 0b11, 0b10);
         assert!(shrink_support_u64(0b1111, &[10, 20]).is_none());
         assert!(shrink_support_u64(0, &[10, 20]).is_none());
+    }
+
+    /// In-place rewriting preserves function, never creates nodes,
+    /// and is a pure function of the graph (warm or fresh cut
+    /// database, shared or fresh cache).
+    #[test]
+    fn rewrite_inplace_preserves_function_and_node_count() {
+        use aig::incremental::IncrementalAnalysis;
+        use aig::incremental::Transaction;
+        for seed in 0..8u64 {
+            for mode in [InplaceMode::Standard, InplaceMode::ZeroCost] {
+                let g0 = random_aig(seed + 4000, 7, 90);
+                let mut g = g0.clone();
+                let before_nodes = g.num_nodes();
+                let mut inc = IncrementalAnalysis::new(&g);
+                let mut db = aig::cut::CutDb::new(4, 8);
+                db.build(&g);
+                let cache = ResynthCache::new();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                let subs = rewrite_inplace(&mut txn, &mut db, &cache, mode);
+                txn.commit();
+                assert_eq!(g.num_nodes(), before_nodes, "zero-new-node contract");
+                assert!(
+                    equiv_exhaustive(&g0, &g).expect("small"),
+                    "seed {seed} {mode:?}: function broken after {subs} substitutions"
+                );
+                db.assert_matches_fresh(&g);
+                inc.assert_matches_oracle(&g);
+            }
+        }
+    }
+
+    /// The depth-improving mode must actually find the canonical
+    /// shallow replacement when it exists as shared structure.
+    #[test]
+    fn rewrite_inplace_flattens_redundant_or() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        // f = (a&b) | (a&!b) == a, with `a` trivially present.
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let t0 = g.and(a, b);
+        let t1 = g.and(a, !b);
+        let f = g.or(t0, t1);
+        let top = g.and(f, b);
+        g.add_output(top, None::<&str>);
+        let g0 = g.clone();
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = aig::cut::CutDb::new(4, 8);
+        db.build(&g);
+        let cache = ResynthCache::new();
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let subs = rewrite_inplace(&mut txn, &mut db, &cache, InplaceMode::Standard);
+        txn.commit();
+        assert!(subs >= 1, "the OR node reduces to `a`");
+        assert!(equiv_exhaustive(&g0, &g).expect("small"));
+        assert!(
+            inc.max_level() < aig::analysis::levels(&g0).max_level,
+            "depth must improve"
+        );
+    }
+
+    /// The one-variable fast path of the in-place probe must agree
+    /// with the synthesized-structure probe it bypasses.
+    #[test]
+    fn one_variable_structures_resolve_to_the_leaf() {
+        let cache = ResynthCache::new();
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let _ = g.add_input();
+        // Identity: f(x) = x  ->  plain leaf literal, zero ops.
+        let ident = cache.structure_for(1, 0b10);
+        assert_eq!(ident.find(&g, &[a]), Some(a));
+        // Negation: f(x) = !x  ->  complemented leaf, zero ops.
+        let not = cache.structure_for(1, 0b01);
+        assert_eq!(not.find(&g, &[a]), Some(!a));
+    }
+
+    /// Windowed in-place rewriting: any (start, width) is function-
+    /// preserving, and the full pass equals the max-width window.
+    #[test]
+    fn rewrite_inplace_window_preserves_function() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let g0 = random_aig(5200, 7, 90);
+        let n = g0.num_nodes() as NodeId;
+        for start in [0u32, 1, n / 2, n - 1, n + 7] {
+            let mut g = g0.clone();
+            let mut inc = IncrementalAnalysis::new(&g);
+            let mut db = aig::cut::CutDb::new(4, 8);
+            db.build(&g);
+            let cache = ResynthCache::new();
+            let mut txn = Transaction::begin(&mut g, &mut inc);
+            rewrite_inplace_window(&mut txn, &mut db, &cache, InplaceMode::ZeroCost, start, 16);
+            txn.commit();
+            assert!(
+                equiv_exhaustive(&g0, &g).expect("small"),
+                "window start {start} broke equivalence"
+            );
+            db.assert_matches_fresh(&g);
+        }
+    }
+
+    /// A rolled-back in-place rewrite leaves no trace: graph bytes and
+    /// cut database match the pre-move state.
+    #[test]
+    fn rewrite_inplace_rolls_back_cleanly() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let g0 = random_aig(4711, 7, 90);
+        let mut g = g0.clone();
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = aig::cut::CutDb::new(4, 8);
+        db.build(&g);
+        let cache = ResynthCache::new();
+        db.begin_edit();
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        rewrite_inplace(&mut txn, &mut db, &cache, InplaceMode::ZeroCost);
+        txn.rollback();
+        db.rollback_edit();
+        assert_eq!(aig::aiger::to_ascii(&g), aig::aiger::to_ascii(&g0));
+        db.assert_matches_fresh(&g);
+        inc.assert_matches_oracle(&g);
     }
 
     #[test]

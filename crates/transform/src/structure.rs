@@ -144,6 +144,34 @@ impl SmallStructure {
         cost
     }
 
+    /// Resolves the structure against `g` **without creating nodes**:
+    /// returns the literal computing the structure's output when every
+    /// op already exists in `g` (via strashed lookup over the bound
+    /// `leaves`), and `None` as soon as any op would require a fresh
+    /// node. This is the zero-new-node probe behind the in-place
+    /// rewriting move — a `Some` result is a literal functionally
+    /// identical to the structure, already present in the graph.
+    ///
+    /// Allocation-free for structures of up to 32 ops (every 4-input
+    /// NPN class factors well below that); the probe is on the SA
+    /// loop's per-move hot path.
+    pub fn find(&self, g: &Aig, leaves: &[Lit]) -> Option<Lit> {
+        let mut buf = [None; 32];
+        let mut heap;
+        let vals: &mut [Option<Lit>] = if self.ops.len() <= buf.len() {
+            &mut buf[..self.ops.len()]
+        } else {
+            heap = vec![None; self.ops.len()];
+            &mut heap
+        };
+        for (i, &(a, b)) in self.ops.iter().enumerate() {
+            let la = self.try_resolve(a, leaves, &vals[..i])?;
+            let lb = self.try_resolve(b, leaves, &vals[..i])?;
+            vals[i] = Some(g.find_and(la, lb)?);
+        }
+        self.try_resolve(self.out, leaves, vals)
+    }
+
     fn try_resolve(&self, r: SRef, leaves: &[Lit], vals: &[Option<Lit>]) -> Option<Lit> {
         match r {
             SRef::Const(v) => Some(if v { Lit::TRUE } else { Lit::FALSE }),
@@ -193,8 +221,11 @@ impl SmallStructure {
                         if pair.len() == 2 {
                             let r = if is_or {
                                 // a | b = !(!a & !b)
-                                self.push_and(pair[0].complement_if(true), pair[1].complement_if(true))
-                                    .complement_if(true)
+                                self.push_and(
+                                    pair[0].complement_if(true),
+                                    pair[1].complement_if(true),
+                                )
+                                .complement_if(true)
                             } else {
                                 self.push_and(pair[0], pair[1])
                             };
@@ -215,7 +246,11 @@ impl SmallStructure {
     pub fn to_tt(&self, nv: usize) -> u64 {
         assert!(nv <= 6);
         let bits = 1usize << nv;
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let leaf_tts: Vec<u64> = (0..nv)
             .map(|i| {
                 let mut t = 0u64;

@@ -37,7 +37,12 @@ o0 f
 o1 g
 ";
     let g = aiger::from_ascii(source)?;
-    println!("parsed: {} ({} inputs, {} outputs)", g.stats(), g.num_inputs(), g.num_outputs());
+    println!(
+        "parsed: {} ({} inputs, {} outputs)",
+        g.stats(),
+        g.num_inputs(),
+        g.num_outputs()
+    );
 
     // Optimize with an ABC-style script.
     let script = Recipe(vec![
@@ -48,7 +53,10 @@ o1 g
     ]);
     let opt = script.apply(&g);
     println!("after `{script}`: {}", opt.stats());
-    assert!(equiv_exhaustive(&g, &opt)?, "optimization must preserve function");
+    assert!(
+        equiv_exhaustive(&g, &opt)?,
+        "optimization must preserve function"
+    );
 
     // Write both flavors into a temp dir and read them back.
     let dir = std::env::temp_dir();
@@ -72,7 +80,12 @@ o1 g
     let lib = sky130ish();
     let netlist = Mapper::new(&lib, MapOptions::default()).map(&opt)?;
     let (delay, area) = sta::delay_and_area(&netlist, &lib);
-    println!("mapped: {:.1} ps, {:.1} um2, {} gates", delay, area, netlist.num_gates());
+    println!(
+        "mapped: {:.1} ps, {:.1} um2, {} gates",
+        delay,
+        area,
+        netlist.num_gates()
+    );
 
     let _ = std::fs::remove_file(ascii_path);
     let _ = std::fs::remove_file(binary_path);

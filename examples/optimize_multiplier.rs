@@ -10,8 +10,8 @@
 //! ```
 
 use aig_timing::prelude::*;
-use saopt::CostEvaluator;
 use experiments::datagen::{labeled_set, Target};
+use saopt::CostEvaluator;
 use std::time::Instant;
 
 fn main() {
@@ -44,11 +44,17 @@ fn main() {
     let corpus = labeled_set(&design, 150, 42, &lib);
     let delay_model = gbt::train(
         &corpus.to_dataset(Target::Delay),
-        &GbtParams { num_rounds: 200, ..GbtParams::default() },
+        &GbtParams {
+            num_rounds: 200,
+            ..GbtParams::default()
+        },
     );
     let area_model = gbt::train(
         &corpus.to_dataset(Target::Area),
-        &GbtParams { num_rounds: 200, ..GbtParams::default() },
+        &GbtParams {
+            num_rounds: 200,
+            ..GbtParams::default()
+        },
     );
     let train_time = t2.elapsed();
     let t3 = Instant::now();
@@ -71,5 +77,8 @@ fn main() {
             m.area
         );
     }
-    println!("(ml model training took {:.2}s, amortized across all future runs)", train_time.as_secs_f64());
+    println!(
+        "(ml model training took {:.2}s, amortized across all future runs)",
+        train_time.as_secs_f64()
+    );
 }

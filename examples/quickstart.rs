@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("built: {}", g.stats());
 
     // 2. Optimize with a classic script (balance; rewrite; refactor).
-    let script = Recipe(vec![Transform::Balance, Transform::Rewrite, Transform::Refactor]);
+    let script = Recipe(vec![
+        Transform::Balance,
+        Transform::Rewrite,
+        Transform::Refactor,
+    ]);
     let opt = script.apply(&g);
     println!("after `{script}`: {}", opt.stats());
 

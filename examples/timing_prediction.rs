@@ -21,7 +21,10 @@ fn main() {
     // 1. Training corpus: 200 labeled variants.
     let train = labeled_set(&design, 200, 1, &lib);
     let (lo, hi) = train.node_range();
-    println!("corpus: {} variants, {lo:.0}-{hi:.0} AND nodes", train.samples.len());
+    println!(
+        "corpus: {} variants, {lo:.0}-{hi:.0} AND nodes",
+        train.samples.len()
+    );
 
     // 2. Train the delay model (validation split for early stopping).
     let full = train.to_dataset(Target::Delay);
@@ -38,7 +41,10 @@ fn main() {
         "trained {} trees (best round {}, valid RMSE {:.1} ps)",
         model.trees.len(),
         log.best_round,
-        log.valid_rmse.get(log.best_round).copied().unwrap_or(f64::NAN)
+        log.valid_rmse
+            .get(log.best_round)
+            .copied()
+            .unwrap_or(f64::NAN)
     );
 
     // 3. Evaluate on fresh, unseen variants.

@@ -64,10 +64,7 @@ fn is_flag_value(rest: &[String], a: &String) -> bool {
 }
 
 fn flag_takes_value(flag: &str) -> bool {
-    matches!(
-        flag,
-        "--script" | "-o" | "--lib" | "--verilog" | "--paths"
-    ) || flag == "--out"
+    matches!(flag, "--script" | "-o" | "--lib" | "--verilog" | "--paths") || flag == "--out"
 }
 
 fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
@@ -144,7 +141,9 @@ fn cmd_opt(rest: &[String]) -> ToolResult {
     Ok(())
 }
 
-fn map_with(rest: &[String]) -> Result<(Aig, Library, techmap::Netlist), Box<dyn std::error::Error>> {
+fn map_with(
+    rest: &[String],
+) -> Result<(Aig, Library, techmap::Netlist), Box<dyn std::error::Error>> {
     let g = load(positional(rest)?)?;
     let lib = load_library(rest)?;
     let mapper = techmap::Mapper::new(&lib, techmap::MapOptions::default());

@@ -94,10 +94,7 @@ fn sa_runs_replay_with_seed() {
     let b = optimize(&d.aig, &mut ProxyCost, &actions, &opts);
     assert_eq!(a.best_cost, b.best_cost);
     assert_eq!(a.history, b.history);
-    assert_eq!(
-        aig::aiger::to_ascii(&a.best),
-        aig::aiger::to_ascii(&b.best)
-    );
+    assert_eq!(aig::aiger::to_ascii(&a.best), aig::aiger::to_ascii(&b.best));
 }
 
 #[test]

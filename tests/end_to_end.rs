@@ -28,7 +28,11 @@ fn whole_suite_optimizes_maps_and_times() {
         );
         let nl = mapper.map(&opt).expect("mappable");
         let (delay, area) = sta::delay_and_area(&nl, &lib);
-        assert!(delay > 0.0 && area > 0.0, "{}: degenerate timing", design.name);
+        assert!(
+            delay > 0.0 && area > 0.0,
+            "{}: degenerate timing",
+            design.name
+        );
     }
 }
 

@@ -48,6 +48,74 @@ fn optimize_cache_on_vs_off_is_byte_identical() {
     assert_eq!(on.history, plain.history);
 }
 
+/// The SA transaction engine on vs off: same seeds, same action
+/// space (including the in-place-planned `rw`/`rwz` moves), the full
+/// `SaResult` must be byte-identical — under the proxy evaluator
+/// across several seeds, and under the ground-truth evaluator (whose
+/// engine-on path maps incrementally through the cut database).
+#[test]
+fn optimize_transaction_engine_on_vs_off_is_byte_identical() {
+    let g = random_aig_with(43, 9, 140, 4);
+    // In-place-heavy action mix so both paths run constantly, with
+    // whole-graph moves interleaved to force engine rebuilds.
+    let actions = vec![
+        Recipe(vec![Transform::Rewrite]),
+        Recipe(vec![Transform::RewriteZero]),
+        Recipe(vec![Transform::Balance]),
+        Recipe(vec![Transform::Sweep]),
+        Recipe(vec![Transform::Resub, Transform::Rewrite]),
+    ];
+    for seed in [5u64, 29, 71] {
+        let opts = SaOptions {
+            iterations: 30,
+            seed,
+            ..SaOptions::default()
+        };
+        let mut on_ctx = EvalContext::new();
+        let mut off_ctx = EvalContext::new();
+        off_ctx.set_inplace_transactions(false);
+        let on = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut on_ctx);
+        let off = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut off_ctx);
+        assert_eq!(
+            to_ascii(&on.best),
+            to_ascii(&off.best),
+            "seed {seed}: best AIG must not depend on the engine"
+        );
+        assert_eq!(on.history, off.history, "seed {seed}");
+        assert_eq!(on.evaluated, off.evaluated, "seed {seed}");
+        assert_eq!(on.accepted, off.accepted, "seed {seed}");
+    }
+
+    // Ground truth: the engine path exercises incremental mapping
+    // (cut-database cuts + DP-row reuse) against full remapping.
+    let lib = cells::sky130ish();
+    let opts = SaOptions {
+        iterations: 12,
+        seed: 9,
+        ..SaOptions::default()
+    };
+    let mut on_ctx = EvalContext::new();
+    let mut off_ctx = EvalContext::new();
+    off_ctx.set_inplace_transactions(false);
+    let on = optimize_with(
+        &g,
+        &mut saopt::GroundTruthCost::new(&lib),
+        &actions,
+        &opts,
+        &mut on_ctx,
+    );
+    let off = optimize_with(
+        &g,
+        &mut saopt::GroundTruthCost::new(&lib),
+        &actions,
+        &opts,
+        &mut off_ctx,
+    );
+    assert_eq!(to_ascii(&on.best), to_ascii(&off.best), "ground truth");
+    assert_eq!(on.history, off.history);
+    assert_eq!(on.evaluated, off.evaluated);
+}
+
 /// A cache pre-warmed by *other* graphs must not perturb results:
 /// recipes applied through a dirty shared cache equal the uncached
 /// application, byte for byte.

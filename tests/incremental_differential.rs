@@ -17,11 +17,7 @@ use common::random_aig_with;
 /// One random in-place edit: append a few ANDs, retarget an output,
 /// or substitute a node by an earlier literal. Returns `false` when
 /// the graph offered no substitution target.
-fn random_inplace_edit(
-    g: &mut Aig,
-    inc: &mut IncrementalAnalysis,
-    rng: &mut SmallRng,
-) {
+fn random_inplace_edit(g: &mut Aig, inc: &mut IncrementalAnalysis, rng: &mut SmallRng) {
     match rng.gen_range(0..3) {
         0 => {
             let n = g.num_nodes() as NodeId;

@@ -123,8 +123,5 @@ fn po_edge_cases_through_warm_context() {
     let fresh = mapper.map(&g).expect("mappable");
     let reused = mapper.map_with(&mut ctx, &g).expect("mappable");
     assert_same_netlist(&fresh, &reused, "po edge cases");
-    assert_eq!(
-        eval_all(&fresh, &lib, 2),
-        eval_all(&reused, &lib, 2)
-    );
+    assert_eq!(eval_all(&fresh, &lib, 2), eval_all(&reused, &lib, 2));
 }

@@ -73,4 +73,32 @@ fn shared_cache_outputs_independent_of_worker_count() {
         );
         assert_eq!(s.flow_metrics, p.flow_metrics, "sweep point {i}");
     }
+
+    // The in-place transaction engine (default-on inside every chain)
+    // under an action mix that exercises it on every other draw: the
+    // shared cache is read from the in-place resynthesis probes too,
+    // and results must stay independent of the worker count.
+    let inplace_actions = vec![
+        transform::Recipe(vec![transform::Transform::Rewrite]),
+        transform::Recipe(vec![transform::Transform::RewriteZero]),
+        transform::Recipe(vec![transform::Transform::Balance]),
+        transform::Recipe(vec![transform::Transform::Sweep]),
+    ];
+    let opts = SaOptions {
+        iterations: 12,
+        ..SaOptions::default()
+    };
+    std::env::set_var("AIG_THREADS", "1");
+    let serial = optimize_seeds(&g, || ProxyCost, &inplace_actions, &opts, &seeds);
+    std::env::set_var("AIG_THREADS", "4");
+    let parallel = optimize_seeds(&g, || ProxyCost, &inplace_actions, &opts, &seeds);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            to_ascii(&s.best),
+            to_ascii(&p.best),
+            "in-place chain {i}: best AIG differs between 1 and 4 workers"
+        );
+        assert_eq!(s.history, p.history, "in-place chain {i}");
+        assert_eq!(s.evaluated, p.evaluated, "in-place chain {i}");
+    }
 }

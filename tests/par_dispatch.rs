@@ -40,7 +40,11 @@ fn simulation_independent_of_parallel_dispatch() {
     let narrow_words = SimTable::PAR_MIN_WORDS / 2;
     let cases = [
         (1u64, wide_words, SimTable::PAR_MIN_WORK / wide_words * 2),
-        (2u64, narrow_words, SimTable::PAR_MIN_WORK / narrow_words * 2),
+        (
+            2u64,
+            narrow_words,
+            SimTable::PAR_MIN_WORK / narrow_words * 2,
+        ),
     ];
     for (seed, words, nodes) in cases {
         // Strashing dedupes some ANDs; overshoot then verify the

@@ -8,8 +8,8 @@
 //! seeded [`rand::rngs::SmallRng`] stream: each property runs `CASES`
 //! deterministic random graphs (failures print the case seed).
 
-use aig::sim::{equiv_exhaustive, SimTable};
 use aig::aiger;
+use aig::sim::{equiv_exhaustive, SimTable};
 use cells::sky130ish;
 use techmap::{MapOptions, Mapper};
 use transform::{perturb, reshape, Transform};
@@ -56,8 +56,7 @@ fn diversifiers_preserve_function() {
 fn optimizers_never_grow() {
     for case in 0..CASES {
         let g = random_aig(2000 + case);
-        let t = [Transform::Balance, Transform::Rewrite, Transform::Refactor]
-            [case as usize % 3];
+        let t = [Transform::Balance, Transform::Rewrite, Transform::Refactor][case as usize % 3];
         let h = transform::apply(&g, t);
         assert!(
             h.num_live_ands() <= g.num_live_ands(),
@@ -146,4 +145,3 @@ fn features_always_finite() {
         assert_eq!(fv[features::NODE_COUNT], g.num_ands() as f64, "case {case}");
     }
 }
-
