@@ -150,6 +150,41 @@ fn bench_components(c: &mut Criterion) {
     g.bench_function("sta_ex28", |b| {
         b.iter(|| sta::delay_and_area(black_box(&netlist), &lib))
     });
+    // Full STA (buffer-reusing oracle) vs the incremental engine
+    // absorbing one gate edit: the worklist re-propagates only the
+    // edited gate's cone, with an equality cutoff (tracked >= 5x).
+    {
+        let mut bufs = sta::StaBuffers::new();
+        g.bench_function("sta_full_ex28", |b| {
+            b.iter(|| sta::delay_and_area_into(black_box(&netlist), &lib, &mut bufs))
+        });
+        let mut tracked = netlist.clone();
+        techmap::resize_greedy(&mut tracked, &lib, 2);
+        tracked.enable_tracking(&lib);
+        let order: Vec<u64> = (0..tracked.num_gates() as u64).collect();
+        let mut inc = sta::IncrementalSta::new();
+        inc.build(&tracked, &lib, &order);
+        // Toggle one mid-netlist gate between two drive variants: a
+        // realistic single-gate edit with a non-trivial dirty cone.
+        let gid = techmap::GateId(tracked.num_gates() as u32 / 2);
+        let variants = lib.drive_variants(tracked.gate(gid).cell);
+        let mut seeds = vec![gid];
+        for &n in &tracked.gate(gid).inputs {
+            if let techmap::NetDriver::Gate(d) = *tracked.driver(n) {
+                seeds.push(d);
+            }
+        }
+        let mut flip = false;
+        g.bench_function("sta_incr_edit_ex28", |b| {
+            b.iter(|| {
+                flip = !flip;
+                let cell = variants[usize::from(flip) % variants.len()];
+                tracked.set_gate_cell(gid, cell);
+                inc.update(&tracked, &lib, &order, &seeds);
+                black_box(inc.max_delay_ps(&tracked))
+            })
+        });
+    }
     g.bench_function("balance_ex28", |b| {
         b.iter(|| transform::balance(black_box(&large.aig)))
     });
@@ -212,6 +247,15 @@ fn bench_components(c: &mut Criterion) {
     ) {
         eprintln!(
             "cutdb_invalidate_substitute_ex28: {:.1}x faster than full cut enumeration (tracked >= 5x)",
+            full / incr
+        );
+    }
+    if let (Some(full), Some(incr)) = (
+        c.median_ns("components", "sta_full_ex28"),
+        c.median_ns("components", "sta_incr_edit_ex28"),
+    ) {
+        eprintln!(
+            "sta_incr_edit_ex28: {:.1}x faster than full STA (tracked >= 5x)",
             full / incr
         );
     }

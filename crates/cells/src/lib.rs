@@ -25,4 +25,6 @@ pub mod liberty;
 mod library;
 
 pub use expr::BoolExpr;
-pub use library::{asap7ish, sky130ish, Cell, CellId, Library, Pin};
+pub use library::{
+    asap7ish, from_fixed, sky130ish, to_fixed, Cell, CellId, Library, Pin, FIXED_UNITS_PER_UNIT,
+};

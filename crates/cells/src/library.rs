@@ -3,6 +3,32 @@
 use crate::expr::BoolExpr;
 use std::fmt;
 
+/// Fixed-point scale for capacitance/area accumulation: quantities
+/// are accumulated in integer micro-units (1e-6 fF, 1e-6 µm²).
+///
+/// Net loads and total cell area are *sums* of per-pin/per-cell
+/// contributions, and `f64` addition is not associative — two code
+/// paths summing the same contributions in different orders can
+/// disagree in the last bit. The incremental timing engine maintains
+/// these sums by delta, so every accumulation in the workspace
+/// instead sums exact integers (micro-units, converted back to `f64`
+/// once at the end): any summation order, including delta
+/// maintenance, produces bit-identical results. The quantization
+/// (1e-6 fF / 1e-6 µm²) is far below library data precision.
+pub const FIXED_UNITS_PER_UNIT: f64 = 1e6;
+
+/// Converts a femtofarad/µm² quantity to exact integer micro-units.
+#[inline]
+pub fn to_fixed(x: f64) -> i64 {
+    (x * FIXED_UNITS_PER_UNIT).round() as i64
+}
+
+/// Converts integer micro-units back to the `f64` quantity.
+#[inline]
+pub fn from_fixed(u: i64) -> f64 {
+    (u as f64) / FIXED_UNITS_PER_UNIT
+}
+
 /// Index of a cell within a [`Library`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(pub u32);
@@ -41,10 +67,25 @@ pub struct Cell {
     pub pin_names: Vec<String>,
 }
 
+impl Pin {
+    /// Input capacitance in integer micro-femtofarads (see
+    /// [`FIXED_UNITS_PER_UNIT`]).
+    #[inline]
+    pub fn cap_fixed(&self) -> i64 {
+        to_fixed(self.cap_ff)
+    }
+}
+
 impl Cell {
     /// Number of input pins.
     pub fn num_inputs(&self) -> usize {
         self.pins.len()
+    }
+
+    /// Cell area in integer micro-µm² (see [`FIXED_UNITS_PER_UNIT`]).
+    #[inline]
+    pub fn area_fixed(&self) -> i64 {
+        to_fixed(self.area_um2)
     }
 
     /// Delay (ps) from pin `pin` to the output driving `load_ff`.
@@ -90,6 +131,13 @@ impl Library {
     /// Wire capacitance added to a net per fanout branch (fF).
     pub fn wire_cap_per_fanout_ff(&self) -> f64 {
         self.wire_cap_per_fanout_ff
+    }
+
+    /// Per-fanout wire capacitance in integer micro-femtofarads (see
+    /// [`FIXED_UNITS_PER_UNIT`]).
+    #[inline]
+    pub fn wire_cap_fixed(&self) -> i64 {
+        to_fixed(self.wire_cap_per_fanout_ff)
     }
 
     /// All cells in id order.

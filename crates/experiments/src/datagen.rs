@@ -181,13 +181,21 @@ pub fn degrade(aig: &Aig, seed: u64) -> Aig {
 pub fn label_variants(variants: &[Aig], lib: &Library) -> Vec<(f64, f64)> {
     par::par_map_with(
         variants,
-        || (Mapper::new(lib, MapOptions::default()), MapContext::new()),
-        |(mapper, ctx), _i, aig| {
+        || {
+            (
+                Mapper::new(lib, MapOptions::default()),
+                MapContext::new(),
+                techmap::SizingTable::new(lib),
+                Vec::new(),
+                sta::StaBuffers::new(),
+            )
+        },
+        |(mapper, ctx, sizing, loads, sta_bufs), _i, aig| {
             let mut nl = mapper
                 .map_with(ctx, aig)
                 .expect("builtin library maps all AIGs");
-            techmap::resize_greedy(&mut nl, lib, 2);
-            sta::delay_and_area(&nl, lib)
+            techmap::resize_greedy_with(&mut nl, lib, sizing, 2, loads);
+            sta::delay_and_area_into(&nl, lib, sta_bufs)
         },
     )
 }

@@ -15,7 +15,16 @@
 //!   [`crate::sweep`];
 //! * a reusable [`Levels`] buffer for proxy evaluations
 //!   ([`aig::analysis::levels_into`]), so the per-candidate analysis
-//!   allocates nothing on the steady state.
+//!   allocates nothing on the steady state;
+//! * the in-place engine's [`IncrementalAnalysis`] + [`CutDb`]
+//!   buffers: [`crate::optimize_with`] used to build both from
+//!   scratch per run (and per whole-graph accept), so
+//!   [`crate::optimize_seeds`] restarts and datagen sweeps paid a
+//!   graph-sized allocation storm per chain. The context now owns the
+//!   buffers; each run re-*fills* them for its own graph
+//!   ([`IncrementalAnalysis::rebuild`] / [`CutDb::build`] reuse every
+//!   allocation), so warm state persists across runs sharing a
+//!   context — content never leaks between runs, only capacity.
 //!
 //! Results never depend on the context: every cached value is a pure
 //! function of its key, so [`crate::optimize`] with a fresh, shared,
@@ -26,6 +35,8 @@
 //! differential tests and benchmarks exercise directly.
 
 use aig::analysis::Levels;
+use aig::cut::CutDb;
+use aig::incremental::IncrementalAnalysis;
 use aig::Aig;
 use std::sync::Arc;
 use transform::ResynthCache;
@@ -41,6 +52,8 @@ pub struct EvalContext {
     /// way; the toggle exists so the determinism suite can pit the
     /// two against each other.
     inplace: bool,
+    /// The in-place engine's warm buffers (see the module docs).
+    engine: Option<(IncrementalAnalysis, CutDb)>,
 }
 
 impl Default for EvalContext {
@@ -71,7 +84,20 @@ impl EvalContext {
                 max_level: 0,
             },
             inplace: true,
+            engine: None,
         }
+    }
+
+    /// Takes the warm engine buffers (the SA loop re-fills them for
+    /// its own graph before first use and returns them at run end).
+    pub(crate) fn take_engine(&mut self) -> Option<(IncrementalAnalysis, CutDb)> {
+        self.engine.take()
+    }
+
+    /// Returns the engine buffers for the next run sharing this
+    /// context.
+    pub(crate) fn put_engine(&mut self, engine: Option<(IncrementalAnalysis, CutDb)>) {
+        self.engine = engine;
     }
 
     /// Whether [`crate::optimize_with`] executes in-place-capable

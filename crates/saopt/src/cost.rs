@@ -7,7 +7,8 @@ use aig::{Aig, NodeId};
 use cells::Library;
 use features::extract;
 use gbt::GbtModel;
-use techmap::{MapContext, MapOptions, Mapper};
+use sta::IncrementalSta;
+use techmap::{GateId, MapContext, MapOptions, MappedDesign, Mapper, SizingTable};
 
 /// Delay/area estimate for one AIG.
 ///
@@ -55,6 +56,24 @@ pub trait CostEvaluator {
         self.evaluate_ctx(aig, ctx)
     }
 
+    /// Notifies an evaluator with per-node state that the graph it
+    /// just priced through [`CostEvaluator::evaluate_edit`] was
+    /// rolled back: `aig` is the restored graph, `cuts` its restored
+    /// cut database, and `dirty_since` the rejected edit's watermark.
+    /// Stateful evaluators re-sync their state to the restored graph
+    /// *now* (cost bounded by the edit), so watermarks never
+    /// accumulate across a long reject streak into a whole-graph
+    /// recompute. Results are unaffected — state is pure w.r.t. the
+    /// graph — so the default is a no-op.
+    fn resync_edit(
+        &mut self,
+        _aig: &Aig,
+        _cuts: &CutDb,
+        _dirty_since: NodeId,
+        _ctx: &mut EvalContext,
+    ) {
+    }
+
     /// Evaluator name for reports (`proxy`, `ground-truth`, `ml`).
     fn name(&self) -> &'static str;
 }
@@ -83,17 +102,34 @@ impl CostEvaluator for ProxyCost {
     }
 }
 
-/// Ground-truth flow: full technology mapping plus STA per call.
+/// Ground-truth flow: full technology mapping plus sizing plus STA
+/// per call.
 ///
-/// Construction precomputes the Boolean-match tables once and owns a
-/// [`MapContext`], so the thousands of mapping calls one SA run makes
-/// reuse the cut arena and DP tables instead of reallocating them
-/// ([`Mapper::map_with`]); each [`CostEvaluator::evaluate`] then
-/// performs the paper's mapping + STA step.
+/// Construction precomputes the Boolean-match tables and the
+/// [`SizingTable`] once and owns a [`MapContext`] plus reusable
+/// sizing/STA buffers, so the thousands of evaluations one SA run
+/// makes allocate nothing graph-sized on the steady state.
+///
+/// For in-place SA steps ([`CostEvaluator::evaluate_edit`]) the
+/// evaluator additionally keeps a **persistent incremental timing
+/// state**: a [`MappedDesign`] (the previous step's netlist, patched
+/// in place to follow the refreshed DP rows) and an
+/// [`IncrementalSta`] (persistent arrival/load state re-propagated
+/// over the patch's dirty nets). On the steady state an in-place step
+/// therefore performs *no whole-netlist walk* — mapping, sizing and
+/// STA are all bounded by the edit's footprint — while the metrics
+/// stay bit-identical to the full pipeline (the differential suite
+/// asserts this on random edit walks).
 pub struct GroundTruthCost<'a> {
     lib: &'a Library,
     mapper: Mapper<'a>,
     map_ctx: MapContext,
+    sizing: SizingTable,
+    sta_bufs: sta::StaBuffers,
+    resize_loads: Vec<f64>,
+    design: MappedDesign,
+    inc_sta: IncrementalSta,
+    sta_seeds: Vec<GateId>,
 }
 
 impl<'a> GroundTruthCost<'a> {
@@ -108,25 +144,36 @@ impl<'a> GroundTruthCost<'a> {
             lib,
             mapper: Mapper::new(lib, opts),
             map_ctx: MapContext::new(),
+            sizing: SizingTable::new(lib),
+            sta_bufs: sta::StaBuffers::new(),
+            resize_loads: Vec::new(),
+            design: MappedDesign::new(),
+            inc_sta: IncrementalSta::new(),
+            sta_seeds: Vec::new(),
         }
     }
 }
 
 impl CostEvaluator for GroundTruthCost<'_> {
     fn evaluate(&mut self, aig: &Aig) -> CostMetrics {
+        // The full pipeline prices a graph the persistent design no
+        // longer mirrors: drop it (the next in-place step rebuilds).
+        self.design.invalidate();
         let mut nl = self
             .mapper
             .map_with(&mut self.map_ctx, aig)
             .expect("builtin library maps every strashed AIG");
-        techmap::resize_greedy(&mut nl, self.lib, 2);
-        let (delay, area) = sta::delay_and_area(&nl, self.lib);
+        techmap::resize_greedy_with(&mut nl, self.lib, &self.sizing, 2, &mut self.resize_loads);
+        let (delay, area) = sta::delay_and_area_into(&nl, self.lib, &mut self.sta_bufs);
         CostMetrics { delay, area }
     }
 
-    /// In-place steps skip cut enumeration (lists come from `cuts`)
-    /// and the DP rows below the watermark
-    /// ([`Mapper::map_incremental`]); the netlist — and therefore the
-    /// metrics — are identical to [`CostEvaluator::evaluate`]'s.
+    /// In-place steps patch the persistent [`MappedDesign`] (DP rows
+    /// reused below the watermark, cut lists from `cuts`, netlist
+    /// edited in place), re-size only the patch's footprint
+    /// ([`techmap::resize_greedy_incremental`]) and re-propagate
+    /// arrivals only over the dirty cone ([`IncrementalSta`]); the
+    /// metrics are bit-identical to [`CostEvaluator::evaluate`]'s.
     fn evaluate_edit(
         &mut self,
         aig: &Aig,
@@ -138,13 +185,38 @@ impl CostEvaluator for GroundTruthCost<'_> {
         if cuts.k() != opts.cut_size || cuts.max_cuts() != opts.max_cuts {
             return self.evaluate(aig); // foreign cut parameters: full path
         }
-        let mut nl = self
+        let rebuilt = self
             .mapper
-            .map_incremental(&mut self.map_ctx, aig, cuts, dirty_since)
+            .sync_design(&mut self.map_ctx, aig, cuts, dirty_since, &mut self.design)
             .expect("builtin library maps every strashed AIG");
-        techmap::resize_greedy(&mut nl, self.lib, 2);
-        let (delay, area) = sta::delay_and_area(&nl, self.lib);
-        CostMetrics { delay, area }
+        if rebuilt {
+            self.design.finish_full(&self.sizing);
+            self.inc_sta
+                .build(self.design.netlist(), self.lib, self.design.topo_keys());
+        } else {
+            self.sta_seeds.clear();
+            self.design
+                .finish_incremental(&self.sizing, &mut self.sta_seeds);
+            self.inc_sta.update(
+                self.design.netlist(),
+                self.lib,
+                self.design.topo_keys(),
+                &self.sta_seeds,
+            );
+        }
+        let nl = self.design.netlist();
+        CostMetrics {
+            delay: self.inc_sta.max_delay_ps(nl),
+            area: nl.area_um2(self.lib),
+        }
+    }
+
+    /// Re-syncs the persistent design to the rolled-back graph
+    /// immediately (cost bounded by the rejected edit), so the SA
+    /// loop's watermark never degrades toward a whole-graph DP
+    /// recompute across reject streaks.
+    fn resync_edit(&mut self, aig: &Aig, cuts: &CutDb, dirty_since: NodeId, ctx: &mut EvalContext) {
+        let _ = self.evaluate_edit(aig, cuts, dirty_since, ctx);
     }
 
     fn name(&self) -> &'static str {

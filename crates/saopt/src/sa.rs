@@ -192,14 +192,18 @@ pub fn optimize_with(
     evaluated.push(initial);
     let mut accepted = 0usize;
     let mut history = Vec::with_capacity(opts.iterations + 1);
-    // In-place engine state for `current`, built on the first
-    // in-place move and discarded whenever a whole-graph move
-    // replaces the graph.
-    let mut engine: Option<(IncrementalAnalysis, CutDb)> = None;
+    // In-place engine state for `current`. The *buffers* live in the
+    // context (warm across runs sharing it — multi-seed chains,
+    // datagen sweeps); the *content* is synced to `current` on first
+    // in-place use and re-synced after whole-graph accepts.
+    let mut engine = ctx.take_engine();
+    let mut engine_synced = false;
     // First node id whose evaluator-side per-node state (mapper DP
-    // rows) may disagree with `current`: rejected in-place moves
-    // leave rows of the rejected candidate behind, whole-graph
-    // evaluations leave rows of a different graph entirely.
+    // rows, the persistent mapped design) may disagree with
+    // `current`. Rejected in-place moves re-sync the evaluator
+    // immediately (`CostEvaluator::resync_edit`), so on the engine
+    // path this stays `MAX`; whole-graph evaluations leave rows of a
+    // different graph entirely and reset it to 0.
     let mut rows_since: NodeId = 0;
 
     for _ in 0..opts.iterations {
@@ -215,11 +219,16 @@ pub fn optimize_with(
         match inplace_move {
             Some((mode, start)) if ctx.inplace_transactions() => {
                 let (inc, db) = engine.get_or_insert_with(|| {
-                    let inc = IncrementalAnalysis::new(&current);
-                    let mut db = CutDb::new(INPLACE_CUT_SIZE, INPLACE_MAX_CUTS);
-                    db.build(&current);
-                    (inc, db)
+                    (
+                        IncrementalAnalysis::default(),
+                        CutDb::new(INPLACE_CUT_SIZE, INPLACE_MAX_CUTS),
+                    )
                 });
+                if !engine_synced {
+                    inc.rebuild(&current);
+                    db.build(&current);
+                    engine_synced = true;
+                }
                 db.begin_edit();
                 let mut txn = Transaction::begin(&mut current, inc);
                 rewrite_inplace_window(&mut txn, db, ctx.resynth(), mode, start, INPLACE_WINDOW);
@@ -230,12 +239,16 @@ pub fn optimize_with(
                 if accept {
                     txn.commit();
                     db.commit_edit();
-                    rows_since = NodeId::MAX; // rows now match `current`
                 } else {
                     txn.rollback();
                     db.rollback_edit();
-                    rows_since = rows_since.min(move_min);
+                    // Bring stateful evaluators back to `current` now
+                    // (cost bounded by the rejected edit), instead of
+                    // letting watermarks accumulate toward a
+                    // whole-graph DP recompute.
+                    evaluator.resync_edit(&current, db, rows_since.min(move_min), ctx);
                 }
+                rows_since = NodeId::MAX; // rows now match `current`
             }
             _ => {
                 // The whole-graph path: recipes without an in-place
@@ -266,7 +279,7 @@ pub fn optimize_with(
                 accept = metropolis(cost - current_cost, temp, &mut rng);
                 if accept {
                     current = candidate;
-                    engine = None;
+                    engine_synced = false;
                 }
                 rows_since = 0;
             }
@@ -284,6 +297,7 @@ pub fn optimize_with(
         temp *= opts.decay;
         history.push(current_cost);
     }
+    ctx.put_engine(engine);
     SaResult {
         best: best.unwrap_or_else(|| aig.clone()),
         best_metrics,
@@ -299,11 +313,14 @@ pub fn optimize_with(
 ///
 /// SA is highly seed-sensitive; the standard remedy is restarting the
 /// chain several times and keeping the best outcome. `make_eval`
-/// builds one evaluator per chain, so evaluators need not be shared
-/// across threads; all chains do share one NPN-canonical resynthesis
-/// cache (every cached value is a pure function of its key, so
-/// sharing cannot perturb results). Results are deterministic and
-/// independent of the worker count.
+/// builds one evaluator per *worker* (chains executed by the same
+/// worker share it, along with a warm [`EvalContext`] — match tables,
+/// mapper DP buffers, and the in-place engine's analysis/cut-database
+/// allocations all persist across restarts); all chains share one
+/// NPN-canonical resynthesis cache. Every reused piece is pure with
+/// respect to the evaluated graph, so results are deterministic and
+/// independent of the worker count (asserted by the determinism
+/// suites).
 ///
 /// # Panics
 ///
@@ -342,12 +359,14 @@ where
 {
     assert!(!seeds.is_empty(), "need at least one seed");
     let cache = Arc::new(ResynthCache::new());
-    aig::par::par_map(seeds, |_, &seed| {
-        let mut eval = make_eval();
-        let opts = SaOptions { seed, ..*opts };
-        let mut ctx = EvalContext::with_shared(Arc::clone(&cache));
-        optimize_with(aig, &mut eval, actions, &opts, &mut ctx)
-    })
+    aig::par::par_map_with(
+        seeds,
+        || (make_eval(), EvalContext::with_shared(Arc::clone(&cache))),
+        |(eval, ctx), _, &seed| {
+            let opts = SaOptions { seed, ..*opts };
+            optimize_with(aig, eval, actions, &opts, ctx)
+        },
+    )
 }
 
 /// Multi-seed restart helper: runs [`optimize_seeds`] and returns the

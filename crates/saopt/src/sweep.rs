@@ -51,8 +51,10 @@ pub struct SweepPoint {
 }
 
 /// Runs the full sweep in parallel (via [`aig::par`]; worker count
-/// follows `AIG_THREADS`); `make_eval` builds one evaluator per run
-/// so evaluators need not be `Send` across runs. All runs share one
+/// follows `AIG_THREADS`); `make_eval` builds one evaluator per
+/// *worker*, and runs executed by the same worker share it together
+/// with a warm [`EvalContext`] (mapper tables, analysis and
+/// cut-database buffers persist across the grid). All runs share one
 /// NPN-canonical resynthesis cache ([`transform::ResynthCache`]), so
 /// a cut function is factored once for the whole grid.
 ///
@@ -83,26 +85,28 @@ where
         .flat_map(|&w| cfg.decays.iter().map(move |&d| (w, d)))
         .collect();
     let cache = Arc::new(ResynthCache::new());
-    par::par_map(&grid, |i, &((wd, wa), decay)| {
-        let mut eval = make_eval();
-        let opts = SaOptions {
-            iterations: cfg.iterations,
-            decay,
-            weight_delay: wd,
-            weight_area: wa,
-            seed: cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
-            ..SaOptions::default()
-        };
-        let mut ctx = EvalContext::with_shared(Arc::clone(&cache));
-        let res = optimize_with(aig, &mut eval, actions, &opts, &mut ctx);
-        SweepPoint {
-            weight_delay: wd,
-            weight_area: wa,
-            decay,
-            best: res.best,
-            flow_metrics: res.best_metrics,
-        }
-    })
+    par::par_map_with(
+        &grid,
+        || (make_eval(), EvalContext::with_shared(Arc::clone(&cache))),
+        |(eval, ctx), i, &((wd, wa), decay)| {
+            let opts = SaOptions {
+                iterations: cfg.iterations,
+                decay,
+                weight_delay: wd,
+                weight_area: wa,
+                seed: cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9),
+                ..SaOptions::default()
+            };
+            let res = optimize_with(aig, eval, actions, &opts, ctx);
+            SweepPoint {
+                weight_delay: wd,
+                weight_area: wa,
+                decay,
+                best: res.best,
+                flow_metrics: res.best_metrics,
+            }
+        },
+    )
 }
 
 #[cfg(test)]

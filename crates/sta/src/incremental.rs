@@ -1,0 +1,239 @@
+//! Incremental static timing analysis over a tracked netlist.
+//!
+//! The ground-truth SA flow prices every candidate with mapping →
+//! sizing → STA. The mapping and sizing steps are dirty-region
+//! bounded; [`IncrementalSta`] closes the loop by keeping per-net
+//! arrival times live across in-place netlist patches, re-propagating
+//! only over a worklist seeded by the changed nets' drivers, with an
+//! equality cutoff exactly like `aig::cut::CutDb::invalidate`: a
+//! recomputed arrival that is bit-identical to the stored one stops
+//! the wavefront.
+//!
+//! # The dirty-net contract
+//!
+//! Mirroring `aig::incremental::DirtyRegion`'s documented contract,
+//! correctness rests on the caller naming *every* gate whose arrival
+//! computation inputs may have changed since the previous
+//! [`IncrementalSta::update`] (or [`IncrementalSta::build`]):
+//!
+//! * gates whose **cell** changed (intrinsic delay and drive
+//!   resistance enter the arrival arithmetic);
+//! * gates whose **input pins were rewired** (different fanin nets);
+//! * the **drivers of every net whose load changed** — structurally
+//!   (sinks added/removed, ports repointed) or through a sink's cell
+//!   swap (pin capacitance).
+//!
+//! Over-seeding is harmless (the equality cutoff absorbs it);
+//! under-seeding is a caller bug that the differential suite would
+//! surface as a bit mismatch against the [`crate::arrivals_into`]
+//! oracle. Arrival propagation from the seeds onward is handled here:
+//! a changed arrival pushes the sink gates of its net, in topological
+//! order.
+//!
+//! # Topological keys
+//!
+//! Patched netlists do not keep gate ids topologically sorted
+//! (retired slots are revived for unrelated logic), so the caller
+//! supplies a per-gate `order` key — any assignment where every gate's
+//! key strictly exceeds the keys of the gates driving its inputs (the
+//! incremental mapper derives one from AIG node ids). The worklist
+//! pops gates in ascending key order, so each touched gate is
+//! re-evaluated once, after all its fanin arrivals settled.
+//!
+//! Results are **bit-identical** to the full-recompute oracle: the
+//! per-gate arrival arithmetic is the same max-fold in pin order over
+//! `arrival + delay` at the same (fixed-point-exact) loads, and the
+//! equality cutoff only prunes recomputation of values already known
+//! to be bit-equal.
+
+use cells::Library;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use techmap::{GateId, NetId, Netlist};
+
+/// Persistent arrival-time state for one tracked netlist (see the
+/// module docs for the contract).
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalSta {
+    /// Arrival time (ps) per net; inputs and constants are 0.
+    arrival: Vec<f64>,
+    /// Dedup flags for the worklist, per gate.
+    queued: Vec<bool>,
+    /// Worklist ordered by the caller's topological key.
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl IncrementalSta {
+    /// An empty state; call [`IncrementalSta::build`] before
+    /// [`IncrementalSta::update`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes every arrival from scratch (reusing the buffers):
+    /// seeds all live gates and drains the worklist. `order` is the
+    /// per-gate topological key (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled on `nl`.
+    pub fn build(&mut self, nl: &Netlist, lib: &Library, order: &[u64]) {
+        self.arrival.clear();
+        self.arrival.resize(nl.num_nets(), 0.0);
+        self.queued.clear();
+        self.queued.resize(nl.num_gates(), false);
+        self.heap.clear();
+        for gi in 0..nl.num_gates() {
+            let gid = GateId(gi as u32);
+            if !nl.is_retired(gid) {
+                self.push(order, gid);
+            }
+        }
+        self.drain(nl, lib, order);
+    }
+
+    /// Re-propagates arrivals after an in-place patch, seeded by the
+    /// gates named under the dirty-net contract (module docs).
+    /// Bounded by the dirty cone: propagation stops wherever a
+    /// recomputed arrival is bit-identical to the stored one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled on `nl`.
+    pub fn update(&mut self, nl: &Netlist, lib: &Library, order: &[u64], seeds: &[GateId]) {
+        self.arrival.resize(nl.num_nets(), 0.0);
+        self.queued.resize(nl.num_gates(), false);
+        for &g in seeds {
+            if !nl.is_retired(g) {
+                self.push(order, g);
+            }
+        }
+        self.drain(nl, lib, order);
+    }
+
+    /// The stored arrival (ps) of `net`.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival[net.0 as usize]
+    }
+
+    /// Maximum arrival over the primary outputs — the same fold, in
+    /// port order, as [`crate::delay_and_area`].
+    pub fn max_delay_ps(&self, nl: &Netlist) -> f64 {
+        nl.outputs()
+            .iter()
+            .map(|o| self.arrival[o.net.0 as usize])
+            .fold(0.0, f64::max)
+    }
+
+    #[inline]
+    fn push(&mut self, order: &[u64], g: GateId) {
+        let gi = g.0 as usize;
+        if !self.queued[gi] {
+            self.queued[gi] = true;
+            self.heap.push(Reverse((order[gi], g.0)));
+        }
+    }
+
+    fn drain(&mut self, nl: &Netlist, lib: &Library, order: &[u64]) {
+        while let Some(Reverse((_, g))) = self.heap.pop() {
+            let gid = GateId(g);
+            self.queued[g as usize] = false;
+            if nl.is_retired(gid) {
+                continue;
+            }
+            let gate = nl.gate(gid);
+            let cell = lib.cell(gate.cell);
+            let out = gate.output.0 as usize;
+            let load = nl.load_ff(gate.output);
+            let mut arr: f64 = 0.0;
+            for (pin, n) in gate.inputs.iter().enumerate() {
+                arr = arr.max(self.arrival[n.0 as usize] + cell.delay_ps(pin, load));
+            }
+            // Equality cutoff: an unchanged (bit-identical) arrival
+            // cannot change anything downstream.
+            if arr.to_bits() == self.arrival[out].to_bits() {
+                continue;
+            }
+            self.arrival[out] = arr;
+            for s in nl.sinks(gate.output) {
+                self.push(order, s.gate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cells::sky130ish;
+
+    /// Ascending gate ids are a valid order for builder-produced
+    /// netlists.
+    fn id_order(nl: &Netlist) -> Vec<u64> {
+        (0..nl.num_gates() as u64).collect()
+    }
+
+    #[test]
+    fn build_matches_oracle() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(nand, vec![a, b]);
+        let y = nl.add_gate(inv, vec![x]);
+        let z = nl.add_gate(nand, vec![x, y]);
+        nl.add_output(z, Some("z"));
+        nl.enable_tracking(&lib);
+        let mut sta = IncrementalSta::new();
+        let order = id_order(&nl);
+        sta.build(&nl, &lib, &order);
+        let (delay, _) = crate::delay_and_area(&nl, &lib);
+        assert!(sta.max_delay_ps(&nl) == delay, "bit-identical build");
+    }
+
+    /// A cell swap re-propagates exactly to the oracle's values; an
+    /// untouched sibling cone is never revisited (equality cutoff).
+    #[test]
+    fn update_matches_oracle_after_cell_swap() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let inv4 = lib.find("INV_X4").expect("builtin");
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(nand, vec![a, b]);
+        let mut chain = x;
+        for _ in 0..5 {
+            chain = nl.add_gate(inv, vec![chain]);
+        }
+        nl.add_output(chain, Some("slow"));
+        let side = nl.add_gate(inv, vec![b]);
+        nl.add_output(side, Some("side"));
+        nl.enable_tracking(&lib);
+        let order = id_order(&nl);
+        let mut sta = IncrementalSta::new();
+        sta.build(&nl, &lib, &order);
+
+        // Swap the middle inverter: seeds are the gate itself and the
+        // driver of its input net (whose load changed).
+        let mid = techmap::GateId(3);
+        nl.set_gate_cell(mid, inv4);
+        let drv = match nl.driver(nl.gate(mid).inputs[0]) {
+            techmap::NetDriver::Gate(g) => *g,
+            _ => unreachable!(),
+        };
+        sta.update(&nl, &lib, &order, &[mid, drv]);
+        let mut oracle = crate::StaBuffers::new();
+        let (delay, _) = crate::delay_and_area_into(&nl, &lib, &mut oracle);
+        assert!(sta.max_delay_ps(&nl) == delay, "bit-identical update");
+        for n in 0..nl.num_nets() {
+            assert!(
+                sta.arrival(NetId(n as u32)).to_bits() == oracle.arrival[n].to_bits(),
+                "net {n} arrival diverged"
+            );
+        }
+    }
+}

@@ -37,6 +37,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod incremental;
+
+pub use incremental::IncrementalSta;
+
 use cells::Library;
 use techmap::{GateId, NetDriver, NetId, Netlist};
 
@@ -90,24 +94,55 @@ impl TimingReport {
     }
 }
 
+/// Reusable buffers for the full-recompute STA paths, so hot loops
+/// (the ground-truth cost evaluator prices thousands of candidates)
+/// allocate nothing per call.
+#[derive(Clone, Debug, Default)]
+pub struct StaBuffers {
+    loads: Vec<f64>,
+    arrival: Vec<f64>,
+}
+
+impl StaBuffers {
+    /// Empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Post-mapping delay and area of a netlist.
 ///
 /// The hot path of the ground-truth optimization flow: equivalent to
 /// [`analyze`] but skips required times and path extraction.
 pub fn delay_and_area(nl: &Netlist, lib: &Library) -> (f64, f64) {
-    let loads = nl.net_loads_ff(lib);
-    let arrival = arrivals(nl, lib, &loads);
+    delay_and_area_into(nl, lib, &mut StaBuffers::new())
+}
+
+/// [`delay_and_area`] against caller-owned [`StaBuffers`]: identical
+/// results, no per-call allocation on the steady state.
+pub fn delay_and_area_into(nl: &Netlist, lib: &Library, bufs: &mut StaBuffers) -> (f64, f64) {
+    nl.net_loads_ff_into(lib, &mut bufs.loads);
+    arrivals_into(nl, lib, &bufs.loads, &mut bufs.arrival);
     let max_delay = nl
         .outputs()
         .iter()
-        .map(|o| arrival[o.net.0 as usize])
+        .map(|o| bufs.arrival[o.net.0 as usize])
         .fold(0.0, f64::max);
     (max_delay, nl.area_um2(lib))
 }
 
-fn arrivals(nl: &Netlist, lib: &Library, loads: &[f64]) -> Vec<f64> {
-    let mut arrival = vec![0.0f64; nl.num_nets()];
-    for g in nl.gates() {
+/// Computes load-dependent arrival times per net into `arrival`
+/// (cleared and resized), given per-net `loads` — the full-recompute
+/// oracle the incremental engine ([`IncrementalSta`]) is checked
+/// against. Inputs and constants arrive at 0; retired gate slots are
+/// skipped.
+pub fn arrivals_into(nl: &Netlist, lib: &Library, loads: &[f64], arrival: &mut Vec<f64>) {
+    arrival.clear();
+    arrival.resize(nl.num_nets(), 0.0);
+    for (gi, g) in nl.gates().iter().enumerate() {
+        if nl.is_retired(GateId(gi as u32)) {
+            continue;
+        }
         let cell = lib.cell(g.cell);
         let load = loads[g.output.0 as usize];
         let mut arr: f64 = 0.0;
@@ -116,6 +151,11 @@ fn arrivals(nl: &Netlist, lib: &Library, loads: &[f64]) -> Vec<f64> {
         }
         arrival[g.output.0 as usize] = arr;
     }
+}
+
+fn arrivals(nl: &Netlist, lib: &Library, loads: &[f64]) -> Vec<f64> {
+    let mut arrival = Vec::new();
+    arrivals_into(nl, lib, loads, &mut arrival);
     arrival
 }
 
@@ -141,7 +181,10 @@ pub fn analyze(nl: &Netlist, lib: &Library) -> TimingReport {
     for o in nl.outputs() {
         required[o.net.0 as usize] = required[o.net.0 as usize].min(max_delay);
     }
-    for g in nl.gates().iter().rev() {
+    for (gi, g) in nl.gates().iter().enumerate().rev() {
+        if nl.is_retired(GateId(gi as u32)) {
+            continue;
+        }
         let cell = lib.cell(g.cell);
         let load = loads[g.output.0 as usize];
         let r_out = required[g.output.0 as usize];

@@ -15,6 +15,14 @@
 //! allocation-free while producing netlists identical to
 //! [`Mapper::map`].
 //!
+//! The incremental timing engine builds on top: a [`MappedDesign`]
+//! keeps one tracking-enabled [`Netlist`] alive across in-place SA
+//! steps ([`Mapper::sync_design`] patches it to follow the refreshed
+//! DP rows), [`SizingTable`] + [`resize_greedy_incremental`] re-run
+//! the greedy sizing passes as worklists over the patch footprint,
+//! and the `sta` crate's `IncrementalSta` re-propagates arrivals over
+//! the dirty cone — all bit-identical to the full pipeline.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,14 +47,19 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod design;
 mod mapper;
 mod matcher;
 mod netlist;
 mod sizing;
 mod verilog;
 
+pub use design::MappedDesign;
 pub use mapper::{MapContext, MapError, MapGoal, MapOptions, Mapper};
 pub use matcher::{CellMatch, Matcher};
-pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, OutputPort};
-pub use sizing::resize_greedy;
+pub use netlist::{Gate, GateId, NetDriver, NetId, Netlist, OutputPort, Sink};
+pub use sizing::{
+    resize_greedy, resize_greedy_capture, resize_greedy_incremental, resize_greedy_with, SizeState,
+    SizingTable,
+};
 pub use verilog::{library_models, to_verilog};

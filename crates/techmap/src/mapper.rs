@@ -114,22 +114,22 @@ impl std::error::Error for MapError {}
 /// Inline leaf set of a mapped cut (mapper cuts have at most four
 /// leaves), keeping the per-node DP table allocation-free.
 #[derive(Clone, Copy, Debug)]
-struct CutLeaves {
-    arr: [NodeId; 4],
-    len: u8,
+pub(crate) struct CutLeaves {
+    pub(crate) arr: [NodeId; 4],
+    pub(crate) len: u8,
 }
 
 impl CutLeaves {
     #[inline]
-    fn as_slice(&self) -> &[NodeId] {
+    pub(crate) fn as_slice(&self) -> &[NodeId] {
         &self.arr[..self.len as usize]
     }
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Chosen {
-    m: CellMatch,
-    leaves: CutLeaves,
+pub(crate) struct Chosen {
+    pub(crate) m: CellMatch,
+    pub(crate) leaves: CutLeaves,
     arrival_ps: f64,
     area_flow: f64,
 }
@@ -168,7 +168,7 @@ struct PreMatch {
 pub struct MapContext {
     cuts: CutSet,
     fanout: Vec<u32>,
-    chosen: Vec<Option<Chosen>>,
+    pub(crate) chosen: Vec<Option<Chosen>>,
     arrival: Vec<f64>,
     flow: Vec<f64>,
     shortlists: HashMap<(u8, u64), Vec<PreMatch>>,
@@ -189,6 +189,9 @@ pub struct MapContext {
     /// Output-reachability scratch: unmatchable nodes are an error
     /// only when live (see [`MapError::NoMatch`]).
     live: Vec<bool>,
+    /// Unmatchable rows seen by the last [`Mapper::dp_update`] sweep,
+    /// checked against liveness only when non-empty.
+    pending_none: Vec<NodeId>,
 }
 
 /// Marks the nodes reachable from the outputs into `live`.
@@ -343,6 +346,7 @@ impl<'a> Mapper<'a> {
             inv_of: _,
             build_stack,
             live,
+            pending_none: _,
         } = ctx;
         mark_live(aig, live, build_stack);
 
@@ -410,6 +414,28 @@ impl<'a> Mapper<'a> {
         cuts: &CutDb,
         dirty_since: NodeId,
     ) -> Result<Netlist, MapError> {
+        self.dp_update(ctx, aig, cuts, dirty_since)?;
+        Ok(self.build_netlist(
+            aig,
+            &ctx.chosen,
+            &mut ctx.net_of,
+            &mut ctx.inv_of,
+            &mut ctx.build_stack,
+        ))
+    }
+
+    /// The shared DP core of [`Mapper::map_incremental`] and
+    /// [`Mapper::sync_design`]: recomputes the context's DP rows from
+    /// the effective watermark on (validating options, cut-database
+    /// parameters, and the row-reuse handshake), and returns that
+    /// effective watermark — every row below it is untouched.
+    pub(crate) fn dp_update(
+        &self,
+        ctx: &mut MapContext,
+        aig: &Aig,
+        cuts: &CutDb,
+        dirty_since: NodeId,
+    ) -> Result<NodeId, MapError> {
         self.opts.validate()?;
         if cuts.k() != self.opts.cut_size || cuts.max_cuts() != self.opts.max_cuts {
             return Err(MapError::BadOptions(format!(
@@ -435,6 +461,14 @@ impl<'a> Mapper<'a> {
             Some(prev_n) if prev_n <= n => since = since.min(prev_n as NodeId),
             _ => since = 0,
         }
+        if since as usize >= n {
+            // The edit touched nothing (an SA window with no
+            // applicable rewrite): the graph is unchanged since the
+            // previous call, so every row — and the previous call's
+            // liveness verdict — still holds. The steady-state
+            // no-op costs O(1), not O(graph).
+            return Ok(since);
+        }
         ctx.rows_for = None;
         aig::analysis::fanout_counts_into(aig, &mut ctx.fanout);
         ctx.chosen.resize(n, None);
@@ -450,9 +484,13 @@ impl<'a> Mapper<'a> {
             shortlists,
             build_stack,
             live,
+            pending_none,
             ..
         } = ctx;
-        mark_live(aig, live, build_stack);
+        // Unmatchable rows are rare; liveness (the expensive global
+        // DFS deciding whether one is an error) is computed only when
+        // at least one exists, after the DP sweep.
+        pending_none.clear();
         for id in aig.and_ids() {
             if id < since {
                 // Row provably unchanged by the edit — but *liveness*
@@ -460,35 +498,36 @@ impl<'a> Mapper<'a> {
                 // `None`) that an edit above the watermark pulled
                 // back into the cover must error exactly like
                 // `Mapper::map` would.
-                if chosen[id as usize].is_none() && live[id as usize] {
-                    return Err(MapError::NoMatch { node: id });
+                if chosen[id as usize].is_none() {
+                    pending_none.push(id);
                 }
                 continue;
             }
             let Some(best) =
                 self.choose_for_node(id, cuts.cuts(id), fanout, arrival, flow, shortlists)
             else {
-                if live[id as usize] {
-                    return Err(MapError::NoMatch { node: id });
-                }
                 chosen[id as usize] = None;
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
+                pending_none.push(id);
                 continue;
             };
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
         }
+        if !pending_none.is_empty() {
+            mark_live(aig, live, build_stack);
+            // `pending_none` ascends, so the reported node is the
+            // first live unmatchable one — exactly `Mapper::map`'s.
+            for &id in pending_none.iter() {
+                if live[id as usize] {
+                    return Err(MapError::NoMatch { node: id });
+                }
+            }
+        }
         ctx.rows_for = Some(n);
-
-        Ok(self.build_netlist(
-            aig,
-            &ctx.chosen,
-            &mut ctx.net_of,
-            &mut ctx.inv_of,
-            &mut ctx.build_stack,
-        ))
+        Ok(since)
     }
 
     /// One DP row: the best library match for `id` over its cut list,

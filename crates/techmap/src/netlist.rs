@@ -1,4 +1,27 @@
 //! Gate-level netlists produced by technology mapping.
+//!
+//! # Fixed-point load and area accumulation
+//!
+//! Per-net capacitive loads and total cell area are sums of per-pin /
+//! per-cell contributions. Both the full-recompute paths
+//! ([`Netlist::net_loads_ff`], [`Netlist::area_um2`]) and the
+//! incremental timing engine (which maintains the same sums by delta
+//! as gates are resized, retired, or revived) accumulate in exact
+//! integer micro-units ([`cells::to_fixed`]) and convert to `f64`
+//! once at the end, so any summation order — including delta
+//! maintenance — produces bit-identical results.
+//!
+//! # Tracking and in-place patching
+//!
+//! [`Netlist::enable_tracking`] attaches a net→sink adjacency index
+//! plus incrementally maintained per-net loads and total area. With
+//! tracking enabled, the structural mutators ([`Netlist::add_gate`],
+//! [`Netlist::set_gate_cell`], [`Netlist::retire_gate`],
+//! [`Netlist::revive_gate`], [`Netlist::set_output_net`]) keep the
+//! index and the sums exact, so the incremental STA and sizing passes
+//! never walk the whole netlist. Retired gate slots stay in the gate
+//! vector (ids remain stable for the incremental state keyed on them)
+//! but contribute nothing to loads, area, evaluation, or exports.
 
 use cells::{CellId, Library};
 use std::fmt;
@@ -42,19 +65,59 @@ pub struct OutputPort {
     pub name: Option<String>,
 }
 
+/// One gate input pin reading a net (an edge of the net→sink
+/// adjacency maintained by [`Netlist::enable_tracking`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sink {
+    /// The reading gate.
+    pub gate: GateId,
+    /// The pin index on that gate.
+    pub pin: u32,
+}
+
+/// Tracking state attached by [`Netlist::enable_tracking`]: the
+/// net→sink adjacency plus maintained fixed-point loads and area.
+///
+/// The per-cell constants (pin caps, areas, wire cap) are snapshotted
+/// in fixed point at attach time, so the structural mutators need no
+/// library argument and pay no float conversion.
+#[derive(Clone, Debug, Default)]
+struct Tracking {
+    /// Per net: the gate input pins reading it (live gates only).
+    sinks: Vec<Vec<Sink>>,
+    /// Per net: number of output ports exposing it.
+    port_refs: Vec<u32>,
+    /// Per net: capacitive load in micro-fF (pin caps + wire cap per
+    /// fanout branch), kept exact through every mutator.
+    load_fixed: Vec<i64>,
+    /// Total live cell area in micro-µm².
+    area_fixed: i64,
+    /// The library's per-fanout wire capacitance in micro-fF.
+    wire_fixed: i64,
+    /// Per cell: input pin caps in micro-fF (cells have ≤ 4 pins).
+    cell_caps: Vec<[i64; 4]>,
+    /// Per cell: area in micro-µm².
+    cell_area: Vec<i64>,
+}
+
 /// A combinational gate-level netlist over a [`Library`].
 ///
-/// Gates are stored in topological order (every gate appears after the
-/// gates driving its inputs), which downstream timing analysis relies
-/// on. Instances refer to cells by [`CellId`]; the library itself is
+/// Gates are stored in topological order by the mapper (every gate
+/// appears after the gates driving its inputs), which the
+/// full-recompute timing analyses rely on; netlists patched in place
+/// by the incremental mapper may violate id order (revived slots) and
+/// are only analyzed through the worklist-based incremental STA.
+/// Instances refer to cells by [`CellId`]; the library itself is
 /// passed alongside the netlist to analyses so one library can serve
 /// many netlists.
 #[derive(Clone, Debug, Default)]
 pub struct Netlist {
     drivers: Vec<NetDriver>,
     gates: Vec<Gate>,
+    retired: Vec<bool>,
     inputs: Vec<NetId>,
     outputs: Vec<OutputPort>,
+    tracking: Option<Tracking>,
 }
 
 impl Netlist {
@@ -68,9 +131,14 @@ impl Netlist {
         self.drivers.len()
     }
 
-    /// Number of gate instances.
+    /// Number of gate instance slots (including retired slots).
     pub fn num_gates(&self) -> usize {
         self.gates.len()
+    }
+
+    /// Number of live (non-retired) gate instances.
+    pub fn num_live_gates(&self) -> usize {
+        self.retired.iter().filter(|r| !**r).count()
     }
 
     /// Number of primary inputs.
@@ -92,7 +160,8 @@ impl Netlist {
         &self.drivers[net.0 as usize]
     }
 
-    /// All gates in topological order.
+    /// All gate slots in id order (retired slots included; see
+    /// [`Netlist::is_retired`]).
     pub fn gates(&self) -> &[Gate] {
         &self.gates
     }
@@ -104,6 +173,17 @@ impl Netlist {
     /// Panics if `id` is out of bounds.
     pub fn gate(&self, id: GateId) -> &Gate {
         &self.gates[id.0 as usize]
+    }
+
+    /// Whether gate slot `id` has been retired by the incremental
+    /// patcher (it then contributes nothing to loads, area, timing,
+    /// evaluation, or exports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn is_retired(&self, id: GateId) -> bool {
+        self.retired[id.0 as usize]
     }
 
     /// Primary-input nets in port order.
@@ -153,6 +233,10 @@ impl Netlist {
             inputs,
             output: out,
         });
+        self.retired.push(false);
+        if self.tracking.is_some() {
+            self.attach_gate(gid);
+        }
         out
     }
 
@@ -162,35 +246,249 @@ impl Netlist {
             net,
             name: name.map(Into::into),
         });
+        if let Some(t) = &mut self.tracking {
+            t.port_refs[net.0 as usize] += 1;
+            t.load_fixed[net.0 as usize] += t.wire_fixed;
+        }
     }
 
-    /// Swaps the cell of gate `id` for a pin-compatible variant.
+    /// Repoints output port `idx` at `net`, maintaining the tracked
+    /// port refs and wire loads.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of bounds. The caller must ensure the new
-    /// cell has the same arity and pin semantics (use
-    /// [`cells::Library::drive_variants`]).
+    /// Panics if `idx` or `net` is out of bounds.
+    pub fn set_output_net(&mut self, idx: usize, net: NetId) {
+        assert!((net.0 as usize) < self.drivers.len(), "undefined net");
+        let old = self.outputs[idx].net;
+        if old == net {
+            return;
+        }
+        self.outputs[idx].net = net;
+        if let Some(t) = &mut self.tracking {
+            t.port_refs[old.0 as usize] -= 1;
+            t.load_fixed[old.0 as usize] -= t.wire_fixed;
+            t.port_refs[net.0 as usize] += 1;
+            t.load_fixed[net.0 as usize] += t.wire_fixed;
+        }
+    }
+
+    /// Swaps the cell of gate `id` for a pin-compatible variant. With
+    /// tracking enabled this applies the input-capacitance load delta
+    /// to the tracked loads (exact, in fixed point) instead of
+    /// forcing a full [`Netlist::net_loads_ff`] recompute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds, or retired while tracked. The
+    /// caller must ensure the new cell has the same arity and pin
+    /// semantics (use [`cells::Library::drive_variants`]).
     pub fn set_gate_cell(&mut self, id: GateId, cell: CellId) {
-        self.gates[id.0 as usize].cell = cell;
+        let g = &mut self.gates[id.0 as usize];
+        let old = g.cell;
+        if old == cell {
+            return;
+        }
+        g.cell = cell;
+        if let Some(t) = &mut self.tracking {
+            assert!(!self.retired[id.0 as usize], "retired gate slot");
+            let g = &self.gates[id.0 as usize];
+            let (oc, nc) = (t.cell_caps[old.0 as usize], t.cell_caps[cell.0 as usize]);
+            for (pin, n) in g.inputs.iter().enumerate() {
+                t.load_fixed[n.0 as usize] += nc[pin] - oc[pin];
+            }
+            t.area_fixed += t.cell_area[cell.0 as usize] - t.cell_area[old.0 as usize];
+        }
+    }
+
+    /// Retires gate slot `id`: detaches its input pins from the
+    /// tracked adjacency and loads and removes its area contribution.
+    /// The slot and its output net keep their ids (the incremental
+    /// mapper revives slots via [`Netlist::revive_gate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds, already retired, or tracking
+    /// is not enabled.
+    pub fn retire_gate(&mut self, id: GateId) {
+        assert!(!self.retired[id.0 as usize], "gate retired twice");
+        self.retired[id.0 as usize] = true;
+        let t = self.tracking.as_mut().expect("tracking enabled");
+        let g = &self.gates[id.0 as usize];
+        let caps = t.cell_caps[g.cell.0 as usize];
+        for (pin, n) in g.inputs.iter().enumerate() {
+            let sinks = &mut t.sinks[n.0 as usize];
+            let at = sinks
+                .iter()
+                .position(|s| s.gate == id && s.pin as usize == pin)
+                .expect("sink indexed");
+            sinks.swap_remove(at);
+            t.load_fixed[n.0 as usize] -= caps[pin] + t.wire_fixed;
+        }
+        t.area_fixed -= t.cell_area[g.cell.0 as usize];
+    }
+
+    /// Revives a retired gate slot with a (possibly different) cell
+    /// and input set; the slot keeps its original output net. The
+    /// tracked adjacency, loads and area are maintained exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not retired, an input net is undefined, or
+    /// tracking is not enabled.
+    pub fn revive_gate(&mut self, id: GateId, cell: CellId, inputs: Vec<NetId>) {
+        assert!(self.retired[id.0 as usize], "slot must be retired");
+        for n in &inputs {
+            assert!((n.0 as usize) < self.drivers.len(), "undefined input net");
+        }
+        self.retired[id.0 as usize] = false;
+        let g = &mut self.gates[id.0 as usize];
+        g.cell = cell;
+        g.inputs = inputs;
+        self.attach_gate(id);
+    }
+
+    /// Registers a (live) gate's pins into the tracking state.
+    fn attach_gate(&mut self, id: GateId) {
+        let t = self.tracking.as_mut().expect("tracking enabled");
+        let g = &self.gates[id.0 as usize];
+        let caps = t.cell_caps[g.cell.0 as usize];
+        for (pin, n) in g.inputs.iter().enumerate() {
+            t.sinks[n.0 as usize].push(Sink {
+                gate: id,
+                pin: pin as u32,
+            });
+            t.load_fixed[n.0 as usize] += caps[pin] + t.wire_fixed;
+        }
+        t.area_fixed += t.cell_area[g.cell.0 as usize];
     }
 
     fn fresh_net(&mut self, driver: NetDriver) -> NetId {
         let id = NetId(self.drivers.len() as u32);
         self.drivers.push(driver);
+        if let Some(t) = &mut self.tracking {
+            t.sinks.push(Vec::new());
+            t.port_refs.push(0);
+            t.load_fixed.push(0);
+        }
         id
     }
 
-    /// Total cell area (µm²).
-    pub fn area_um2(&self, lib: &Library) -> f64 {
-        self.gates.iter().map(|g| lib.cell(g.cell).area_um2).sum()
+    /// Attaches (or rebuilds) the tracking state: net→sink adjacency,
+    /// per-net fixed-point loads, and total area, all computed from
+    /// scratch, plus the fixed-point per-cell constant snapshot of
+    /// `lib`. Subsequent structural mutators maintain them exactly.
+    pub fn enable_tracking(&mut self, lib: &Library) {
+        let n = self.num_nets();
+        let mut t = Tracking {
+            sinks: vec![Vec::new(); n],
+            port_refs: vec![0; n],
+            load_fixed: vec![0; n],
+            area_fixed: 0,
+            wire_fixed: lib.wire_cap_fixed(),
+            cell_caps: lib
+                .cells()
+                .iter()
+                .map(|c| {
+                    let mut caps = [0i64; 4];
+                    for (i, p) in c.pins.iter().enumerate() {
+                        caps[i] = p.cap_fixed();
+                    }
+                    caps
+                })
+                .collect(),
+            cell_area: lib.cells().iter().map(|c| c.area_fixed()).collect(),
+        };
+        for (gi, g) in self.gates.iter().enumerate() {
+            if self.retired[gi] {
+                continue;
+            }
+            let caps = t.cell_caps[g.cell.0 as usize];
+            for (pin, net) in g.inputs.iter().enumerate() {
+                t.sinks[net.0 as usize].push(Sink {
+                    gate: GateId(gi as u32),
+                    pin: pin as u32,
+                });
+                t.load_fixed[net.0 as usize] += caps[pin] + t.wire_fixed;
+            }
+            t.area_fixed += t.cell_area[g.cell.0 as usize];
+        }
+        for o in &self.outputs {
+            t.port_refs[o.net.0 as usize] += 1;
+            t.load_fixed[o.net.0 as usize] += t.wire_fixed;
+        }
+        self.tracking = Some(t);
     }
 
-    /// Fanout count per net: number of gate input pins plus output
-    /// ports connected to the net.
+    /// Whether [`Netlist::enable_tracking`] has been called.
+    pub fn tracking_enabled(&self) -> bool {
+        self.tracking.is_some()
+    }
+
+    /// The tracked sink pins of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled or `net` is out of bounds.
+    pub fn sinks(&self, net: NetId) -> &[Sink] {
+        &self.tracking.as_ref().expect("tracking enabled").sinks[net.0 as usize]
+    }
+
+    /// The tracked number of output ports exposing `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled or `net` is out of bounds.
+    pub fn port_refs(&self, net: NetId) -> u32 {
+        self.tracking.as_ref().expect("tracking enabled").port_refs[net.0 as usize]
+    }
+
+    /// The tracked load of `net` in integer micro-fF (the exact sum
+    /// behind [`Netlist::load_ff`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled or `net` is out of bounds.
+    pub fn load_fixed(&self, net: NetId) -> i64 {
+        self.tracking.as_ref().expect("tracking enabled").load_fixed[net.0 as usize]
+    }
+
+    /// The tracked load (fF) of `net` — bit-identical to the
+    /// corresponding [`Netlist::net_loads_ff`] entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracking is not enabled or `net` is out of bounds.
+    pub fn load_ff(&self, net: NetId) -> f64 {
+        cells::from_fixed(
+            self.tracking.as_ref().expect("tracking enabled").load_fixed[net.0 as usize],
+        )
+    }
+
+    /// Total cell area (µm²) over live gates, accumulated in fixed
+    /// point (bit-identical for any gate order, and to the tracked
+    /// delta-maintained total).
+    pub fn area_um2(&self, lib: &Library) -> f64 {
+        if let Some(t) = &self.tracking {
+            return cells::from_fixed(t.area_fixed);
+        }
+        let mut area = 0i64;
+        for (gi, g) in self.gates.iter().enumerate() {
+            if !self.retired[gi] {
+                area += lib.cell(g.cell).area_fixed();
+            }
+        }
+        cells::from_fixed(area)
+    }
+
+    /// Fanout count per net: number of live gate input pins plus
+    /// output ports connected to the net.
     pub fn net_fanouts(&self) -> Vec<u32> {
         let mut fo = vec![0u32; self.num_nets()];
-        for g in &self.gates {
+        for (gi, g) in self.gates.iter().enumerate() {
+            if self.retired[gi] {
+                continue;
+            }
             for n in &g.inputs {
                 fo[n.0 as usize] += 1;
             }
@@ -202,20 +500,41 @@ impl Netlist {
     }
 
     /// Capacitive load (fF) per net: connected pin caps plus the
-    /// library's per-fanout wire capacitance.
+    /// library's per-fanout wire capacitance, accumulated in fixed
+    /// point (order-independent, delta-compatible — see the module
+    /// docs).
     pub fn net_loads_ff(&self, lib: &Library) -> Vec<f64> {
-        let mut load = vec![0.0f64; self.num_nets()];
-        for g in &self.gates {
+        let mut load = Vec::new();
+        self.net_loads_ff_into(lib, &mut load);
+        load
+    }
+
+    /// [`Netlist::net_loads_ff`] into a caller-owned buffer, so the
+    /// full-recompute oracle paths allocate nothing per call.
+    ///
+    /// Micro-fF contributions are integers well below 2^53, so they
+    /// accumulate *exactly* in the `f64` buffer — the sum is
+    /// order-independent and bit-identical to the delta-maintained
+    /// tracked loads.
+    pub fn net_loads_ff_into(&self, lib: &Library, load: &mut Vec<f64>) {
+        load.clear();
+        load.resize(self.num_nets(), 0.0);
+        let wire = lib.wire_cap_fixed() as f64;
+        for (gi, g) in self.gates.iter().enumerate() {
+            if self.retired[gi] {
+                continue;
+            }
             let cell = lib.cell(g.cell);
             for (pin, n) in g.inputs.iter().enumerate() {
-                load[n.0 as usize] += cell.pins[pin].cap_ff + lib.wire_cap_per_fanout_ff();
+                load[n.0 as usize] += cell.pins[pin].cap_fixed() as f64 + wire;
             }
         }
         for o in &self.outputs {
-            // Output port load: one wire segment.
-            load[o.net.0 as usize] += lib.wire_cap_per_fanout_ff();
+            load[o.net.0 as usize] += wire;
         }
-        load
+        for l in load.iter_mut() {
+            *l /= cells::FIXED_UNITS_PER_UNIT;
+        }
     }
 
     /// Evaluates the netlist on one input assignment.
@@ -233,7 +552,10 @@ impl Netlist {
                 NetDriver::Gate(_) => {}
             }
         }
-        for g in &self.gates {
+        for (gi, g) in self.gates.iter().enumerate() {
+            if self.retired[gi] {
+                continue;
+            }
             let cell = lib.cell(g.cell);
             let mut minterm = 0usize;
             for (pin, n) in g.inputs.iter().enumerate() {
@@ -246,11 +568,13 @@ impl Netlist {
         self.outputs.iter().map(|o| val[o.net.0 as usize]).collect()
     }
 
-    /// Histogram of instantiated cell names (for reports).
+    /// Histogram of instantiated (live) cell names (for reports).
     pub fn cell_histogram(&self, lib: &Library) -> Vec<(String, usize)> {
         let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
-        for g in &self.gates {
-            *counts.entry(&lib.cell(g.cell).name).or_default() += 1;
+        for (gi, g) in self.gates.iter().enumerate() {
+            if !self.retired[gi] {
+                *counts.entry(&lib.cell(g.cell).name).or_default() += 1;
+            }
         }
         counts.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
     }
@@ -337,5 +661,80 @@ mod tests {
         let mut nl = Netlist::new();
         let _ = lib;
         nl.add_gate(inv, vec![NetId(5)]);
+    }
+
+    /// Tracked loads and area must stay bit-identical to the full
+    /// recompute through cell swaps, retires, revives, appends, and
+    /// output repointing.
+    #[test]
+    fn tracking_matches_recompute_through_edits() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let inv4 = lib.find("INV_X4").expect("builtin");
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let nand2 = lib.find("NAND2_X2").expect("builtin");
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(nand, vec![a, b]);
+        let y = nl.add_gate(inv, vec![x]);
+        let z = nl.add_gate(nand, vec![x, y]);
+        nl.add_output(z, Some("z"));
+        nl.enable_tracking(&lib);
+        let check = |nl: &Netlist| {
+            let oracle = nl.net_loads_ff(&lib);
+            for (n, want) in oracle.iter().enumerate() {
+                let t = nl.load_ff(NetId(n as u32));
+                assert!(t == *want, "net {n}: tracked {t} != recomputed {want}");
+            }
+            let mut untracked = nl.clone();
+            untracked.tracking = None;
+            assert!(nl.area_um2(&lib) == untracked.area_um2(&lib));
+        };
+        check(&nl);
+        // Cell swap applies an exact delta.
+        nl.set_gate_cell(GateId(0), nand2);
+        check(&nl);
+        nl.set_gate_cell(GateId(1), inv4);
+        check(&nl);
+        // Retire the inverter; rewire its consumer through a revive.
+        nl.retire_gate(GateId(1));
+        nl.retire_gate(GateId(2));
+        nl.revive_gate(GateId(2), nand, vec![x, x]);
+        check(&nl);
+        assert_eq!(nl.num_live_gates(), 2);
+        assert!(nl.is_retired(GateId(1)));
+        // Revive the inverter slot with a different cell.
+        nl.revive_gate(GateId(1), inv4, vec![x]);
+        check(&nl);
+        // Append a fresh gate while tracked.
+        let w = nl.add_gate(inv, vec![z]);
+        nl.add_output(w, Some("w"));
+        check(&nl);
+        // Move an output port.
+        nl.set_output_net(0, w);
+        check(&nl);
+        assert_eq!(nl.sinks(x).len(), 3);
+    }
+
+    /// Retired gates vanish from every full-recompute view.
+    #[test]
+    fn retired_gates_excluded_everywhere() {
+        let lib = sky130ish();
+        let inv = lib.smallest_inverter();
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let x = nl.add_gate(inv, vec![a]);
+        let y = nl.add_gate(inv, vec![a]);
+        nl.add_output(x, Some("x"));
+        nl.enable_tracking(&lib);
+        let area_before = nl.area_um2(&lib);
+        nl.retire_gate(GateId(1));
+        let _ = y;
+        assert!(nl.area_um2(&lib) < area_before);
+        assert_eq!(nl.num_live_gates(), 1);
+        assert_eq!(nl.net_fanouts()[a.0 as usize], 1);
+        assert_eq!(nl.cell_histogram(&lib), vec![("INV_X1".to_owned(), 1)]);
+        assert_eq!(nl.eval(&lib, &[true]), vec![false]);
     }
 }

@@ -7,12 +7,101 @@
 //! resizing a gate changes the load seen by its fanins, the pass
 //! iterates a few times to a fixpoint.
 //!
-//! This mirrors the sizing step every industrial flow runs between
-//! mapping and STA; with it, high-fanout nets get strong drivers and
-//! the ground-truth delay labels become less fanout-pessimistic.
+//! Each pass is a synchronous (Jacobi) update: loads are snapshotted
+//! at pass entry and every gate decides independently against that
+//! snapshot, so the outcome is independent of gate iteration order.
+//! That property is what [`resize_greedy_incremental`] exploits: it
+//! stores the per-pass cell assignments and per-pass loads of the
+//! previous run and revisits only gates whose pass inputs (own cell
+//! or observed load) changed — reaching, provably and bit-identically,
+//! the same netlist as the full pass.
+//!
+//! All per-(cell, load) score constants are folded once per library
+//! into a [`SizingTable`], shared by the full and incremental passes.
 
-use crate::netlist::{GateId, Netlist};
-use cells::Library;
+use crate::netlist::{GateId, NetDriver, NetId, Netlist};
+use cells::{CellId, Library};
+
+/// Effective upstream resistance (ps/fF) used to price a variant's
+/// own input capacitance: a bigger cell is faster into its load but
+/// slows whatever drives it. A typical X1 output resistance is a
+/// reasonable stand-in for the unknown driver.
+const UPSTREAM_RES_PS_PER_FF: f64 = 9.0;
+
+/// Per-library constants of the sizing objective, precomputed once:
+/// for every cell, the load-independent score term, the drive
+/// resistance, the drive-variant group, and fixed-point pin caps.
+///
+/// The sizing objective for `cell` at `load` is
+/// `score_base[cell] + drive_res[cell] * load`: worst pin-to-output
+/// delay at the load, plus the upstream penalty of the variant's
+/// input capacitance and a small area tie-break so equal-delay
+/// variants prefer the smaller cell. Folding the constants here
+/// removes the per-query `max_cap` fold and area lookup, and
+/// precomputing the variant groups removes the per-gate library scan.
+#[derive(Clone, Debug)]
+pub struct SizingTable {
+    score_base: Vec<f64>,
+    drive_res: Vec<f64>,
+    variants: Vec<Vec<CellId>>,
+    /// Per cell: input pin caps in micro-fF (≤ 4 pins).
+    cap_fixed: Vec<[i64; 4]>,
+    /// Per-fanout wire capacitance in micro-fF.
+    wire_fixed: i64,
+}
+
+impl SizingTable {
+    /// Precomputes the sizing constants of `lib`.
+    pub fn new(lib: &Library) -> Self {
+        let mut score_base = Vec::with_capacity(lib.len());
+        let mut drive_res = Vec::with_capacity(lib.len());
+        let mut variants = Vec::with_capacity(lib.len());
+        let mut cap_fixed = Vec::with_capacity(lib.len());
+        for (i, c) in lib.cells().iter().enumerate() {
+            let max_intrinsic = c.pins.iter().map(|p| p.intrinsic_ps).fold(0.0, f64::max);
+            let max_cap = c.pins.iter().map(|p| p.cap_ff).fold(0.0, f64::max);
+            score_base.push(max_intrinsic + UPSTREAM_RES_PS_PER_FF * max_cap + 1e-3 * c.area_um2);
+            drive_res.push(c.drive_res);
+            variants.push(lib.drive_variants(CellId(i as u32)));
+            let mut caps = [0i64; 4];
+            for (j, p) in c.pins.iter().enumerate() {
+                caps[j] = p.cap_fixed();
+            }
+            cap_fixed.push(caps);
+        }
+        SizingTable {
+            score_base,
+            drive_res,
+            variants,
+            cap_fixed,
+            wire_fixed: lib.wire_cap_fixed(),
+        }
+    }
+
+    /// Sizing objective of `cell` driving `load_ff`.
+    #[inline]
+    fn score(&self, cell: CellId, load_ff: f64) -> f64 {
+        self.score_base[cell.0 as usize] + self.drive_res[cell.0 as usize] * load_ff
+    }
+
+    /// The greedy decision: best drive variant of `current` at
+    /// `load_ff` (ties keep `current`; among strict improvements the
+    /// lowest-id variant wins). One definition on purpose — the full
+    /// and incremental passes must select identically.
+    #[inline]
+    fn decide(&self, current: CellId, load_ff: f64) -> CellId {
+        let mut best = current;
+        let mut best_score = self.score(current, load_ff);
+        for &v in &self.variants[current.0 as usize] {
+            let s = self.score(v, load_ff);
+            if s < best_score {
+                best_score = s;
+                best = v;
+            }
+        }
+        best
+    }
+}
 
 /// Re-selects drive strengths in place; returns the number of gates
 /// changed in the final pass (0 means a fixpoint was reached).
@@ -41,23 +130,33 @@ use cells::Library;
 /// # Ok::<(), techmap::MapError>(())
 /// ```
 pub fn resize_greedy(nl: &mut Netlist, lib: &Library, passes: usize) -> usize {
+    let table = SizingTable::new(lib);
+    resize_greedy_with(nl, lib, &table, passes, &mut Vec::new())
+}
+
+/// [`resize_greedy`] with a precomputed [`SizingTable`] and a
+/// caller-owned load buffer, so hot loops (the ground-truth cost
+/// evaluator prices thousands of candidates) neither rescan the
+/// library nor allocate per call.
+pub fn resize_greedy_with(
+    nl: &mut Netlist,
+    lib: &Library,
+    table: &SizingTable,
+    passes: usize,
+    loads: &mut Vec<f64>,
+) -> usize {
     let mut changed_last = 0;
     for _ in 0..passes.max(1) {
-        let loads = nl.net_loads_ff(lib);
+        nl.net_loads_ff_into(lib, loads);
         let mut changed = 0;
         for gi in 0..nl.num_gates() {
             let gid = GateId(gi as u32);
+            if nl.is_retired(gid) {
+                continue;
+            }
             let current = nl.gate(gid).cell;
             let load = loads[nl.gate(gid).output.0 as usize];
-            let mut best = current;
-            let mut best_score = score(lib, current, load);
-            for variant in lib.drive_variants(current) {
-                let s = score(lib, variant, load);
-                if s < best_score {
-                    best_score = s;
-                    best = variant;
-                }
-            }
+            let best = table.decide(current, load);
             if best != current {
                 nl.set_gate_cell(gid, best);
                 changed += 1;
@@ -71,20 +170,267 @@ pub fn resize_greedy(nl: &mut Netlist, lib: &Library, passes: usize) -> usize {
     changed_last
 }
 
-/// Effective upstream resistance (ps/fF) used to price a variant's
-/// own input capacitance: a bigger cell is faster into its load but
-/// slows whatever drives it. A typical X1 output resistance is a
-/// reasonable stand-in for the unknown driver.
-const UPSTREAM_RES_PS_PER_FF: f64 = 9.0;
+/// Per-pass sizing state of one netlist, carried across incremental
+/// updates: the cell assignment entering each pass and the fixed-point
+/// loads observed by each pass.
+///
+/// `P` passes of [`resize_greedy`] form a chain
+/// `cells_0 → loads_0 → cells_1 → loads_1 → cells_2` where `cells_0`
+/// is the mapper's assignment, `loads_p` are the loads under
+/// `cells_p`, and `cells_{p+1}[g] = decide(cells_p[g],
+/// loads_p[out(g)])`. Every link is a pure local function, so after
+/// an edit only entries whose inputs changed need recomputing — the
+/// worklist walked by [`resize_greedy_incremental`]. The state stores
+/// the interior columns (`cells_0`, `cells_1`, `loads_0`, `loads_1`)
+/// for the ground-truth evaluator's fixed `passes = 2`; the final
+/// column lives in the netlist itself (physical cells and tracked
+/// loads).
+#[derive(Clone, Debug, Default)]
+pub struct SizeState {
+    cells0: Vec<CellId>,
+    cells1: Vec<CellId>,
+    loads0: Vec<i64>,
+    loads1: Vec<i64>,
+    // Dedup scratch.
+    gate_mark: Vec<bool>,
+    net_mark: Vec<bool>,
+    worklist: Vec<GateId>,
+    dirty_nets: Vec<NetId>,
+    changed1: Vec<GateId>,
+}
 
-/// Sizing objective: worst pin-to-output delay at the given load,
-/// plus the upstream penalty of the variant's input capacitance and a
-/// small area tie-break so equal-delay variants prefer the smaller
-/// cell.
-fn score(lib: &Library, cell: cells::CellId, load_ff: f64) -> f64 {
-    let c = lib.cell(cell);
-    let max_cap = c.pins.iter().map(|p| p.cap_ff).fold(0.0, f64::max);
-    c.worst_delay_ps(load_ff) + UPSTREAM_RES_PS_PER_FF * max_cap + 1e-3 * c.area_um2
+impl SizeState {
+    /// An empty state (filled by [`resize_greedy_capture`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes the pass-`p` load of `net` from the sink adjacency
+    /// under the given cell column. Integer accumulation: any order
+    /// gives the exact sum.
+    fn net_load_fixed(&self, nl: &Netlist, table: &SizingTable, net: NetId, pass1: bool) -> i64 {
+        let cells = if pass1 { &self.cells1 } else { &self.cells0 };
+        let mut sum = 0i64;
+        for s in nl.sinks(net) {
+            let cell = cells[s.gate.0 as usize];
+            sum += table.cap_fixed[cell.0 as usize][s.pin as usize] + table.wire_fixed;
+        }
+        sum + i64::from(nl.port_refs(net)) * table.wire_fixed
+    }
+}
+
+/// Runs the ground-truth flow's exact two sizing passes on a freshly
+/// mapped, tracking-enabled netlist while capturing the per-pass
+/// state `state` that [`resize_greedy_incremental`] updates later.
+///
+/// Bit-identical to `resize_greedy(nl, lib, 2)` (the per-pass loads
+/// are the same exact integers, the decisions the same
+/// [`SizingTable`] scores).
+///
+/// # Panics
+///
+/// Panics if tracking is not enabled on `nl`.
+pub fn resize_greedy_capture(nl: &mut Netlist, table: &SizingTable, state: &mut SizeState) {
+    let ng = nl.num_gates();
+    state.cells0.clear();
+    state.cells0.extend(nl.gates().iter().map(|g| g.cell));
+    // Pass 1 against the mapper-output loads.
+    state.loads0.clear();
+    state
+        .loads0
+        .extend((0..nl.num_nets()).map(|n| nl.load_fixed(NetId(n as u32))));
+    state.cells1.clear();
+    state.cells1.reserve(ng);
+    for gi in 0..ng {
+        let gid = GateId(gi as u32);
+        let current = state.cells0[gi];
+        if nl.is_retired(gid) {
+            state.cells1.push(current);
+            continue;
+        }
+        let load = cells::from_fixed(state.loads0[nl.gate(gid).output.0 as usize]);
+        let best = table.decide(current, load);
+        state.cells1.push(best);
+        if best != current {
+            nl.set_gate_cell(gid, best);
+        }
+    }
+    // Pass 2 against the pass-1 loads.
+    state.loads1.clear();
+    state
+        .loads1
+        .extend((0..nl.num_nets()).map(|n| nl.load_fixed(NetId(n as u32))));
+    for gi in 0..ng {
+        let gid = GateId(gi as u32);
+        if nl.is_retired(gid) {
+            continue;
+        }
+        let current = state.cells1[gi];
+        let load = cells::from_fixed(state.loads1[nl.gate(gid).output.0 as usize]);
+        let best = table.decide(current, load);
+        if best != nl.gate(gid).cell {
+            nl.set_gate_cell(gid, best);
+        }
+    }
+    state.gate_mark.clear();
+    state.gate_mark.resize(ng, false);
+    state.net_mark.clear();
+    state.net_mark.resize(nl.num_nets(), false);
+}
+
+/// Incrementally re-runs the two sizing passes after an in-place
+/// mapping patch, revisiting only gates whose pass inputs changed
+/// (their own entering cell, or the load observed at their output —
+/// which ripples to their fanins as resizing changes pin caps).
+///
+/// `changed_gates` are the slots the patcher emitted, re-emitted or
+/// revived (their physical cell is the fresh mapper assignment);
+/// `touched_nets` must cover every net whose sink set changed plus
+/// the input nets of every changed/retired gate. Gates whose arrival
+/// computation may have changed (for the downstream incremental STA)
+/// are appended to `sta_seeds`.
+///
+/// Starting from a state captured by [`resize_greedy_capture`] (and
+/// maintained by previous calls), the final netlist is bit-identical
+/// to a full `resize_greedy(nl, lib, 2)` from the fresh mapper
+/// assignment — the per-pass chain is a pure local function of the
+/// stored columns, and untouched entries keep their exact values.
+pub fn resize_greedy_incremental(
+    nl: &mut Netlist,
+    table: &SizingTable,
+    state: &mut SizeState,
+    changed_gates: &[GateId],
+    touched_nets: &[NetId],
+    sta_seeds: &mut Vec<GateId>,
+) {
+    let ng = nl.num_gates();
+    let nn = nl.num_nets();
+    let inv_default = CellId(0);
+    state.cells0.resize(ng, inv_default);
+    state.cells1.resize(ng, inv_default);
+    state.loads0.resize(nn, 0);
+    state.loads1.resize(nn, 0);
+    state.gate_mark.clear();
+    state.gate_mark.resize(ng, false);
+    state.net_mark.clear();
+    state.net_mark.resize(nn, false);
+
+    // The patcher left the fresh mapper assignment in the netlist for
+    // every changed slot: that is the new cells_0 column there.
+    for &g in changed_gates {
+        state.cells0[g.0 as usize] = nl.gate(g).cell;
+    }
+
+    // Pass-0 loads: recompute every net the patch could have touched
+    // (structure or a sink's cells_0 entry); note which actually
+    // changed.
+    state.dirty_nets.clear();
+    for &n in touched_nets {
+        if !state.net_mark[n.0 as usize] {
+            state.net_mark[n.0 as usize] = true;
+            state.dirty_nets.push(n);
+        }
+    }
+    state.worklist.clear();
+    for i in 0..state.dirty_nets.len() {
+        let n = state.dirty_nets[i];
+        let new = state.net_load_fixed(nl, table, n, false);
+        if new != state.loads0[n.0 as usize] {
+            state.loads0[n.0 as usize] = new;
+            if let NetDriver::Gate(g) = *nl.driver(n) {
+                push_gate(&mut state.worklist, &mut state.gate_mark, g);
+            }
+        }
+    }
+    for &g in changed_gates {
+        push_gate(&mut state.worklist, &mut state.gate_mark, g);
+    }
+
+    // Pass 1: re-decide the worklist against the pass-0 loads.
+    state.changed1.clear();
+    for i in 0..state.worklist.len() {
+        let g = state.worklist[i];
+        state.gate_mark[g.0 as usize] = false; // reset for pass 2
+        if nl.is_retired(g) {
+            continue;
+        }
+        let gi = g.0 as usize;
+        let load = cells::from_fixed(state.loads0[nl.gate(g).output.0 as usize]);
+        let best = table.decide(state.cells0[gi], load);
+        if best != state.cells1[gi] {
+            state.cells1[gi] = best;
+            state.changed1.push(g);
+        }
+    }
+
+    // Pass-1 loads: nets with structural changes or a sink whose
+    // cells_1 entry changed.
+    for &g in state.changed1.iter() {
+        for &n in &nl.gate(g).inputs {
+            if !state.net_mark[n.0 as usize] {
+                state.net_mark[n.0 as usize] = true;
+                state.dirty_nets.push(n);
+            }
+        }
+    }
+    let mut pass2 = std::mem::take(&mut state.worklist);
+    // `changed_gates` and pass-1 movers must always re-decide in pass
+    // 2 (marks were reset above, so pushes dedup correctly).
+    for g in pass2.iter() {
+        state.gate_mark[g.0 as usize] = true;
+    }
+    for &n in state.dirty_nets.iter() {
+        state.net_mark[n.0 as usize] = false;
+        let new = state.net_load_fixed(nl, table, n, true);
+        if new != state.loads1[n.0 as usize] {
+            state.loads1[n.0 as usize] = new;
+            if let NetDriver::Gate(g) = *nl.driver(n) {
+                push_gate(&mut pass2, &mut state.gate_mark, g);
+            }
+        }
+    }
+
+    // Pass 2: final decisions, applied to the netlist (tracked loads
+    // and area updated by exact delta). Everything that moved feeds
+    // the STA worklist: the gate itself (cell delay changed) and the
+    // drivers of its input nets (their observed load changed).
+    for &g in &pass2 {
+        state.gate_mark[g.0 as usize] = false;
+        if nl.is_retired(g) {
+            continue;
+        }
+        let gi = g.0 as usize;
+        let load = cells::from_fixed(state.loads1[nl.gate(g).output.0 as usize]);
+        let best = table.decide(state.cells1[gi], load);
+        if best != nl.gate(g).cell {
+            nl.set_gate_cell(g, best);
+            sta_seeds.push(g);
+            for &n in &nl.gate(g).inputs {
+                if let NetDriver::Gate(d) = *nl.driver(n) {
+                    sta_seeds.push(d);
+                }
+            }
+        }
+    }
+    // Structural/load dirt from the patch itself: re-evaluate the
+    // drivers of every touched net and every changed gate.
+    for &n in touched_nets {
+        if let NetDriver::Gate(d) = *nl.driver(n) {
+            sta_seeds.push(d);
+        }
+    }
+    sta_seeds.extend_from_slice(changed_gates);
+    state.worklist = pass2;
+    state.worklist.clear();
+    state.dirty_nets.clear();
+}
+
+#[inline]
+fn push_gate(worklist: &mut Vec<GateId>, mark: &mut [bool], g: GateId) {
+    if !mark[g.0 as usize] {
+        mark[g.0 as usize] = true;
+        worklist.push(g);
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +498,37 @@ mod tests {
         nl.add_output(x, None::<&str>);
         resize_greedy(&mut nl, &lib, 2);
         assert_eq!(nl.gate(GateId(0)).cell, inv_x1);
+    }
+
+    /// The captured two-pass run must leave the netlist exactly where
+    /// the plain `resize_greedy(.., 2)` leaves a twin.
+    #[test]
+    fn capture_matches_plain_resize() {
+        let lib = sky130ish();
+        let table = SizingTable::new(&lib);
+        let nand = lib.find("NAND2_X1").expect("builtin");
+        let inv = lib.smallest_inverter();
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate(nand, vec![a, b]);
+        let y = nl.add_gate(inv, vec![x]);
+        for _ in 0..6 {
+            let z = nl.add_gate(nand, vec![x, y]);
+            nl.add_output(z, None::<&str>);
+        }
+        let mut plain = nl.clone();
+        resize_greedy(&mut plain, &lib, 2);
+        nl.enable_tracking(&lib);
+        let mut state = SizeState::new();
+        resize_greedy_capture(&mut nl, &table, &mut state);
+        for gi in 0..nl.num_gates() {
+            assert_eq!(
+                nl.gate(GateId(gi as u32)).cell,
+                plain.gate(GateId(gi as u32)).cell,
+                "gate {gi}"
+            );
+        }
     }
 
     fn sta_delay(nl: &Netlist, lib: &Library) -> f64 {

@@ -5,7 +5,7 @@
 //! cell instances, plus (optionally) behavioral models of the library
 //! cells so the output simulates standalone.
 
-use crate::netlist::{NetDriver, NetId, Netlist};
+use crate::netlist::{GateId, NetDriver, NetId, Netlist};
 use cells::Library;
 use std::fmt::Write as _;
 
@@ -58,8 +58,11 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library, module_name: &str) -> String
     for n in &output_names {
         let _ = writeln!(v, "  output {n};");
     }
-    // Wires for every gate output and constant.
-    for g in netlist.gates() {
+    // Wires for every live gate output and constant.
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        if netlist.is_retired(GateId(gi as u32)) {
+            continue;
+        }
         let _ = writeln!(v, "  wire {};", net_name(netlist, g.output, &input_names));
     }
     for i in 0..netlist.num_nets() {
@@ -68,8 +71,11 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library, module_name: &str) -> String
             let _ = writeln!(v, "  assign n{i} = 1'b{};", u8::from(*val));
         }
     }
-    // Instances.
+    // Instances (retired slots contribute nothing to exports).
     for (gi, g) in netlist.gates().iter().enumerate() {
+        if netlist.is_retired(GateId(gi as u32)) {
+            continue;
+        }
         let cell = lib.cell(g.cell);
         let mut pins: Vec<String> = g
             .inputs
