@@ -463,11 +463,12 @@ fn node_cut_list(
     }
 }
 
-/// One open [`CutDb`] edit session: `(node, old span)` records plus
-/// the arena, span-table and live sizes at [`CutDb::begin_edit`].
+/// One open [`CutDb`] edit session: `(node, old span, old version)`
+/// records plus the arena, span-table and live sizes at
+/// [`CutDb::begin_edit`].
 #[derive(Clone, Debug)]
 struct EditJournal {
-    old_spans: Vec<(NodeId, (u32, u32))>,
+    old_spans: Vec<(NodeId, (u32, u32), u64)>,
     arena_len: usize,
     span_len: usize,
     live: usize,
@@ -503,12 +504,48 @@ struct EditJournal {
 /// differential suite runs after every step) — which is what lets the
 /// rewriting engine and the mapper consume cached cuts without any
 /// behavioral difference from re-enumeration.
-#[derive(Clone, Debug)]
+///
+/// # Version counters
+///
+/// Every node carries a **cut-list version** ([`CutDb::version`]):
+/// an opaque `u64` that changes *exactly* when the node's stored cut
+/// list changes, drawn from a monotone counter whose values are never
+/// reused. The contract downstream caches (the mapper's per-row DP
+/// cutoff) key on:
+///
+/// * [`CutDb::build`] assigns every node a fresh value (the whole
+///   table was rewritten);
+/// * [`CutDb::sync_appends`] assigns fresh values to the appended
+///   nodes only;
+/// * [`CutDb::invalidate`] bumps a node's version iff the recomputed
+///   list differs from the stored one (the equality cutoff that stops
+///   propagation also leaves the version untouched);
+/// * [`CutDb::rollback_edit`] restores the versions recorded since
+///   [`CutDb::begin_edit`] **exactly** — and because bumped values
+///   are never reused, a consumer that snapshotted a mid-edit version
+///   still observes `snapshot != version` after the rollback, while a
+///   consumer that never saw the speculative edit observes equality
+///   (the list really is bit-identical to what it cached).
+///
+/// Version equality therefore *proves* the list is unchanged since
+/// the compared snapshot; inequality means "maybe changed" (a
+/// rollback restores the list and the version together, so no false
+/// equalities exist in either direction). Snapshots must be keyed to
+/// a database instance ([`CutDb::instance_id`]): clones evolve
+/// independently and get a fresh identity.
+#[derive(Debug)]
 pub struct CutDb {
     k: usize,
     max_cuts: usize,
+    /// Process-unique identity for version snapshots (fresh per clone,
+    /// never reused — see the module docs on version counters).
+    instance_id: u64,
     arena: Vec<Cut>,
     span: Vec<(u32, u32)>,
+    /// Per-node cut-list versions (see the type docs).
+    versions: Vec<u64>,
+    /// Monotone version source; never decremented, not rolled back.
+    vgen: u64,
     /// Total cuts across live spans (arena occupancy heuristic).
     live: usize,
     /// Open edit session, `None` outside one.
@@ -518,6 +555,35 @@ pub struct CutDb {
     list: Vec<Cut>,
     heap: BinaryHeap<std::cmp::Reverse<NodeId>>,
     queued: Vec<bool>,
+}
+
+fn next_cutdb_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for CutDb {
+    /// Clones the full table but under a **fresh**
+    /// [`CutDb::instance_id`]: the clone evolves independently, so
+    /// version snapshots taken against the original must not match it.
+    fn clone(&self) -> Self {
+        CutDb {
+            instance_id: next_cutdb_id(),
+            k: self.k,
+            max_cuts: self.max_cuts,
+            arena: self.arena.clone(),
+            span: self.span.clone(),
+            versions: self.versions.clone(),
+            vgen: self.vgen,
+            live: self.live,
+            journal: self.journal.clone(),
+            merged: self.merged.clone(),
+            list: self.list.clone(),
+            heap: self.heap.clone(),
+            queued: self.queued.clone(),
+        }
+    }
 }
 
 impl CutDb {
@@ -535,8 +601,11 @@ impl CutDb {
         CutDb {
             k,
             max_cuts,
+            instance_id: next_cutdb_id(),
             arena: Vec::new(),
             span: Vec::new(),
+            versions: Vec::new(),
+            vgen: 0,
             live: 0,
             journal: None,
             merged: Vec::new(),
@@ -544,6 +613,27 @@ impl CutDb {
             heap: BinaryHeap::new(),
             queued: Vec::new(),
         }
+    }
+
+    /// Process-unique identity of this database (fresh per
+    /// [`CutDb::new`] and per clone). Version snapshots are only
+    /// meaningful against the instance they were taken from.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The cut-list version of node `id` (see the type docs): equal
+    /// to a previously snapshotted value iff the node's cut list is
+    /// bit-identical to the snapshotted one.
+    #[inline]
+    pub fn version(&self, id: NodeId) -> u64 {
+        self.versions[id as usize]
+    }
+
+    /// Draws a fresh, never-reused version value.
+    fn bump(&mut self) -> u64 {
+        self.vgen += 1;
+        self.vgen
     }
 
     /// The cut-size bound `k`.
@@ -580,6 +670,11 @@ impl CutDb {
             .reserve(n.saturating_mul(self.max_cuts.min(8) + 1));
         self.span.clear();
         self.span.resize(n, (0, 0));
+        // The whole table is rewritten: every node gets a fresh
+        // version, so any snapshot taken before the rebuild mismatches.
+        let v = self.bump();
+        self.versions.clear();
+        self.versions.resize(n, v);
         self.queued.clear();
         self.queued.resize(n, false);
         self.push_list_for(0, &[Cut::from_leaves(&[], 0)]);
@@ -621,6 +716,8 @@ impl CutDb {
             "sync_appends() only supports append-only growth ({old_n} -> {n} nodes)"
         );
         self.span.resize(n, (0, 0));
+        let v = self.bump();
+        self.versions.resize(n, v);
         self.queued.resize(n, false);
         let mut list = std::mem::take(&mut self.list);
         let mut merged = std::mem::take(&mut self.merged);
@@ -656,18 +753,32 @@ impl CutDb {
     /// recomputed from its (current) fanin lists; if the result
     /// differs from the stored list, the node's consumers (read from
     /// `inc`, which must be live for the same graph) are enqueued —
-    /// if it is identical, propagation stops there. After the call
-    /// the table equals a fresh enumeration of the current graph.
+    /// if it is identical, propagation stops there (and the node's
+    /// [version](CutDb::version) stays put; changed lists get a fresh
+    /// version). After the call the table equals a fresh enumeration
+    /// of the current graph.
     ///
     /// [`IncrementalAnalysis::substitute`]:
     /// crate::incremental::IncrementalAnalysis::substitute
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database tracks a different node count than
+    /// `aig` — a desynced database would read fanin cut lists through
+    /// stale spans and corrupt the arena, so the mismatch is rejected
+    /// in **all** build profiles (not just under `debug_assertions`).
+    /// Call [`CutDb::build`] or [`CutDb::sync_appends`] first.
     pub fn invalidate(
         &mut self,
         aig: &Aig,
         inc: &crate::incremental::IncrementalAnalysis,
         dirty: &crate::incremental::DirtyRegion,
     ) {
-        debug_assert_eq!(self.span.len(), aig.num_nodes(), "db out of sync");
+        assert_eq!(
+            self.span.len(),
+            aig.num_nodes(),
+            "cut database out of sync with the graph: call build() or sync_appends() first"
+        );
         for &seed in dirty.edited() {
             self.enqueue(seed);
         }
@@ -689,10 +800,12 @@ impl CutDb {
                 continue; // equality cutoff: consumers see no change
             }
             let old = self.span[id as usize];
+            let old_version = self.versions[id as usize];
             if let Some(journal) = &mut self.journal {
-                journal.old_spans.push((id, old));
+                journal.old_spans.push((id, old, old_version));
             }
             self.live = self.live + list.len() - (old.1 - old.0) as usize;
+            self.versions[id as usize] = self.bump();
             self.push_list_for(id, &list);
             for &c in inc.consumers(id) {
                 self.enqueue(c);
@@ -732,7 +845,10 @@ impl CutDb {
     }
 
     /// Closes the edit session reverting every update since
-    /// [`CutDb::begin_edit`].
+    /// [`CutDb::begin_edit`]: spans, appended suffix, **and the
+    /// version counters** are restored exactly (the monotone version
+    /// source itself is not rewound, so rolled-back values are never
+    /// handed out again — see the type docs).
     ///
     /// # Panics
     ///
@@ -740,9 +856,16 @@ impl CutDb {
     pub fn rollback_edit(&mut self) {
         let journal = self.journal.take().expect("no edit session open");
         self.span.truncate(journal.span_len);
+        self.versions.truncate(journal.span_len);
         self.queued.truncate(journal.span_len);
-        for &(id, old) in journal.old_spans.iter().rev() {
-            self.span[id as usize] = old;
+        for &(id, old, old_version) in journal.old_spans.iter().rev() {
+            if (id as usize) < journal.span_len {
+                self.span[id as usize] = old;
+                self.versions[id as usize] = old_version;
+            }
+            // Entries for nodes appended within this session (an
+            // invalidate can change a mid-session append's list) were
+            // dropped wholesale by the truncation above.
         }
         self.arena.truncate(journal.arena_len);
         self.live = journal.live;
@@ -1173,6 +1296,140 @@ mod tests {
     fn cutdb_rejects_unpaired_commit() {
         let mut db = CutDb::new(4, 8);
         db.commit_edit();
+    }
+
+    /// A node appended *inside* an edit session whose list is then
+    /// changed by an `invalidate` in the same session (its journal
+    /// entry indexes past the pre-edit length) must roll back
+    /// cleanly: the truncation drops the appended suffix, and the
+    /// journaled entry for it is skipped rather than written out of
+    /// bounds.
+    #[test]
+    fn cutdb_rollback_with_mid_session_appends() {
+        use crate::incremental::{IncrementalAnalysis, Transaction};
+        let mut g = crate::test_support::random_aig(5, 6, 40, 2);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = CutDb::new(4, 8);
+        db.build(&g);
+        let x = g
+            .and_ids()
+            .find(|&id| !inc.consumers(id).is_empty())
+            .expect("an AND with consumers");
+        let last = g.num_nodes() as NodeId - 1;
+
+        db.begin_edit();
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let before = txn.aig().num_nodes();
+        let z = txn.and(Lit::new(x, false), Lit::new(last, true));
+        assert!(
+            txn.aig().num_nodes() > before,
+            "appended node must be fresh (z = {z:?})"
+        );
+        db.sync_appends(txn.aig());
+        // Rewiring x's readers changes z's cut list too, journaling a
+        // span beyond the pre-edit length.
+        txn.substitute(x, Lit::new(0, true));
+        db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+        txn.rollback();
+        db.rollback_edit();
+        db.assert_matches_fresh(&g);
+    }
+
+    /// A desynced database must be rejected in every build profile —
+    /// silently reading fanin lists through stale spans would corrupt
+    /// the arena (this used to be a `debug_assert`).
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn cutdb_invalidate_rejects_desynced_graph() {
+        use crate::incremental::IncrementalAnalysis;
+        let mut g = crate::test_support::random_aig(1, 5, 30, 2);
+        let mut db = CutDb::new(4, 8);
+        db.build(&g);
+        // Grow the graph behind the database's back.
+        let a = Lit::new(g.inputs()[0], false);
+        let b = Lit::new(*g.inputs().last().unwrap(), true);
+        g.and(a, b);
+        let inc = IncrementalAnalysis::new(&g);
+        db.invalidate(&g, &inc, &crate::incremental::DirtyRegion::default());
+    }
+
+    /// Version-counter contract: versions change exactly when a
+    /// node's list changes, build/sync_appends hand out fresh values,
+    /// rollback restores values exactly, and a mid-edit bump is never
+    /// equal to the restored value (monotone source).
+    #[test]
+    fn cutdb_version_counters_track_list_changes() {
+        use crate::incremental::{IncrementalAnalysis, Transaction};
+        let mut g = crate::test_support::random_aig(11, 6, 60, 3);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = CutDb::new(4, 8);
+        db.build(&g);
+        let baseline: Vec<u64> = g.node_ids().map(|id| db.version(id)).collect();
+
+        // Rebuild for the same graph: lists identical, but versions
+        // must still move (the whole table was rewritten; equality
+        // may only certify "unchanged since the snapshot *I* took").
+        db.build(&g);
+        for id in g.node_ids() {
+            assert_ne!(db.version(id), baseline[id as usize], "node {id}");
+        }
+        let before: Vec<u64> = g.node_ids().map(|id| db.version(id)).collect();
+
+        // A committed substitution: exactly the nodes whose lists
+        // changed get new versions.
+        let pre_lists: Vec<Vec<Cut>> = g.node_ids().map(|id| db.cuts(id).to_vec()).collect();
+        let node = g
+            .and_ids()
+            .find(|&id| !inc.consumers(id).is_empty())
+            .expect("some AND has consumers");
+        let with = Lit::new(g.inputs()[0], false);
+        db.begin_edit();
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        txn.substitute(node, with);
+        db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+        txn.commit();
+        db.commit_edit();
+        let mut changed = 0;
+        for id in g.node_ids() {
+            let bumped = db.version(id) != before[id as usize];
+            let list_changed = db.cuts(id) != &pre_lists[id as usize][..];
+            assert_eq!(
+                bumped, list_changed,
+                "version must move iff the list changed (node {id})"
+            );
+            changed += usize::from(bumped);
+        }
+        assert!(changed > 0, "the substitution must have changed lists");
+
+        // A rolled-back edit restores versions exactly, and the
+        // mid-edit values never reappear.
+        let pre: Vec<u64> = g.node_ids().map(|id| db.version(id)).collect();
+        let node = g
+            .and_ids()
+            .filter(|&id| !inc.consumers(id).is_empty())
+            .nth(3)
+            .expect("several ANDs have consumers");
+        db.begin_edit();
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        txn.substitute(node, !with);
+        db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+        let mid: Vec<u64> = txn.aig().node_ids().map(|id| db.version(id)).collect();
+        txn.rollback();
+        db.rollback_edit();
+        db.assert_matches_fresh(&g);
+        for id in g.node_ids() {
+            let vi = id as usize;
+            assert_eq!(db.version(id), pre[vi], "rollback must restore versions");
+            if mid[vi] != pre[vi] {
+                // A consumer that snapshotted the speculative value
+                // must still see a mismatch after the rollback.
+                assert_ne!(db.version(id), mid[vi], "mid-edit value reused");
+            }
+        }
+
+        // Clones get a fresh identity.
+        let clone = db.clone();
+        assert_ne!(clone.instance_id(), db.instance_id());
     }
 
     #[test]

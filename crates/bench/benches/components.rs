@@ -147,6 +147,135 @@ fn bench_components(c: &mut Criterion) {
             })
         });
     }
+    // Incremental DP after a windowed in-place edit, replayed as a
+    // *rejected* speculation (the dominant SA case): speculative
+    // substitution → sync → rollback → resync. The watermark path
+    // (`map_dp_watermark_ex28`, per-row cutoff disabled) recomputes
+    // every DP row at or above the edit watermark on both syncs; the
+    // per-row cutoff (`map_dp_cutoff_ex28`) recomputes only rows
+    // whose cut-list version or leaf rows changed — the true
+    // footprint of the move (tracked >= 2x). The fixed plan mixes the
+    // two shapes an SA rewire takes: *local* moves (readers rewired
+    // to an adjacent earlier node — footprint is the node's arrival/
+    // flow cone) and *global* moves (readers of a small side cone
+    // rewired to a much earlier equivalent — the watermark drops to
+    // the target's id and the old path recomputes nearly every row
+    // while the true footprint stays small). Every rollback restores
+    // the base graph exactly, so the replay is rebuild-free steady
+    // state.
+    {
+        use aig::incremental::Transaction;
+        let base = large.aig.clone();
+        let ands: Vec<NodeId> = base.and_ids().collect();
+        // Transitive-fanout cone sizes (plan classification only).
+        let cones: Vec<u32> = {
+            let n = base.num_nodes();
+            let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+            for id in base.and_ids() {
+                let [f0, f1] = base.fanins(id);
+                consumers[f0.var() as usize].push(id);
+                consumers[f1.var() as usize].push(id);
+            }
+            let mut out = vec![0u32; n];
+            let mut seen = vec![false; n];
+            let mut touched: Vec<NodeId> = Vec::new();
+            let mut stack: Vec<NodeId> = Vec::new();
+            for id in base.and_ids() {
+                stack.push(id);
+                while let Some(x) = stack.pop() {
+                    for &c in &consumers[x as usize] {
+                        if !seen[c as usize] {
+                            seen[c as usize] = true;
+                            touched.push(c);
+                            stack.push(c);
+                        }
+                    }
+                }
+                out[id as usize] = touched.len() as u32;
+                for &t in &touched {
+                    seen[t as usize] = false;
+                }
+                touched.clear();
+            }
+            out
+        };
+        let small: Vec<NodeId> = ands
+            .iter()
+            .copied()
+            .filter(|&id| cones[id as usize] <= 60)
+            .collect();
+        // Deterministic plan; every step must actually edit and leave
+        // the graph mappable (raw substitutions can create live
+        // constant nodes no cell matches).
+        let mut plan: Vec<(NodeId, Lit)> = Vec::new();
+        for i in 0..192u64 {
+            let (node, with) = if i % 2 == 0 {
+                // Local: a uniformly drawn node, readers rewired to
+                // the adjacent earlier AND.
+                let k = ((i.wrapping_mul(2654435761)) % (ands.len() as u64 - 1)) as usize + 1;
+                (ands[k], Lit::new(ands[k - 1], i % 4 == 0))
+            } else {
+                // Global: a small-cone node, readers rewired to one
+                // of the earliest small-cone nodes.
+                let node = small[((i.wrapping_mul(2654435761)) % small.len() as u64) as usize];
+                let lows: Vec<NodeId> = small.iter().copied().filter(|&v| v < node).collect();
+                if lows.is_empty() {
+                    continue;
+                }
+                let with = lows[(i as usize).wrapping_mul(13) % lows.len().min(20)];
+                (node, Lit::new(with, i % 4 == 1))
+            };
+            let mut trial = base.clone();
+            let mut tinc = IncrementalAnalysis::new(&trial);
+            tinc.substitute(&mut trial, node, with);
+            if !tinc.last_dirty().edited().is_empty() && mapper.map(&trial).is_ok() {
+                plan.push((node, with));
+            }
+            if plan.len() >= 32 {
+                break;
+            }
+        }
+        assert!(plan.len() >= 16, "substitution plan degenerated");
+        for (name, cutoff) in [
+            ("map_dp_watermark_ex28", false),
+            ("map_dp_cutoff_ex28", true),
+        ] {
+            let mut edited = base.clone();
+            let mut inc = IncrementalAnalysis::new(&edited);
+            let mut db = aig::cut::CutDb::new(4, 8);
+            db.build(&edited);
+            let mut ctx = MapContext::new();
+            ctx.set_row_cutoff(cutoff);
+            let mut design = techmap::MappedDesign::new();
+            mapper
+                .sync_design(&mut ctx, &edited, &db, 0, &mut design)
+                .expect("mappable");
+            let mut step = 0usize;
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let (node, with) = plan[step % plan.len()];
+                    step += 1;
+                    db.begin_edit();
+                    let mut txn = Transaction::begin(&mut edited, &mut inc);
+                    txn.substitute(node, with);
+                    db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+                    let since = txn.min_touched();
+                    // Price the speculative candidate...
+                    mapper
+                        .sync_design(&mut ctx, txn.aig(), &db, since, &mut design)
+                        .expect("mappable");
+                    // ...reject it, and re-sync to the restored graph
+                    // (the SA loop's `resync_edit` after a reject).
+                    txn.rollback();
+                    db.rollback_edit();
+                    mapper
+                        .sync_design(&mut ctx, &edited, &db, since, &mut design)
+                        .expect("mappable");
+                    black_box(ctx.recomputed_rows())
+                })
+            });
+        }
+    }
     g.bench_function("sta_ex28", |b| {
         b.iter(|| sta::delay_and_area(black_box(&netlist), &lib))
     });
@@ -257,6 +386,15 @@ fn bench_components(c: &mut Criterion) {
         eprintln!(
             "sta_incr_edit_ex28: {:.1}x faster than full STA (tracked >= 5x)",
             full / incr
+        );
+    }
+    if let (Some(watermark), Some(cutoff)) = (
+        c.median_ns("components", "map_dp_watermark_ex28"),
+        c.median_ns("components", "map_dp_cutoff_ex28"),
+    ) {
+        eprintln!(
+            "map_dp_cutoff_ex28: {:.1}x faster than the watermark DP recompute (tracked >= 2x)",
+            watermark / cutoff
         );
     }
     c.save_json(bench_json_path("BENCH_components.json"))

@@ -25,6 +25,10 @@
 //!   ([`IncrementalAnalysis::rebuild`] / [`CutDb::build`] reuse every
 //!   allocation), so warm state persists across runs sharing a
 //!   context — content never leaks between runs, only capacity.
+//!   Rebuilding the [`CutDb`] also hands every node a fresh cut-list
+//!   [version](CutDb::version), so the ground-truth evaluator's
+//!   per-row DP cutoff can never mistake a previous run's rows for
+//!   the new graph's.
 //!
 //! Results never depend on the context: every cached value is a pure
 //! function of its key, so [`crate::optimize`] with a fresh, shared,

@@ -152,6 +152,21 @@ impl<'a> GroundTruthCost<'a> {
             sta_seeds: Vec::new(),
         }
     }
+
+    /// Enables or disables the mapper's per-row DP cutoff (default
+    /// **on**; see [`MapContext::set_row_cutoff`]). Off reverts
+    /// [`CostEvaluator::evaluate_edit`] to recomputing every DP row
+    /// at or above the edit watermark — the oracle side of the cutoff
+    /// byte-identity tests. Metrics are bit-identical either way.
+    pub fn set_dp_row_cutoff(&mut self, on: bool) {
+        self.map_ctx.set_row_cutoff(on);
+    }
+
+    /// DP rows the mapper recomputed in the most recent evaluation
+    /// (see [`MapContext::recomputed_rows`]).
+    pub fn dp_recomputed_rows(&self) -> usize {
+        self.map_ctx.recomputed_rows()
+    }
 }
 
 impl CostEvaluator for GroundTruthCost<'_> {
@@ -168,9 +183,11 @@ impl CostEvaluator for GroundTruthCost<'_> {
         CostMetrics { delay, area }
     }
 
-    /// In-place steps patch the persistent [`MappedDesign`] (DP rows
-    /// reused below the watermark, cut lists from `cuts`, netlist
-    /// edited in place), re-size only the patch's footprint
+    /// In-place steps patch the persistent [`MappedDesign`] (cut
+    /// lists from `cuts`, DP rows reused below the watermark *and*,
+    /// through the per-row version/equality cutoff, above it —
+    /// recomputation tracks the edit footprint, not the
+    /// watermark-to-top distance), re-size only the patch's footprint
     /// ([`techmap::resize_greedy_incremental`]) and re-propagate
     /// arrivals only over the dirty cone ([`IncrementalSta`]); the
     /// metrics are bit-identical to [`CostEvaluator::evaluate`]'s.

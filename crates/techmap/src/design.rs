@@ -445,6 +445,34 @@ impl MappedDesign {
         }
     }
 
+    /// Re-emission check for one materialized node whose refreshed
+    /// row may select different gates.
+    fn check_reemit(&mut self, ctx: &MapContext, vi: usize) {
+        if self.main_gate[vi] == NONE {
+            return;
+        }
+        // A materialized node whose refreshed row is `None` went
+        // dead *and* unmatchable in this edit (dp_update errors
+        // on live unmatchable nodes): its demand vanishes in this
+        // very sync — the release cascade retires it below.
+        let Some(ch) = ctx.chosen[vi].as_ref() else {
+            return;
+        };
+        let key = EmitKey::of(ch);
+        if key != self.emitted[vi] {
+            let old = self.emitted[vi];
+            self.emitted[vi] = key;
+            self.reemit_slots.push(vi as NodeId);
+            self.reemit_mark[vi] = true;
+            for (leaf, bit) in key.leaf_iter() {
+                self.queue_inc(leaf, bit);
+            }
+            for (leaf, bit) in old.leaf_iter() {
+                self.queue_dec(leaf, bit);
+            }
+        }
+    }
+
     /// Applies the refreshed DP rows: plans demand changes, processes
     /// the retain/release cascades, patches the gates, and repoints
     /// the ports. `since` is [`Mapper::dp_update`]'s effective
@@ -452,30 +480,20 @@ impl MappedDesign {
     fn apply_rows(&mut self, ctx: &MapContext, aig: &Aig, lib: &Library, since: NodeId) {
         let inv_cell = lib.smallest_inverter();
         // Re-emission scan: materialized nodes whose refreshed row
-        // selects different gates.
-        for vi in (since as usize)..aig.num_nodes() {
-            if self.main_gate[vi] == NONE {
-                continue;
+        // selects different gates. The DP's per-row cutoff hands over
+        // the exact emission-visible changed rows accumulated since
+        // the design last applied them; the fallback scans everything
+        // at or above the smallest watermark any contributing map
+        // call used.
+        if ctx.changed_rows_exact {
+            for i in 0..ctx.changed_rows.len() {
+                let vi = ctx.changed_rows[i] as usize;
+                self.check_reemit(ctx, vi);
             }
-            // A materialized node whose refreshed row is `None` went
-            // dead *and* unmatchable in this edit (dp_update errors
-            // on live unmatchable nodes): its demand vanishes in this
-            // very sync — the release cascade retires it below.
-            let Some(ch) = ctx.chosen[vi].as_ref() else {
-                continue;
-            };
-            let key = EmitKey::of(ch);
-            if key != self.emitted[vi] {
-                let old = self.emitted[vi];
-                self.emitted[vi] = key;
-                self.reemit_slots.push(vi as NodeId);
-                self.reemit_mark[vi] = true;
-                for (leaf, bit) in key.leaf_iter() {
-                    self.queue_inc(leaf, bit);
-                }
-                for (leaf, bit) in old.leaf_iter() {
-                    self.queue_dec(leaf, bit);
-                }
+        } else {
+            let scan_from = since.min(ctx.changed_since) as usize;
+            for vi in scan_from..aig.num_nodes() {
+                self.check_reemit(ctx, vi);
             }
         }
         // Port diffs (the first sync sees an empty snapshot: every
@@ -617,10 +635,15 @@ impl MappedDesign {
 
 impl Mapper<'_> {
     /// Synchronizes `design` with `aig`'s refreshed mapping: runs the
-    /// incremental DP ([`Mapper::dp_update`]) and patches the
-    /// design's netlist to the new rows, recording the footprint in
+    /// incremental DP (the per-row cutoff core shared with
+    /// [`Mapper::map_incremental`]) and patches the design's netlist
+    /// to the new rows, recording the footprint in
     /// [`MappedDesign::changed_gates`] /
-    /// [`MappedDesign::touched_nets`].
+    /// [`MappedDesign::touched_nets`]. When the DP ran its per-row
+    /// cutoff, cover maintenance is seeded by the *exact* set of rows
+    /// whose emission-visible choice changed — the downstream
+    /// sizing/STA worklists then see only the edit's true footprint
+    /// instead of everything above the watermark.
     ///
     /// Returns `true` when the design had to be (re)built from
     /// scratch — uninitialized, invalidated, or shape-mismatched —
@@ -662,6 +685,8 @@ impl Mapper<'_> {
         };
         design.begin_sync();
         design.apply_rows(ctx, aig, self.library(), since);
+        // The design now mirrors every accumulated row change.
+        ctx.consume_changed_rows();
         Ok(fresh)
     }
 }

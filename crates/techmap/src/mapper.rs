@@ -10,9 +10,10 @@
 use crate::matcher::{CellMatch, Matcher};
 use crate::netlist::{NetId, Netlist};
 use aig::cut::{enumerate_cuts_into, Cut, CutDb, CutSet};
-use aig::{Aig, NodeId};
+use aig::{Aig, Lit, NodeId};
 use cells::Library;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// Mapping objective.
@@ -98,6 +99,19 @@ pub enum MapError {
     },
     /// Invalid [`MapOptions`].
     BadOptions(String),
+    /// The caller-maintained [`CutDb`] tracks a different node count
+    /// than the graph being mapped — it missed a
+    /// [`build`](CutDb::build) / [`sync_appends`](CutDb::sync_appends)
+    /// after the graph changed shape. Mapping through stale cut lists
+    /// would silently produce a wrong netlist (or index out of
+    /// bounds), so the incremental entry points reject the mismatch
+    /// up front in **all** build profiles.
+    StaleCuts {
+        /// Nodes tracked by the cut database.
+        db_nodes: usize,
+        /// Nodes in the graph being mapped.
+        graph_nodes: usize,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -105,6 +119,14 @@ impl fmt::Display for MapError {
         match self {
             MapError::NoMatch { node } => write!(f, "no library match for node {node}"),
             MapError::BadOptions(m) => write!(f, "bad mapping options: {m}"),
+            MapError::StaleCuts {
+                db_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "stale cut database: tracks {db_nodes} nodes but the graph has \
+                 {graph_nodes} (rebuild or sync it before mapping)"
+            ),
         }
     }
 }
@@ -189,9 +211,70 @@ pub struct MapContext {
     /// Output-reachability scratch: unmatchable nodes are an error
     /// only when live (see [`MapError::NoMatch`]).
     live: Vec<bool>,
-    /// Unmatchable rows seen by the last [`Mapper::dp_update`] sweep,
-    /// checked against liveness only when non-empty.
-    pending_none: Vec<NodeId>,
+    /// Sorted ids of rows whose `chosen` is `None` (unmatchable
+    /// nodes), maintained across [`Mapper::dp_update`] calls so the
+    /// per-row cutoff can run the liveness check without a full
+    /// sweep. Valid whenever `rows_for` is.
+    none_rows: Vec<NodeId>,
+    /// Per-row DP cutoff switch, stored inverted so the default
+    /// (`false`) means *enabled*; see [`MapContext::set_row_cutoff`].
+    cutoff_disabled: bool,
+    /// [`CutDb::instance_id`] the `seen_versions` snapshot was taken
+    /// from, `None` when no valid snapshot exists (after `map_with`,
+    /// an error, or a different database).
+    seen_db: Option<u64>,
+    /// Per-node [`CutDb::version`] values at the last successful
+    /// [`Mapper::dp_update`]; equality proves the node's cut list is
+    /// unchanged since the rows were computed.
+    seen_versions: Vec<u64>,
+    /// Rows whose emission-visible choice (cell/pins/leaves/
+    /// polarities) changed, **accumulated** across every `dp_update`
+    /// since a design last consumed the record
+    /// ([`MapContext::consume_changed_rows`]) — an interleaved
+    /// `map_incremental` must stay visible to the next
+    /// `sync_design`. Exact only when `changed_rows_exact`; otherwise
+    /// every row at or above `changed_since` (and the current
+    /// watermark) may have changed.
+    pub(crate) changed_rows: Vec<NodeId>,
+    /// Whether `changed_rows` is the exact accumulated changed set
+    /// (only per-row-cutoff calls contributed) or the watermark scan
+    /// from `changed_since` applies.
+    pub(crate) changed_rows_exact: bool,
+    /// Smallest effective watermark of any contributing map call
+    /// since the record was last consumed (scan lower bound for the
+    /// non-exact case).
+    pub(crate) changed_since: NodeId,
+    /// `row_changed[v]`: v's leaf-visible row state (arrival, flow,
+    /// fanout) changed in the current `dp_update` — rows using v as a
+    /// cut leaf must be recomputed. Per-call scratch.
+    row_changed: Vec<bool>,
+    /// Suffix fanout recompute scratch for the per-row cutoff.
+    fanout_scratch: Vec<u32>,
+    /// Leaves whose fanout count moved in the current `dp_update`
+    /// (worklist seed scratch).
+    fanout_changed: Vec<NodeId>,
+    /// Structural consumer adjacency mirroring the graph at the last
+    /// successful `dp_update` — `consumers[v]` lists the AND nodes
+    /// reading `v`, one entry per fanin edge. Maintained by
+    /// fanin-diffing above the watermark (same lineage/validity as
+    /// `seen_versions`); the cutoff's worklist propagates row changes
+    /// along it, so clean rows are never even visited.
+    consumers: Vec<Vec<NodeId>>,
+    /// AND fanins at the last successful `dp_update` (adjacency diff
+    /// baseline; unused entries for non-AND ids).
+    prev_fanins: Vec<[Lit; 2]>,
+    /// Ascending worklist scratch for the cutoff pass.
+    heap: BinaryHeap<Reverse<NodeId>>,
+    queued: Vec<bool>,
+    /// Batched consumer-edge removals `(old target, reader)` for the
+    /// fanin diff, grouped per target so a high-fanout substitution
+    /// costs one pass over the affected list instead of one scan per
+    /// rewired reader.
+    removals: Vec<(NodeId, NodeId)>,
+    /// Per-reader pending-removal counts for the batched pass.
+    remove_cnt: Vec<u32>,
+    /// DP rows actually recomputed by the last mapping call.
+    last_recomputed_rows: usize,
 }
 
 /// Marks the nodes reachable from the outputs into `live`.
@@ -222,6 +305,40 @@ impl MapContext {
     /// Number of distinct cut functions memoized so far.
     pub fn num_memoized_functions(&self) -> usize {
         self.shortlists.len()
+    }
+
+    /// Enables or disables the incremental per-row DP cutoff
+    /// (default **on**). With the cutoff off,
+    /// [`Mapper::map_incremental`] / [`Mapper::sync_design`] recompute
+    /// every DP row at or above the dirty watermark — the
+    /// pre-cutoff behavior kept as the benchmark baseline and as the
+    /// oracle side of the cutoff parity tests. Results are
+    /// bit-identical either way.
+    pub fn set_row_cutoff(&mut self, on: bool) {
+        self.cutoff_disabled = !on;
+    }
+
+    /// Whether the per-row DP cutoff is enabled (see
+    /// [`MapContext::set_row_cutoff`]).
+    pub fn row_cutoff(&self) -> bool {
+        !self.cutoff_disabled
+    }
+
+    /// DP rows actually recomputed by the last mapping call through
+    /// this context (full maps count every AND row). With the per-row
+    /// cutoff this tracks the true footprint of the edit — the
+    /// differential suite asserts it stays strictly below the
+    /// watermark-to-top row count on windowed edits.
+    pub fn recomputed_rows(&self) -> usize {
+        self.last_recomputed_rows
+    }
+
+    /// Resets the accumulated changed-row record after a design has
+    /// applied it (see `changed_rows`).
+    pub(crate) fn consume_changed_rows(&mut self) {
+        self.changed_rows.clear();
+        self.changed_rows_exact = true;
+        self.changed_since = NodeId::MAX;
     }
 }
 
@@ -323,6 +440,15 @@ impl<'a> Mapper<'a> {
             ctx.fingerprint = Some(self.instance_id);
         }
         ctx.rows_for = None;
+        // Full enumeration bypasses the CutDb, so the version
+        // snapshot no longer matches any database: the next
+        // incremental call falls back to the watermark sweep. Any
+        // row may have changed, so the accumulated changed-row
+        // record degrades to a full scan.
+        ctx.seen_db = None;
+        ctx.changed_rows_exact = false;
+        ctx.changed_rows.clear();
+        ctx.changed_since = 0;
         enumerate_cuts_into(aig, self.opts.cut_size, self.opts.max_cuts, &mut ctx.cuts);
         aig::analysis::fanout_counts_into(aig, &mut ctx.fanout);
 
@@ -340,17 +466,17 @@ impl<'a> Mapper<'a> {
             arrival,
             flow,
             shortlists,
-            fingerprint: _,
-            rows_for: _,
-            net_of: _,
-            inv_of: _,
             build_stack,
             live,
-            pending_none: _,
+            none_rows,
+            ..
         } = ctx;
         mark_live(aig, live, build_stack);
+        none_rows.clear();
 
+        let mut recomputed = 0usize;
         for id in aig.and_ids() {
+            recomputed += 1;
             let Some(best) =
                 self.choose_for_node(id, cuts.cuts(id), fanout, arrival, flow, shortlists)
             else {
@@ -360,12 +486,14 @@ impl<'a> Mapper<'a> {
                 chosen[id as usize] = None;
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
+                none_rows.push(id);
                 continue;
             };
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
         }
+        ctx.last_recomputed_rows = recomputed;
         ctx.rows_for = Some(n);
 
         Ok(self.build_netlist(
@@ -389,13 +517,19 @@ impl<'a> Mapper<'a> {
     /// is live for `aig` with this mapper's `cut_size`/`max_cuts`,
     /// and (b) the context's previous map call (any of the three
     /// entry points, with this mapper) was for the same graph modulo
-    /// edits at ids `>= dirty_since`. Node ids below the watermark
-    /// then have bit-identical cut lists, fanout counts and leaf
-    /// arrivals, so their reused rows equal what a full DP would
-    /// recompute — the produced netlist is **identical** to
-    /// [`Mapper::map`]'s (asserted by the parity suite on random edit
-    /// walks). Pass `0` (or an unrelated context) to recompute every
-    /// row while still skipping cut enumeration.
+    /// edits at ids `>= dirty_since` — node ids below the watermark
+    /// then have bit-identical cut lists (and [`CutDb::version`]
+    /// counters), fanout counts and leaf arrivals, so their reused
+    /// rows equal what a full DP would recompute. Above the
+    /// watermark, consecutive calls against the same database reuse
+    /// rows through a per-row cutoff: a row is recomputed only if its
+    /// [`CutDb::version`] moved or a candidate cut leaf's
+    /// arrival/flow/fanout changed (bit-equality, propagated in
+    /// topological order). Either way the produced netlist is
+    /// **identical** to
+    /// [`Mapper::map`]'s (asserted by the parity suites on random
+    /// edit walks). Pass `0` (or an unrelated context) to recompute
+    /// every row while still skipping cut enumeration.
     ///
     /// [`Transaction::min_touched`]:
     /// aig::incremental::Transaction::min_touched
@@ -406,7 +540,11 @@ impl<'a> Mapper<'a> {
     ///
     /// [`Mapper::map`]'s errors, plus [`MapError::BadOptions`] when
     /// `cuts` was built with different cut parameters than this
-    /// mapper's options.
+    /// mapper's options, and [`MapError::StaleCuts`] when the
+    /// database tracks a different node count than `aig` (a missed
+    /// [`CutDb::build`]/[`CutDb::sync_appends`] — checked in every
+    /// build profile, since a stale database would otherwise produce
+    /// a silently wrong netlist in release builds).
     pub fn map_incremental(
         &self,
         ctx: &mut MapContext,
@@ -425,10 +563,25 @@ impl<'a> Mapper<'a> {
     }
 
     /// The shared DP core of [`Mapper::map_incremental`] and
-    /// [`Mapper::sync_design`]: recomputes the context's DP rows from
+    /// [`Mapper::sync_design`]: refreshes the context's DP rows from
     /// the effective watermark on (validating options, cut-database
     /// parameters, and the row-reuse handshake), and returns that
     /// effective watermark — every row below it is untouched.
+    ///
+    /// Above the watermark the rows are refreshed through a **per-row
+    /// equality cutoff** whenever the context's previous call left a
+    /// live [`CutDb::version`] snapshot for the same database: a row
+    /// is recomputed only if its cut-list version moved or the
+    /// leaf-visible state (arrival, flow, fanout) of one of its
+    /// candidate cuts' leaves changed, with changes propagated in
+    /// topological order by bit-equality. Skipped rows are provably
+    /// bit-identical to what a recompute would produce (deterministic
+    /// DP over unchanged inputs), so the result — and the produced
+    /// netlist — never depends on the cutoff. Without a valid
+    /// snapshot (first incremental call after `map_with`, a foreign
+    /// database, or [`MapContext::set_row_cutoff`]`(false)`) every row
+    /// at or above the watermark is recomputed and a fresh snapshot
+    /// is taken.
     pub(crate) fn dp_update(
         &self,
         ctx: &mut MapContext,
@@ -447,7 +600,14 @@ impl<'a> Mapper<'a> {
             )));
         }
         let n = aig.num_nodes();
-        debug_assert_eq!(cuts.num_nodes(), n, "cut database out of sync");
+        if cuts.num_nodes() != n {
+            // A real check in every profile: a stale database would
+            // silently map through wrong cut lists in release builds.
+            return Err(MapError::StaleCuts {
+                db_nodes: cuts.num_nodes(),
+                graph_nodes: n,
+            });
+        }
         // A context that last served a different mapper (or errored)
         // has no reusable rows; likewise everything from the first
         // appended node on, when the graph grew.
@@ -457,10 +617,16 @@ impl<'a> Mapper<'a> {
             ctx.fingerprint = Some(self.instance_id);
             since = 0;
         }
-        match ctx.rows_for {
-            Some(prev_n) if prev_n <= n => since = since.min(prev_n as NodeId),
-            _ => since = 0,
-        }
+        let prev_n = match ctx.rows_for {
+            Some(prev_n) if prev_n <= n => {
+                since = since.min(prev_n as NodeId);
+                prev_n
+            }
+            _ => {
+                since = 0;
+                0
+            }
+        };
         if since as usize >= n {
             // The edit touched nothing (an SA window with no
             // applicable rewrite): the graph is unchanged since the
@@ -469,28 +635,115 @@ impl<'a> Mapper<'a> {
             // no-op costs O(1), not O(graph).
             return Ok(since);
         }
+        // The per-row cutoff needs the previous call's version
+        // snapshot for *this* database (`map_with` and errors clear
+        // it; a different `CutDb` instance never matches).
+        let cutoff = !ctx.cutoff_disabled
+            && prev_n > 0
+            && ctx.seen_db == Some(cuts.instance_id())
+            && ctx.seen_versions.len() == prev_n;
         ctx.rows_for = None;
-        aig::analysis::fanout_counts_into(aig, &mut ctx.fanout);
+        ctx.seen_db = None;
         ctx.chosen.resize(n, None);
         ctx.arrival.resize(n, 0.0);
         ctx.flow.resize(n, 0.0);
+        // The changed-row record accumulates across `dp_update` calls
+        // until a `sync_design` consumes it — an interleaved
+        // `map_incremental` must not make its changes invisible to
+        // the next design patch.
+        ctx.changed_since = ctx.changed_since.min(since);
+        if !cutoff {
+            ctx.changed_rows_exact = false;
+            ctx.changed_rows.clear();
+        }
+        ctx.last_recomputed_rows = if cutoff {
+            self.dp_rows_cutoff(ctx, aig, cuts, since)
+        } else {
+            self.dp_rows_watermark(ctx, aig, cuts, since)
+        };
+        if ctx.changed_rows.len() > n {
+            // Pathological accumulation (many unconsumed incremental
+            // maps): the watermark scan is cheaper than the list.
+            ctx.changed_rows_exact = false;
+            ctx.changed_rows.clear();
+        }
+        if !ctx.cutoff_disabled {
+            // Snapshot the versions the refreshed rows were computed
+            // against. On the cutoff path, versions below the
+            // watermark are unchanged by the caller contract, so the
+            // prefix snapshot stays valid; the fallback must cover
+            // the whole range — its prefix entries may still carry a
+            // *different* database's values (the very mismatch that
+            // forced the fallback), which must not be re-attributed
+            // to this one.
+            ctx.seen_versions.resize(n, 0);
+            let lo = if cutoff { since } else { 0 };
+            for id in lo..n as NodeId {
+                ctx.seen_versions[id as usize] = cuts.version(id);
+            }
+        }
+        // Unmatchable rows are rare; liveness (the expensive global
+        // DFS deciding whether one is an error) is computed only when
+        // at least one exists. `none_rows` ascends, so the reported
+        // node is the first live unmatchable one — exactly
+        // `Mapper::map`'s.
+        if !ctx.none_rows.is_empty() {
+            mark_live(aig, &mut ctx.live, &mut ctx.build_stack);
+            for &id in ctx.none_rows.iter() {
+                if ctx.live[id as usize] {
+                    return Err(MapError::NoMatch { node: id });
+                }
+            }
+        }
+        ctx.rows_for = Some(n);
+        if !ctx.cutoff_disabled {
+            ctx.seen_db = Some(cuts.instance_id());
+        }
+        Ok(since)
+    }
 
+    /// The watermark fallback of [`Mapper::dp_update`]: recomputes
+    /// every row at or above `since`, rebuilds the unmatchable-row
+    /// set, and (cutoff enabled) rebuilds the consumer adjacency the
+    /// next call's worklist propagates along. Returns the number of
+    /// rows recomputed.
+    fn dp_rows_watermark(
+        &self,
+        ctx: &mut MapContext,
+        aig: &Aig,
+        cuts: &CutDb,
+        since: NodeId,
+    ) -> usize {
+        aig::analysis::fanout_counts_into(aig, &mut ctx.fanout);
+        if !ctx.cutoff_disabled {
+            // Fresh adjacency baseline for the next cutoff call
+            // (same lineage as the version snapshot).
+            let n = aig.num_nodes();
+            ctx.consumers.truncate(n);
+            for c in ctx.consumers.iter_mut() {
+                c.clear();
+            }
+            ctx.consumers.resize_with(n, Vec::new);
+            ctx.prev_fanins.clear();
+            ctx.prev_fanins.resize(n, [Lit::FALSE; 2]);
+            for id in aig.and_ids() {
+                let [f0, f1] = aig.fanins(id);
+                ctx.consumers[f0.var() as usize].push(id);
+                ctx.consumers[f1.var() as usize].push(id);
+                ctx.prev_fanins[id as usize] = [f0, f1];
+            }
+        }
         let MapContext {
-            cuts: _,
             fanout,
             chosen,
             arrival,
             flow,
             shortlists,
-            build_stack,
-            live,
-            pending_none,
+            none_rows,
             ..
         } = ctx;
-        // Unmatchable rows are rare; liveness (the expensive global
-        // DFS deciding whether one is an error) is computed only when
-        // at least one exists, after the DP sweep.
-        pending_none.clear();
+        none_rows.clear();
+        let mut recomputed = 0usize;
         for id in aig.and_ids() {
             if id < since {
                 // Row provably unchanged by the edit — but *liveness*
@@ -499,35 +752,245 @@ impl<'a> Mapper<'a> {
                 // back into the cover must error exactly like
                 // `Mapper::map` would.
                 if chosen[id as usize].is_none() {
-                    pending_none.push(id);
+                    none_rows.push(id);
                 }
                 continue;
             }
+            recomputed += 1;
             let Some(best) =
                 self.choose_for_node(id, cuts.cuts(id), fanout, arrival, flow, shortlists)
             else {
                 chosen[id as usize] = None;
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
-                pending_none.push(id);
+                none_rows.push(id);
                 continue;
             };
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
         }
-        if !pending_none.is_empty() {
-            mark_live(aig, live, build_stack);
-            // `pending_none` ascends, so the reported node is the
-            // first live unmatchable one — exactly `Mapper::map`'s.
-            for &id in pending_none.iter() {
-                if live[id as usize] {
-                    return Err(MapError::NoMatch { node: id });
+        recomputed
+    }
+
+    /// The per-row cutoff pass of [`Mapper::dp_update`] (see its docs
+    /// for the validity conditions): a consumer-adjacency worklist,
+    /// seeded by rows whose [`CutDb::version`] moved and by the
+    /// consumers of leaves whose fanout count moved, popped in
+    /// ascending (topological) id order. A popped row is recomputed
+    /// only if its version moved or one of its candidate cuts' leaves
+    /// carries a changed (arrival, flow, fanout) bit-state; the
+    /// change — or a still-dirty candidate leaf, which a consumer may
+    /// have inherited through cut merging even where this row's own
+    /// outputs settled — propagates to the row's consumers.
+    /// Rows outside the worklist are never visited at all, so the
+    /// heavy DP cost tracks the edit footprint; the only
+    /// watermark-to-top work left is three sequential scans (version
+    /// diff, suffix fanout refresh, fanin diff) of a few bytes per
+    /// node. Maintains `none_rows` incrementally and records the
+    /// exact emission-visible changed rows in `changed_rows`. Returns
+    /// the number of rows recomputed.
+    fn dp_rows_cutoff(
+        &self,
+        ctx: &mut MapContext,
+        aig: &Aig,
+        cuts: &CutDb,
+        since: NodeId,
+    ) -> usize {
+        let n = aig.num_nodes();
+        let s = since as usize;
+        ctx.row_changed.clear();
+        ctx.row_changed.resize(n, false);
+        // Suffix fanout refresh: fanout below the watermark is
+        // unchanged by the caller contract, and every consumer of a
+        // node at or above it also sits at or above it (ids are
+        // topological), so the suffix counts close over themselves.
+        // Leaves whose count moved feed the area-flow term of every
+        // row using them — mark them changed and collect them as
+        // worklist seeds.
+        ctx.fanout_scratch.clear();
+        ctx.fanout_scratch.resize(n - s, 0);
+        for id in since..n as NodeId {
+            if aig.is_and(id) {
+                let [f0, f1] = aig.fanins(id);
+                for v in [f0.var() as usize, f1.var() as usize] {
+                    if v >= s {
+                        ctx.fanout_scratch[v - s] += 1;
+                    }
                 }
             }
         }
-        ctx.rows_for = Some(n);
-        Ok(since)
+        for o in aig.outputs() {
+            let v = o.lit.var() as usize;
+            if v >= s {
+                ctx.fanout_scratch[v - s] += 1;
+            }
+        }
+        ctx.fanout.resize(n, 0);
+        ctx.fanout_changed.clear();
+        for (i, &fo) in ctx.fanout_scratch.iter().enumerate() {
+            if ctx.fanout[s + i] != fo {
+                ctx.fanout[s + i] = fo;
+                ctx.row_changed[s + i] = true;
+                ctx.fanout_changed.push((s + i) as NodeId);
+            }
+        }
+        // Fanin diff: bring the consumer adjacency (valid for the
+        // previous call's graph) to the current one. Fanins below the
+        // watermark are unchanged by the caller contract; appended
+        // nodes enter with a blank baseline, so both their edges
+        // register as additions. Removals are batched per old target
+        // list: a substitution rewires *all* readers of one node, and
+        // a per-reader scan of that same list would cost O(R^2) on
+        // high-fanout nodes.
+        ctx.consumers.resize_with(n, Vec::new);
+        ctx.prev_fanins.resize(n, [Lit::FALSE; 2]);
+        ctx.queued.resize(n, false);
+        ctx.remove_cnt.resize(n, 0);
+        ctx.removals.clear();
+        for id in since..n as NodeId {
+            if !aig.is_and(id) {
+                continue;
+            }
+            let vi = id as usize;
+            let now = aig.fanins(id);
+            let prev = ctx.prev_fanins[vi];
+            if now == prev {
+                continue;
+            }
+            for old in prev {
+                ctx.removals.push((old.var(), id));
+            }
+            for new in now {
+                ctx.consumers[new.var() as usize].push(id);
+            }
+            ctx.prev_fanins[vi] = now;
+        }
+        ctx.removals.sort_unstable();
+        let mut i = 0;
+        while i < ctx.removals.len() {
+            let var = ctx.removals[i].0;
+            let mut j = i;
+            while j < ctx.removals.len() && ctx.removals[j].0 == var {
+                ctx.remove_cnt[ctx.removals[j].1 as usize] += 1;
+                j += 1;
+            }
+            let remove_cnt = &mut ctx.remove_cnt;
+            ctx.consumers[var as usize].retain(|&c| {
+                let cnt = &mut remove_cnt[c as usize];
+                if *cnt > 0 {
+                    *cnt -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            // Appended readers carry a sentinel baseline whose edges
+            // never existed; clear any counts the retain left behind
+            // so later groups (and calls) start clean.
+            for &(_, id) in &ctx.removals[i..j] {
+                ctx.remove_cnt[id as usize] = 0;
+            }
+            i = j;
+        }
+        let MapContext {
+            fanout,
+            chosen,
+            arrival,
+            flow,
+            shortlists,
+            none_rows,
+            seen_versions,
+            changed_rows,
+            row_changed,
+            fanout_changed,
+            consumers,
+            heap,
+            queued,
+            ..
+        } = ctx;
+        let enqueue =
+            |heap: &mut BinaryHeap<Reverse<NodeId>>, queued: &mut Vec<bool>, id: NodeId| {
+                if !queued[id as usize] {
+                    queued[id as usize] = true;
+                    heap.push(Reverse(id));
+                }
+            };
+        // Seeds: rows whose own cut list may have changed (version
+        // moved; appended rows have no snapshot entry and always
+        // mismatch), and the consumers of fanout-moved leaves.
+        for id in since..n as NodeId {
+            let vi = id as usize;
+            if aig.is_and(id) && seen_versions.get(vi).copied() != Some(cuts.version(id)) {
+                enqueue(heap, queued, id);
+            }
+        }
+        for &v in fanout_changed.iter() {
+            for &c in &consumers[v as usize] {
+                enqueue(heap, queued, c);
+            }
+        }
+        let mut recomputed = 0usize;
+        while let Some(Reverse(id)) = heap.pop() {
+            queued[id as usize] = false;
+            let vi = id as usize;
+            let cut_list = cuts.cuts(id);
+            // Cut leaves precede the root, so their `row_changed`
+            // bits are final by the time this ascending pop reads
+            // them.
+            let version_moved = seen_versions.get(vi).copied() != Some(cuts.version(id));
+            let leaf_dirty = cut_list
+                .iter()
+                .any(|c| c.leaves().iter().any(|&l| row_changed[l as usize]));
+            if !version_moved && !leaf_dirty {
+                continue; // equality cutoff: the row's inputs settled
+            }
+            recomputed += 1;
+            let old_arrival = arrival[vi];
+            let old_flow = flow[vi];
+            let best = self.choose_for_node(id, cut_list, fanout, arrival, flow, shortlists);
+            if !emit_eq(&chosen[vi], &best) {
+                changed_rows.push(id);
+            }
+            match best {
+                Some(b) => {
+                    arrival[vi] = b.arrival_ps;
+                    flow[vi] = b.area_flow;
+                    chosen[vi] = Some(b);
+                }
+                None => {
+                    arrival[vi] = 0.0;
+                    flow[vi] = 0.0;
+                    chosen[vi] = None;
+                }
+            }
+            // Bit-equality cutoff: consumers read a leaf's arrival,
+            // flow and fanout — chosen-match changes alone do not
+            // propagate (they only matter for emission, recorded in
+            // `changed_rows` above). A consumer is also woken when
+            // this row still carries a dirty candidate leaf: merged
+            // cuts inherit leaves, so the consumer may read that leaf
+            // directly even though this row's outputs settled.
+            if arrival[vi].to_bits() != old_arrival.to_bits()
+                || flow[vi].to_bits() != old_flow.to_bits()
+            {
+                row_changed[vi] = true;
+            }
+            if row_changed[vi] || leaf_dirty {
+                for &c in &consumers[vi] {
+                    enqueue(heap, queued, c);
+                }
+            }
+            let is_none = chosen[vi].is_none();
+            if is_none {
+                if let Err(pos) = none_rows.binary_search(&id) {
+                    none_rows.insert(pos, id);
+                }
+            } else if let Ok(pos) = none_rows.binary_search(&id) {
+                none_rows.remove(pos);
+            }
+        }
+        recomputed
     }
 
     /// One DP row: the best library match for `id` over its cut list,
@@ -725,6 +1188,19 @@ impl<'a> Mapper<'a> {
             nl.add_output(net, o.name.clone());
         }
         nl
+    }
+}
+
+/// Whether two DP row choices would emit identical gates: same cell,
+/// pin assignment, polarities and leaves. Timing scores are excluded
+/// on purpose — they never reach the netlist, so rows differing only
+/// in scores need no re-emission (consumers track score changes
+/// through the DP cutoff's `row_changed` bits instead).
+fn emit_eq(a: &Option<Chosen>, b: &Option<Chosen>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.m == b.m && a.leaves.as_slice() == b.leaves.as_slice(),
+        _ => false,
     }
 }
 
