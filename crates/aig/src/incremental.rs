@@ -146,10 +146,144 @@ impl DirtyRegion {
         self.nodes.is_empty()
     }
 
+    /// True when the two regions' footprints share any node id, where
+    /// a region's footprint is the union of its three sets. This is
+    /// the conflict test of the speculative SA engine: two moves whose
+    /// regions are disjoint wrote (and re-leveled, and re-counted)
+    /// entirely different nodes. Note the footprint covers *writes*,
+    /// not reads — a rewriting pass also probes levels and structure
+    /// outside its dirty region, so disjointness classifies a
+    /// discarded speculation as merely stale rather than proving it
+    /// replayable verbatim.
+    pub fn overlaps(&self, other: &DirtyRegion) -> bool {
+        let mine = [&self.nodes, &self.edited, &self.fanout_touched];
+        let theirs = [&other.nodes, &other.edited, &other.fanout_touched];
+        mine.iter()
+            .any(|a| theirs.iter().any(|b| sorted_intersects(a, b)))
+    }
+
+    /// Accumulates `other` into `self` (per-set sorted union). Used by
+    /// [`Transaction::touched_region`] to fold the per-edit regions of
+    /// a whole transaction into one footprint.
+    pub fn merge(&mut self, other: &DirtyRegion) {
+        merge_sorted(&mut self.nodes, &other.nodes);
+        merge_sorted(&mut self.edited, &other.edited);
+        merge_sorted(&mut self.fanout_touched, &other.fanout_touched);
+    }
+
     fn clear(&mut self) {
         self.nodes.clear();
         self.edited.clear();
         self.fanout_touched.clear();
+    }
+}
+
+/// Two-pointer intersection test over ascending id slices.
+fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Sorted, deduplicated in-place union (`dst` stays ascending).
+fn merge_sorted(dst: &mut Vec<NodeId>, src: &[NodeId]) {
+    if src.is_empty() {
+        return;
+    }
+    dst.extend_from_slice(src);
+    dst.sort_unstable();
+    dst.dedup();
+}
+
+/// The span of node ids a windowed in-place walk examines: one or two
+/// half-open id intervals (two when the walk wraps past the highest
+/// id back to the low ids, mirroring
+/// `transform::rewrite_inplace_window`'s traversal order).
+///
+/// This is the *partition key* of the speculative SA engine: two
+/// candidate windowed moves whose windows overlap examine the same
+/// nodes and are strongly correlated, so the batch partitioner stops
+/// a speculation wave at the first overlap instead of scoring both.
+/// Like [`DirtyRegion::overlaps`] it is a policy signal, not a
+/// soundness guarantee — substitutions re-level and rewire readers
+/// *above* the window, so correctness of speculative commits never
+/// rests on window disjointness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConeWindow {
+    /// Up to two `[lo, hi)` intervals; an interval with `lo >= hi` is
+    /// empty.
+    spans: [(NodeId, NodeId); 2],
+}
+
+impl ConeWindow {
+    /// A window over explicit intervals (second one for wrapped
+    /// walks).
+    pub fn from_intervals(a: (NodeId, NodeId), b: Option<(NodeId, NodeId)>) -> Self {
+        ConeWindow {
+            spans: [a, b.unwrap_or((0, 0))],
+        }
+    }
+
+    /// The window a call to `rewrite_inplace_window(.., start,
+    /// max_nodes)` would traverse on `aig`: walks ids from `start`
+    /// upward (wrapping to 1) counting live AND nodes exactly like the
+    /// rewriter, and covers every id traversed up to the last examined
+    /// one. Costs O(window), not O(graph).
+    pub fn from_live_walk(
+        aig: &Aig,
+        inc: &IncrementalAnalysis,
+        start: NodeId,
+        max_nodes: usize,
+    ) -> Self {
+        let n = aig.num_nodes() as NodeId;
+        if n <= 1 || max_nodes == 0 {
+            return ConeWindow::default();
+        }
+        let start = start.clamp(1, n - 1);
+        let mut examined = 0usize;
+        let mut last = None;
+        for id in (start..n).chain(1..start) {
+            if examined >= max_nodes {
+                break;
+            }
+            if !aig.is_and(id) || inc.fanout(id) == 0 {
+                continue;
+            }
+            examined += 1;
+            last = Some(id);
+        }
+        match last {
+            None => ConeWindow::default(),
+            Some(l) if l >= start => ConeWindow::from_intervals((start, l + 1), None),
+            Some(l) => ConeWindow::from_intervals((start, n), Some((1, l + 1))),
+        }
+    }
+
+    /// Whether the window covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.spans.iter().all(|&(lo, hi)| lo >= hi)
+    }
+
+    /// Whether `id` lies inside the window.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.spans.iter().any(|&(lo, hi)| lo <= id && id < hi)
+    }
+
+    /// Whether any id lies in both windows.
+    pub fn overlaps(&self, other: &ConeWindow) -> bool {
+        self.spans.iter().any(|&(lo, hi)| {
+            lo < hi
+                && other
+                    .spans
+                    .iter()
+                    .any(|&(lo2, hi2)| lo2 < hi2 && lo.max(lo2) < hi.min(hi2))
+        })
     }
 }
 
@@ -614,6 +748,7 @@ pub struct Transaction<'a> {
     base_nodes: usize,
     base_outputs: usize,
     min_touched: NodeId,
+    touched: DirtyRegion,
 }
 
 impl<'a> Transaction<'a> {
@@ -636,6 +771,7 @@ impl<'a> Transaction<'a> {
             base_nodes,
             base_outputs,
             min_touched: NodeId::MAX,
+            touched: DirtyRegion::default(),
         }
     }
 
@@ -664,6 +800,17 @@ impl<'a> Transaction<'a> {
         self.min_touched
     }
 
+    /// The accumulated [`DirtyRegion`] of every journaled edit so far
+    /// (per-set sorted union across substitutions, appends and output
+    /// retargets). This is the transaction's write footprint — the key
+    /// the speculative SA engine uses to classify a discarded
+    /// speculation as conflicting (footprints overlap) versus merely
+    /// stale. Accumulated over the transaction's whole lifetime;
+    /// rolling back does not shrink it.
+    pub fn touched_region(&self) -> &DirtyRegion {
+        &self.touched
+    }
+
     /// Strashed AND construction inside the transaction (the `append`
     /// edit). Returns an existing literal when structural hashing or
     /// the trivial rules resolve the request; otherwise the appended
@@ -677,6 +824,14 @@ impl<'a> Transaction<'a> {
             self.journal.ops.push(UndoOp::Append { id });
             let [f0, f1] = self.aig.fanins(id);
             self.touch(f0.var().min(f1.var()));
+            merge_sorted(&mut self.touched.nodes, &[id]);
+            merge_sorted(&mut self.touched.edited, &[id]);
+            let (lo, hi) = if f0.var() <= f1.var() {
+                (f0.var(), f1.var())
+            } else {
+                (f1.var(), f0.var())
+            };
+            merge_sorted(&mut self.touched.fanout_touched, &[lo, hi]);
         }
         l
     }
@@ -700,6 +855,7 @@ impl<'a> Transaction<'a> {
         self.inc.refresh_max_level();
         self.journal.ops.push(UndoOp::Retarget { idx, old });
         self.touch(old.var().min(lit.var()));
+        merge_sorted(&mut self.touched.fanout_touched, &[old.var(), lit.var()]);
     }
 
     /// [`IncrementalAnalysis::substitute`] through the journal:
@@ -718,6 +874,7 @@ impl<'a> Transaction<'a> {
         if let Some(m) = self.inc.dirty.min_touched() {
             self.touch(m);
         }
+        self.touched.merge(&self.inc.dirty);
         self.inc.last_dirty()
     }
 
@@ -1054,5 +1211,145 @@ mod tests {
         assert!(g.find_and(ab, !a).is_none(), "appended entry removed");
         assert_eq!(g.find_and(a, b), Some(ab), "original entry intact");
         inc.assert_matches_oracle(&g);
+    }
+
+    /// Two independent cones; edits inside one must not overlap the
+    /// other's region, and a merged region covers both.
+    #[test]
+    fn dirty_region_overlap_and_merge() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| g.add_input()).collect();
+        let mut left = ins[0];
+        for l in &ins[1..3] {
+            left = g.and(left, *l);
+        }
+        let mut right = ins[3];
+        for l in &ins[4..6] {
+            right = g.and(right, *l);
+        }
+        g.add_output(left, None::<&str>);
+        g.add_output(right, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+
+        let first_left = g.and_ids().next().unwrap();
+        let left_dirty = inc.substitute(&mut g, first_left, ins[0]).clone();
+        let first_right = g.and_ids().find(|&id| id > left.var()).unwrap();
+        let right_dirty = inc.substitute(&mut g, first_right, ins[3]).clone();
+
+        assert!(left_dirty.overlaps(&left_dirty), "overlap is reflexive");
+        assert!(
+            !left_dirty.overlaps(&right_dirty),
+            "independent cones must report disjoint regions"
+        );
+        assert!(!right_dirty.overlaps(&left_dirty), "overlap is symmetric");
+
+        let mut merged = left_dirty.clone();
+        merged.merge(&right_dirty);
+        assert!(merged.overlaps(&left_dirty) && merged.overlaps(&right_dirty));
+        assert_eq!(
+            merged.min_touched(),
+            left_dirty.min_touched().min(right_dirty.min_touched())
+        );
+        for (part, whole) in [
+            (left_dirty.edited(), merged.edited()),
+            (right_dirty.edited(), merged.edited()),
+            (left_dirty.fanout_touched(), merged.fanout_touched()),
+            (right_dirty.fanout_touched(), merged.fanout_touched()),
+        ] {
+            assert!(part.iter().all(|id| whole.contains(id)));
+        }
+        assert!(merged.edited().windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    /// A transaction's accumulated footprint equals the merge of its
+    /// per-edit regions and survives until commit.
+    #[test]
+    fn transaction_touched_region_accumulates() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..6).map(|_| g.add_input()).collect();
+        let mut left = ins[0];
+        for l in &ins[1..3] {
+            left = g.and(left, *l);
+        }
+        let mut right = ins[3];
+        for l in &ins[4..6] {
+            right = g.and(right, *l);
+        }
+        g.add_output(left, None::<&str>);
+        g.add_output(right, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let first_left = g.and_ids().next().unwrap();
+        let first_right = g.and_ids().find(|&id| id > left.var()).unwrap();
+
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        assert!(txn.touched_region().min_touched().is_none(), "starts empty");
+        let d1 = txn.substitute(first_left, ins[0]).clone();
+        let d2 = txn.substitute(first_right, ins[3]).clone();
+        let mut expect = d1.clone();
+        expect.merge(&d2);
+        assert_eq!(txn.touched_region().edited(), expect.edited());
+        assert_eq!(
+            txn.touched_region().fanout_touched(),
+            expect.fanout_touched()
+        );
+        assert_eq!(txn.touched_region().min_touched(), expect.min_touched());
+        assert!(txn.touched_region().overlaps(&d1));
+        assert!(txn.touched_region().overlaps(&d2));
+        txn.commit();
+    }
+
+    /// Window span arithmetic: containment, overlap, and the wrapped
+    /// two-interval case.
+    #[test]
+    fn cone_window_overlap_cases() {
+        let a = ConeWindow::from_intervals((10, 20), None);
+        let b = ConeWindow::from_intervals((20, 30), None);
+        let c = ConeWindow::from_intervals((15, 25), None);
+        assert!(!a.overlaps(&b), "half-open: touching spans are disjoint");
+        assert!(a.overlaps(&c) && c.overlaps(&b));
+        assert!(a.contains(10) && a.contains(19) && !a.contains(20));
+
+        // Wrapped window [40, 50) ∪ [1, 5).
+        let w = ConeWindow::from_intervals((40, 50), Some((1, 5)));
+        assert!(w.contains(44) && w.contains(3) && !w.contains(30));
+        assert!(w.overlaps(&ConeWindow::from_intervals((2, 3), None)));
+        assert!(!w.overlaps(&ConeWindow::from_intervals((5, 40), None)));
+
+        let empty = ConeWindow::default();
+        assert!(empty.is_empty());
+        assert!(!empty.overlaps(&a) && !a.overlaps(&empty));
+    }
+
+    /// `from_live_walk` mirrors the rewriter's traversal: skips dead
+    /// nodes, caps at `max_nodes` live ANDs, wraps past the top id.
+    #[test]
+    fn cone_window_from_live_walk_matches_traversal() {
+        let mut g = Aig::new();
+        let ins: Vec<Lit> = (0..4).map(|_| g.add_input()).collect();
+        let mut acc = ins[0];
+        for l in &ins[1..] {
+            acc = g.and(acc, *l);
+        }
+        g.add_output(acc, None::<&str>);
+        let inc = IncrementalAnalysis::new(&g);
+        let n = g.num_nodes() as NodeId;
+        let first_and = g.and_ids().next().unwrap();
+
+        // Unbounded walk from 1 covers every live AND.
+        let full = ConeWindow::from_live_walk(&g, &inc, 1, usize::MAX);
+        for id in g.and_ids() {
+            assert!(full.contains(id), "live AND {id} must be covered");
+        }
+        // A single-node window from an input id reaches exactly the
+        // first live AND (inputs are traversed but not examined).
+        let one = ConeWindow::from_live_walk(&g, &inc, 1, 1);
+        assert!(one.contains(first_and));
+        assert!(!one.contains(first_and + 1));
+        // A walk starting at the last id wraps and still finds ANDs.
+        let wrapped = ConeWindow::from_live_walk(&g, &inc, n - 1, 2);
+        assert!(!wrapped.is_empty());
+        assert!(wrapped.overlaps(&full));
+        // Degenerate inputs.
+        assert!(ConeWindow::from_live_walk(&g, &inc, 1, 0).is_empty());
     }
 }

@@ -338,7 +338,86 @@ fn bench_components(c: &mut Criterion) {
     g.bench_function("exhaustive_sim_ex00", |b| {
         b.iter(|| aig::sim::SimTable::exhaustive(black_box(&small.aig)).expect("16 pis"))
     });
+
+    // Fixed-length ground-truth SA chains, serial vs speculative
+    // (`SaOptions::speculation`): the speculative engine pre-draws
+    // waves of in-place rw/rwz moves and scores them on pooled worker
+    // slots, byte-identical to the serial chain by contract. Worker
+    // count follows `AIG_THREADS` capped at the machine's cores
+    // (`aig::par::worker_threads`) — the verify.sh gate requires
+    // >= 1.5x on multi-core runners; a single-core runner measures
+    // the engine's bookkeeping overhead instead (gated to stay
+    // bounded). Evaluators and contexts are built once and primed by
+    // an untimed warm-up chain, so samples see the steady state (warm
+    // caches, pooled slots) rather than first-run construction cost.
+    let mut last_stats = None;
+    {
+        use transform::{Recipe, Transform};
+        let actions = vec![
+            Recipe(vec![Transform::Rewrite]),
+            Recipe(vec![Transform::RewriteZero]),
+        ];
+        // Long enough that per-run fixed costs (initial slot resync:
+        // cloning the master replica/analysis/cut database) amortize
+        // and the per-move steady state dominates the sample.
+        let opts = saopt::SaOptions {
+            iterations: 400,
+            seed: 17,
+            ..saopt::SaOptions::default()
+        };
+        let mut eval = saopt::GroundTruthCost::new(&lib);
+        let mut ctx = saopt::EvalContext::new();
+        saopt::optimize_with(&large.aig, &mut eval, &actions, &opts, &mut ctx);
+        g.bench_function("sa_chain_serial_ex28", |b| {
+            b.iter(|| {
+                saopt::optimize_with(black_box(&large.aig), &mut eval, &actions, &opts, &mut ctx)
+            })
+        });
+        let opts = saopt::SaOptions {
+            speculation: Some(saopt::SpeculationOptions::default()),
+            ..opts
+        };
+        let mut eval = saopt::GroundTruthCost::new(&lib);
+        let mut ctx = saopt::EvalContext::new();
+        saopt::optimize_with(&large.aig, &mut eval, &actions, &opts, &mut ctx);
+        g.bench_function("sa_chain_speculative_ex28", |b| {
+            b.iter(|| {
+                let res = saopt::optimize_with(
+                    black_box(&large.aig),
+                    &mut eval,
+                    &actions,
+                    &opts,
+                    &mut ctx,
+                );
+                last_stats = res.spec;
+                res
+            })
+        });
+    }
     g.finish();
+
+    if let (Some(serial), Some(spec)) = (
+        c.median_ns("components", "sa_chain_serial_ex28"),
+        c.median_ns("components", "sa_chain_speculative_ex28"),
+    ) {
+        let s = last_stats.expect("speculative chain must engage");
+        eprintln!(
+            "sa_chain_speculative_ex28: {:.2}x vs serial chain at {} worker(s) \
+             (waves={} dispatches={} speculated={} committed={} accepted_edits={} \
+             replayed_conflicting={} replayed_stale={} discarded={} overlapping_windows={})",
+            serial / spec,
+            aig::par::worker_threads(),
+            s.waves,
+            s.dispatches,
+            s.speculated,
+            s.committed,
+            s.accepted_edits,
+            s.replayed_conflicting,
+            s.replayed_stale,
+            s.discarded,
+            s.overlapping_windows,
+        );
+    }
 
     for k in ["k4", "k6"] {
         let fast = c.median_ns("components", &format!("cut_enum_{k}_ex28"));

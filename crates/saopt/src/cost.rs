@@ -74,6 +74,18 @@ pub trait CostEvaluator {
     ) {
     }
 
+    /// Forks an independent sibling evaluator for speculative
+    /// scoring: same pricing function — metrics are bit-identical to
+    /// this evaluator's, because evaluator state is pure with respect
+    /// to the evaluated graph — but fresh per-node state, so worker
+    /// slots of the speculative SA engine can price candidate moves
+    /// concurrently. `None` (the default) declares the evaluator
+    /// unforkable; [`crate::optimize_with`] then silently falls back
+    /// to the serial engine even when speculation is requested.
+    fn fork(&self) -> Option<Box<dyn CostEvaluator + Send + '_>> {
+        None
+    }
+
     /// Evaluator name for reports (`proxy`, `ground-truth`, `ml`).
     fn name(&self) -> &'static str;
 }
@@ -95,6 +107,10 @@ impl CostEvaluator for ProxyCost {
             delay: f64::from(ctx.levels_of(aig).max_level),
             area: aig.num_ands() as f64,
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn CostEvaluator + Send + '_>> {
+        Some(Box::new(ProxyCost))
     }
 
     fn name(&self) -> &'static str {
@@ -236,6 +252,27 @@ impl CostEvaluator for GroundTruthCost<'_> {
         let _ = self.evaluate_edit(aig, cuts, dirty_since, ctx);
     }
 
+    /// Forks share the library and mapping options and *clone the
+    /// warm graph-independent state*: the precomputed match tables
+    /// ([`Mapper::fork`]), the context's cut-function shortlist memo
+    /// ([`MapContext::fork_memo`]) and the [`SizingTable`]. All of it
+    /// is a pure function of the library and options, so metrics stay
+    /// bit-identical to the parent's; graph-shaped state (DP rows,
+    /// persistent design, STA) starts empty per fork.
+    fn fork(&self) -> Option<Box<dyn CostEvaluator + Send + '_>> {
+        Some(Box::new(GroundTruthCost {
+            lib: self.lib,
+            mapper: self.mapper.fork(),
+            map_ctx: self.map_ctx.fork_memo(),
+            sizing: self.sizing.clone(),
+            sta_bufs: sta::StaBuffers::new(),
+            resize_loads: Vec::new(),
+            design: MappedDesign::new(),
+            inc_sta: IncrementalSta::new(),
+            sta_seeds: Vec::new(),
+        }))
+    }
+
     fn name(&self) -> &'static str {
         "ground-truth"
     }
@@ -267,6 +304,10 @@ impl CostEvaluator for MlCost<'_> {
             delay: self.delay_model.predict_f64(f.as_slice()),
             area: self.area_model.predict_f64(f.as_slice()),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn CostEvaluator + Send + '_>> {
+        Some(Box::new(MlCost::new(self.delay_model, self.area_model)))
     }
 
     fn name(&self) -> &'static str {

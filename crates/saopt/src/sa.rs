@@ -1,8 +1,36 @@
 //! The simulated-annealing optimization loop (paper §IV, following
 //! the SA paradigm of Hillier et al. [5]).
+//!
+//! # The speculate → commit → replay protocol
+//!
+//! With [`SaOptions::speculation`] set (and a forkable evaluator),
+//! [`optimize_with`] runs the chain through [`crate::speculate`]: a
+//! *scout* clone of the chain's RNG pre-draws a wave of candidate
+//! moves, worker slots score them concurrently (each on its own
+//! replica graph, `CutDb`, [`EvalContext`] and
+//! [`CostEvaluator::fork`]), and a serial commit loop then consumes
+//! the results in iteration order, re-drawing every RNG sample from
+//! the *true* stream and applying the Metropolis rule to the
+//! speculated metrics. An accepted windowed move is committed by
+//! replaying its recorded substitution journal onto the master graph;
+//! the wave's remaining speculations — now priced against a stale
+//! graph — are re-scored against the committed state (worker replicas
+//! replay the same journal) and the commit loop resumes.
+//!
+//! The determinism contract mirrors the [`aig::incremental`] dirty-
+//! region contracts it is built on: speculated metrics are bitwise
+//! equal to what the serial loop would compute (evaluator state is
+//! pure with respect to the evaluated graph), RNG consumption per
+//! move is a pure function of the recipe draw (see [`metropolis`]),
+//! and the commit loop re-derives every decision — so results are
+//! **byte-identical to the serial engine** for every seed, any batch
+//! size, and any `AIG_THREADS`, as the speculation determinism suites
+//! assert. Speculation off (the default) *is* the serial engine,
+//! kept verbatim as the oracle.
 
 use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
+use crate::speculate::{SpecStats, SpeculationOptions};
 use aig::cut::CutDb;
 use aig::incremental::{IncrementalAnalysis, Transaction};
 use aig::{Aig, NodeId};
@@ -15,20 +43,28 @@ use transform::{rewrite_inplace_window, Recipe, ResynthCache};
 /// 4-input cuts *and* to the default `techmap::MapOptions`, so one
 /// database serves both the local rewriter and the incremental
 /// ground-truth evaluator.
-const INPLACE_CUT_SIZE: usize = 4;
-const INPLACE_MAX_CUTS: usize = 8;
+pub(crate) const INPLACE_CUT_SIZE: usize = 4;
+pub(crate) const INPLACE_MAX_CUTS: usize = 8;
 /// Live AND nodes examined by one in-place move
 /// ([`transform::rewrite_inplace_window`]); the window start is drawn
 /// from the chain's RNG as part of the move, so edits stay local and
 /// the per-iteration cost is independent of the graph size.
-const INPLACE_WINDOW: usize = 64;
+pub(crate) const INPLACE_WINDOW: usize = 64;
 
 /// The Metropolis acceptance rule. One definition on purpose: the
-/// engine-on and whole-graph paths must draw from the RNG identically
-/// for the byte-identity contract to hold (the draw happens only when
-/// the move is uphill).
-fn metropolis(delta: f64, temp: f64, rng: &mut SmallRng) -> bool {
-    delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp()
+/// serial paths (engine-on and whole-graph) and the speculative
+/// commit loop must draw from the RNG identically for the
+/// byte-identity contracts to hold.
+///
+/// The sample is drawn **unconditionally** — even though a downhill
+/// move accepts regardless of it — so the stream advances by exactly
+/// one `f64` per evaluated move: RNG consumption is a pure function
+/// of the recipe draw, never of the move's metrics. The speculative
+/// engine's scout relies on this to pre-draw whole waves of moves
+/// before any of them is scored.
+pub(crate) fn metropolis(delta: f64, temp: f64, rng: &mut SmallRng) -> bool {
+    let sample: f64 = rng.gen();
+    delta <= 0.0 || sample < (-delta / temp.max(1e-12)).exp()
 }
 
 /// SA hyperparameters.
@@ -50,6 +86,11 @@ pub struct SaOptions {
     pub weight_area: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Speculative within-chain parallelism (`None`, the default,
+    /// runs the serial engine; see the [module docs](self) and
+    /// [`crate::speculate`]). Results are byte-identical either way,
+    /// for any `AIG_THREADS`.
+    pub speculation: Option<SpeculationOptions>,
 }
 
 impl Default for SaOptions {
@@ -61,6 +102,7 @@ impl Default for SaOptions {
             weight_delay: 0.7,
             weight_area: 0.3,
             seed: 1,
+            speculation: None,
         }
     }
 }
@@ -81,6 +123,10 @@ pub struct SaResult {
     pub accepted: usize,
     /// Scalar cost after each iteration (current state).
     pub history: Vec<f64>,
+    /// Counters of the speculative engine (`None` for serial runs).
+    /// Never part of the byte-identity contract — every other field
+    /// is independent of whether (and how wide) the run speculated.
+    pub spec: Option<SpecStats>,
 }
 
 /// Runs simulated annealing from `aig` under the given evaluator.
@@ -159,6 +205,16 @@ pub fn optimize(
 /// `AIG_THREADS` and any context state, as the determinism suite
 /// asserts.
 ///
+/// # Speculation
+///
+/// With [`SaOptions::speculation`] set, the transaction engine on,
+/// and a forkable evaluator ([`CostEvaluator::fork`]), the chain runs
+/// through the speculative batch engine instead (see the
+/// [module docs](self) and [`crate::speculate`]); outputs are
+/// byte-identical to this serial loop, and [`SaResult::spec`] carries
+/// the wave counters. Otherwise the request silently degrades to the
+/// serial engine.
+///
 /// # Panics
 ///
 /// Exactly [`optimize`]'s panics.
@@ -171,6 +227,17 @@ pub fn optimize_with(
 ) -> SaResult {
     assert!(!actions.is_empty(), "need at least one action");
     assert!(opts.iterations > 0, "iterations must be positive");
+    if let Some(spec) = opts.speculation {
+        if ctx.inplace_transactions() {
+            // Declines (None) when the evaluator is unforkable; the
+            // serial loop below is then the fallback.
+            if let Some(result) =
+                crate::speculate::try_optimize(aig, evaluator, actions, opts, spec, ctx)
+            {
+                return result;
+            }
+        }
+    }
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let initial = evaluator.evaluate_ctx(aig, ctx);
     assert!(
@@ -305,6 +372,7 @@ pub fn optimize_with(
         evaluated,
         accepted,
         history,
+        spec: None,
     }
 }
 

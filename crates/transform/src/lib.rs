@@ -57,5 +57,6 @@ pub use resub::resub;
 pub use rewrite::{
     perturb, perturb_with, refactor, refactor_with, refactor_zero, refactor_zero_with,
     resynthesize, resynthesize_with, rewrite, rewrite_inplace, rewrite_inplace_window,
-    rewrite_with, rewrite_zero, rewrite_zero_with, InplaceMode, ResynthOptions,
+    rewrite_inplace_window_recorded, rewrite_with, rewrite_zero, rewrite_zero_with, InplaceMode,
+    ResynthOptions,
 };

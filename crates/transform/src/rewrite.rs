@@ -231,6 +231,47 @@ pub fn rewrite_inplace_window(
     start: NodeId,
     max_nodes: usize,
 ) -> usize {
+    rewrite_inplace_window_impl(txn, cuts, cache, mode, start, max_nodes, None)
+}
+
+/// [`rewrite_inplace_window`] that additionally records every
+/// performed substitution as `(node, replacement)` pairs, appended to
+/// `subs` in execution order. The recorded sequence fully determines
+/// the move: replaying the same `Transaction::substitute` calls on a
+/// byte-identical graph reproduces the move exactly (graph, strash
+/// table, and analysis included) without re-running the resynthesis
+/// probe — which is how the speculative SA engine commits a move
+/// scored on a worker replica to the master graph.
+///
+/// Returns the number of substitutions performed (== the number of
+/// pairs appended).
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
+pub fn rewrite_inplace_window_recorded(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    cache: &ResynthCache,
+    mode: InplaceMode,
+    start: NodeId,
+    max_nodes: usize,
+    subs: &mut Vec<(NodeId, Lit)>,
+) -> usize {
+    rewrite_inplace_window_impl(txn, cuts, cache, mode, start, max_nodes, Some(subs))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_inplace_window_impl(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    cache: &ResynthCache,
+    mode: InplaceMode,
+    start: NodeId,
+    max_nodes: usize,
+    mut subs: Option<&mut Vec<(NodeId, Lit)>>,
+) -> usize {
     debug_assert_eq!(
         cuts.num_nodes(),
         txn.aig().num_nodes(),
@@ -306,6 +347,9 @@ pub fn rewrite_inplace_window(
             txn.substitute(id, with);
             cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
             substitutions += 1;
+            if let Some(rec) = subs.as_deref_mut() {
+                rec.push((id, with));
+            }
         }
     }
     substitutions
@@ -741,6 +785,49 @@ mod tests {
             );
             db.assert_matches_fresh(&g);
         }
+    }
+
+    /// The recorded substitution sequence fully reproduces the move:
+    /// replaying the `(node, with)` pairs on a twin graph lands on the
+    /// same bytes as the probing pass, with no probe.
+    #[test]
+    fn recorded_substitutions_replay_to_identical_graph() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let g0 = random_aig(5200, 7, 90);
+        let n = g0.num_nodes() as NodeId;
+        let mut replayed_any = false;
+        for start in [1u32, n / 3, n - 2] {
+            let mut g = g0.clone();
+            let mut inc = IncrementalAnalysis::new(&g);
+            let mut db = aig::cut::CutDb::new(4, 8);
+            db.build(&g);
+            let cache = ResynthCache::new();
+            let mut subs = Vec::new();
+            let mut txn = Transaction::begin(&mut g, &mut inc);
+            let count = rewrite_inplace_window_recorded(
+                &mut txn,
+                &mut db,
+                &cache,
+                InplaceMode::ZeroCost,
+                start,
+                24,
+                &mut subs,
+            );
+            txn.commit();
+            assert_eq!(count, subs.len());
+
+            let mut twin = g0.clone();
+            let mut twin_inc = IncrementalAnalysis::new(&twin);
+            let mut twin_txn = Transaction::begin(&mut twin, &mut twin_inc);
+            for &(node, with) in &subs {
+                twin_txn.substitute(node, with);
+            }
+            twin_txn.commit();
+            assert_eq!(aig::aiger::to_ascii(&g), aig::aiger::to_ascii(&twin));
+            twin_inc.assert_matches_oracle(&twin);
+            replayed_any |= count > 0;
+        }
+        assert!(replayed_any, "test graph produced no substitutions at all");
     }
 
     /// A rolled-back in-place rewrite leaves no trace: graph bytes and

@@ -1,0 +1,267 @@
+//! Determinism and conflict-replay guarantees of the speculative SA
+//! engine (`saopt::speculate`): with `SaOptions::speculation` set, a
+//! chain scores waves of pre-drawn moves on parallel worker slots —
+//! and every output field except the `spec` counters must be
+//! byte-identical to the serial engine, for any batch size.
+//!
+//! (The `AIG_THREADS` 1-vs-4 half of the guarantee lives in the
+//! `npn_thread_determinism` binary, because the env var is
+//! process-global.)
+
+use aig::aiger::to_ascii;
+use saopt::{
+    optimize_with, CostEvaluator, CostMetrics, EvalContext, ProxyCost, SaOptions, SaResult,
+    SpeculationOptions,
+};
+use transform::{Recipe, Transform};
+
+mod common;
+use common::random_aig_with;
+
+/// In-place-heavy action mix: every move runs through the transaction
+/// engine, so waves stay dense and accepted edits force replays.
+fn inplace_actions() -> Vec<Recipe> {
+    vec![
+        Recipe(vec![Transform::Rewrite]),
+        Recipe(vec![Transform::RewriteZero]),
+    ]
+}
+
+/// The same mix with whole-graph moves interleaved, exercising the
+/// wave-discard path (a whole-graph accept invalidates the scout's
+/// remaining window draws).
+fn mixed_actions() -> Vec<Recipe> {
+    vec![
+        Recipe(vec![Transform::Rewrite]),
+        Recipe(vec![Transform::RewriteZero]),
+        Recipe(vec![Transform::Balance]),
+        Recipe(vec![Transform::Sweep]),
+    ]
+}
+
+fn assert_same(spec: &SaResult, serial: &SaResult, what: &str) {
+    assert_eq!(
+        to_ascii(&spec.best),
+        to_ascii(&serial.best),
+        "{what}: best AIG diverged from the serial oracle"
+    );
+    assert_eq!(spec.history, serial.history, "{what}: history");
+    assert_eq!(spec.evaluated, serial.evaluated, "{what}: metrics");
+    assert_eq!(spec.accepted, serial.accepted, "{what}: accepted");
+    assert_eq!(spec.best_cost, serial.best_cost, "{what}: best cost");
+}
+
+/// The core contract: speculation on vs off is byte-identical under
+/// the proxy evaluator, across seeds and action mixes — and a hot
+/// temperature forces mid-wave accepts, so the runs actually commit,
+/// replay, and discard rather than cruising through reject-only waves.
+#[test]
+fn speculative_runs_match_serial_oracle() {
+    let g = random_aig_with(21, 9, 140, 4);
+    let mut replayed = 0usize;
+    let mut discarded = 0usize;
+    for (actions, seeds) in [
+        (inplace_actions(), [3u64, 17, 88]),
+        (mixed_actions(), [5u64, 29, 71]),
+    ] {
+        for seed in seeds {
+            let opts = SaOptions {
+                iterations: 40,
+                seed,
+                initial_temp: 0.8,
+                ..SaOptions::default()
+            };
+            let serial =
+                optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+            assert!(serial.spec.is_none(), "serial runs report no counters");
+            let opts = SaOptions {
+                speculation: Some(SpeculationOptions { batch: 4 }),
+                ..opts
+            };
+            let spec = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+            let stats = spec.spec.expect("speculation must engage for ProxyCost");
+            assert_eq!(
+                stats.committed, opts.iterations,
+                "every iteration must be served by a speculation"
+            );
+            assert!(stats.waves > 0);
+            replayed += stats.replayed_conflicting + stats.replayed_stale;
+            discarded += stats.discarded;
+            assert_same(&spec, &serial, &format!("seed {seed}"));
+        }
+    }
+    assert!(
+        replayed > 0,
+        "hot chains must have committed mid-wave and replayed the rest"
+    );
+    assert!(
+        discarded > 0,
+        "whole-graph accepts must have discarded speculations"
+    );
+}
+
+/// Conflict replay: an accepted edit whose footprint overlaps a later
+/// in-wave speculation forces a *conflicting* replay (the speculation
+/// priced nodes the commit rewrote). Overlap classification feeds the
+/// counters only — conflicting or merely stale, every replay is
+/// re-scored, so the result must stay byte-identical.
+#[test]
+fn conflicting_replays_stay_byte_identical() {
+    // Big enough that disjoint 64-node cone windows exist (so waves
+    // hold several windowed moves), yet dense enough that their write
+    // footprints — which extend past the windows into shared-fanin
+    // fanout lists — still collide once a wave commits.
+    let g = random_aig_with(77, 12, 500, 3);
+    let actions = inplace_actions();
+    let mut conflicting = 0usize;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let opts = SaOptions {
+            iterations: 30,
+            seed,
+            initial_temp: 1.0,
+            ..SaOptions::default()
+        };
+        let serial = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+        let opts = SaOptions {
+            speculation: Some(SpeculationOptions { batch: 6 }),
+            ..opts
+        };
+        let spec = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+        conflicting += spec.spec.expect("engaged").replayed_conflicting;
+        assert_same(&spec, &serial, &format!("seed {seed}"));
+    }
+    assert!(
+        conflicting > 0,
+        "dense hot chains must produce overlapping-footprint replays"
+    );
+}
+
+/// Results are independent of the batch size: one-move waves, wide
+/// waves, and the auto-sized default all reproduce the serial run.
+#[test]
+fn batch_size_never_changes_results() {
+    let g = random_aig_with(33, 8, 120, 3);
+    let actions = mixed_actions();
+    let base = SaOptions {
+        iterations: 25,
+        seed: 11,
+        initial_temp: 0.4,
+        ..SaOptions::default()
+    };
+    let serial = optimize_with(&g, &mut ProxyCost, &actions, &base, &mut EvalContext::new());
+    for batch in [1usize, 2, 5, 16, 0] {
+        let opts = SaOptions {
+            speculation: Some(SpeculationOptions { batch }),
+            ..base
+        };
+        let spec = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+        assert_same(&spec, &serial, &format!("batch {batch}"));
+    }
+}
+
+/// The ground-truth evaluator speculates too: forked mappers price
+/// candidates on worker slots (through the incremental
+/// `evaluate_edit` path for windowed moves), byte-identical to the
+/// serial engine-on run.
+#[test]
+fn ground_truth_speculation_matches_serial() {
+    let g = random_aig_with(43, 9, 140, 4);
+    let lib = cells::sky130ish();
+    let actions = mixed_actions();
+    let opts = SaOptions {
+        iterations: 12,
+        seed: 9,
+        initial_temp: 0.4,
+        ..SaOptions::default()
+    };
+    let serial = optimize_with(
+        &g,
+        &mut saopt::GroundTruthCost::new(&lib),
+        &actions,
+        &opts,
+        &mut EvalContext::new(),
+    );
+    let opts = SaOptions {
+        speculation: Some(SpeculationOptions { batch: 4 }),
+        ..opts
+    };
+    let spec = optimize_with(
+        &g,
+        &mut saopt::GroundTruthCost::new(&lib),
+        &actions,
+        &opts,
+        &mut EvalContext::new(),
+    );
+    assert!(spec.spec.is_some(), "ground truth must fork");
+    assert_same(&spec, &serial, "ground truth");
+}
+
+/// Worker slots are pooled on the `EvalContext`: a second run sharing
+/// the context builds no new slots (`contexts_spawned` stays flat)
+/// and still reproduces a fresh-context run exactly.
+#[test]
+fn worker_slots_are_pooled_across_runs() {
+    let g = random_aig_with(55, 8, 110, 3);
+    let actions = inplace_actions();
+    let opts = SaOptions {
+        iterations: 15,
+        seed: 7,
+        speculation: Some(SpeculationOptions { batch: 3 }),
+        ..SaOptions::default()
+    };
+    let mut ctx = EvalContext::new();
+    let first = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut ctx);
+    let spawned = ctx.contexts_spawned();
+    assert!(spawned > 0, "first run must build its slots");
+    assert_eq!(first.spec.expect("engaged").contexts_spawned, spawned);
+    let second = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut ctx);
+    assert_eq!(
+        ctx.contexts_spawned(),
+        spawned,
+        "second run must reuse the pooled slots"
+    );
+    assert_eq!(second.spec.expect("engaged").contexts_spawned, 0);
+    let fresh = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+    assert_same(&second, &fresh, "warm pool");
+}
+
+/// An unforkable evaluator declines speculation: the run silently
+/// degrades to the serial engine (`spec: None`) with identical
+/// results.
+#[test]
+fn unforkable_evaluator_falls_back_to_serial() {
+    /// ProxyCost pricing with the default (`None`) fork.
+    struct Unforkable;
+    impl CostEvaluator for Unforkable {
+        fn evaluate(&mut self, aig: &aig::Aig) -> CostMetrics {
+            ProxyCost.evaluate(aig)
+        }
+        fn name(&self) -> &'static str {
+            "unforkable-proxy"
+        }
+    }
+    let g = random_aig_with(66, 8, 100, 3);
+    let actions = inplace_actions();
+    let opts = SaOptions {
+        iterations: 10,
+        seed: 3,
+        ..SaOptions::default()
+    };
+    let serial = optimize_with(&g, &mut ProxyCost, &actions, &opts, &mut EvalContext::new());
+    let opts = SaOptions {
+        speculation: Some(SpeculationOptions { batch: 4 }),
+        ..opts
+    };
+    let fallback = optimize_with(
+        &g,
+        &mut Unforkable,
+        &actions,
+        &opts,
+        &mut EvalContext::new(),
+    );
+    assert!(
+        fallback.spec.is_none(),
+        "unforkable evaluator must decline speculation"
+    );
+    assert_same(&fallback, &serial, "fallback");
+}
