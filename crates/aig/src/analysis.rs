@@ -55,10 +55,10 @@ pub fn levels_into(aig: &Aig, out: &mut Levels) {
     out.level.clear();
     out.level.resize(aig.num_nodes(), 0);
     let level = &mut out.level;
-    for id in aig.and_ids() {
+    aig.for_each_and_topo(|id| {
         let [f0, f1] = aig.fanins(id);
         level[id as usize] = 1 + level[f0.var() as usize].max(level[f1.var() as usize]);
-    }
+    });
     out.max_level = aig
         .outputs()
         .iter()
@@ -133,11 +133,11 @@ pub fn po_depths(aig: &Aig, weight: DepthWeight) -> Vec<u64> {
     for &pi in aig.inputs() {
         depth[pi as usize] = node_weight(pi);
     }
-    for id in aig.and_ids() {
+    aig.for_each_and_topo(|id| {
         let [f0, f1] = aig.fanins(id);
         let d = depth[f0.var() as usize].max(depth[f1.var() as usize]);
         depth[id as usize] = d + node_weight(id);
-    }
+    });
     aig.outputs()
         .iter()
         .map(|o| depth[o.lit.var() as usize])
@@ -155,11 +155,11 @@ pub fn po_path_counts(aig: &Aig) -> Vec<f64> {
     for &pi in aig.inputs() {
         paths[pi as usize] = 1.0;
     }
-    for id in aig.and_ids() {
+    aig.for_each_and_topo(|id| {
         let [f0, f1] = aig.fanins(id);
         let p = paths[f0.var() as usize] + paths[f1.var() as usize];
         paths[id as usize] = if p.is_finite() { p } else { f64::MAX };
-    }
+    });
     aig.outputs()
         .iter()
         .map(|o| paths[o.lit.var() as usize])
@@ -181,15 +181,27 @@ pub fn long_path_nodes(aig: &Aig) -> Vec<NodeId> {
     for o in aig.outputs() {
         height[o.lit.var() as usize] = height[o.lit.var() as usize].max(0);
     }
-    for id in (1..n as NodeId).rev() {
-        if !aig.is_and(id) || height[id as usize] == i64::MIN {
-            continue;
+    let mut propagate = |id: NodeId| {
+        if height[id as usize] == i64::MIN {
+            return;
         }
         let h = height[id as usize];
         let [f0, f1] = aig.fanins(id);
         for f in [f0, f1] {
             let v = f.var() as usize;
             height[v] = height[v].max(h + 1);
+        }
+    };
+    if aig.is_topological() {
+        for id in (1..n as NodeId).rev() {
+            if aig.is_and(id) {
+                propagate(id);
+            }
+        }
+    } else {
+        // Consumers before fanins: reverse dependency order.
+        for &id in aig.topo_and_order().iter().rev() {
+            propagate(id);
         }
     }
     let max = i64::from(lv.max_level);
@@ -267,15 +279,15 @@ pub fn extract_cone(aig: &Aig, output_indices: &[usize]) -> Aig {
             map[pi as usize] = out.add_named_input(aig.input_name(idx).map(str::to_owned));
         }
     }
-    for id in aig.and_ids() {
+    aig.for_each_and_topo(|id| {
         if !live[id as usize] {
-            continue;
+            return;
         }
         let [f0, f1] = aig.fanins(id);
         let a = map[f0.var() as usize].complement_if(f0.is_complement());
         let b = map[f1.var() as usize].complement_if(f1.is_complement());
         map[id as usize] = out.and(a, b);
-    }
+    });
     for &i in output_indices {
         let o = &aig.outputs()[i];
         let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());

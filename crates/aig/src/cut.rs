@@ -387,10 +387,10 @@ pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, out: &mut CutSe
         push_list(arena, span, pi, &[Cut::trivial(pi)]);
     }
 
-    for id in aig.and_ids() {
+    aig.for_each_and_topo(|id| {
         node_cut_list(aig, id, k, max_cuts, arena, span, merged, list);
         push_list(arena, span, id, list);
-    }
+    });
 }
 
 /// Computes the cut list of AND node `id` into `list`, reading the
@@ -683,7 +683,7 @@ impl CutDb {
         }
         let mut list = std::mem::take(&mut self.list);
         let mut merged = std::mem::take(&mut self.merged);
-        for id in aig.and_ids() {
+        aig.for_each_and_topo(|id| {
             node_cut_list(
                 aig,
                 id,
@@ -695,7 +695,7 @@ impl CutDb {
                 &mut list,
             );
             self.push_list_for(id, &list);
-        }
+        });
         self.list = list;
         self.merged = merged;
         self.live = self.arena.len();

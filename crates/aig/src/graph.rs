@@ -1,7 +1,7 @@
 //! The And-Inverter Graph container.
 
 use crate::lit::{Lit, NodeId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// The kind of an AIG node.
@@ -89,6 +89,15 @@ pub struct Aig {
     input_names: Vec<Option<String>>,
     outputs: Vec<Output>,
     strash: HashMap<(u32, u32), NodeId>,
+    /// AND nodes with a fanin variable *greater* than their own id.
+    ///
+    /// Fresh nodes from [`Aig::and`] always reference earlier ids, so
+    /// this set only gains members through [`Aig::replace_fanins`] —
+    /// i.e. when a transaction splices an appended replacement cone
+    /// into an existing node. While non-empty, ascending id order is
+    /// no longer a topological order and traversals must go through
+    /// [`Aig::for_each_and_topo`] / [`Aig::topo_and_order`].
+    forward: BTreeSet<NodeId>,
     name: String,
 }
 
@@ -109,6 +118,7 @@ impl Aig {
             input_names: Vec::new(),
             outputs: Vec::new(),
             strash: HashMap::new(),
+            forward: BTreeSet::new(),
             name: String::new(),
         }
     }
@@ -341,6 +351,11 @@ impl Aig {
             false
         };
         self.nodes[id as usize].fanin = [x, y];
+        if x.var().max(y.var()) > id {
+            self.forward.insert(id);
+        } else {
+            self.forward.remove(&id);
+        }
         let mut inserted_new_key = false;
         self.strash.entry((x.raw(), y.raw())).or_insert_with(|| {
             inserted_new_key = true;
@@ -370,6 +385,11 @@ impl Aig {
             self.strash.remove(&key);
         }
         self.nodes[e.id as usize].fanin = e.old;
+        if e.old[0].var().max(e.old[1].var()) > e.id {
+            self.forward.insert(e.id);
+        } else {
+            self.forward.remove(&e.id);
+        }
         if e.removed_old_key {
             self.strash.insert((e.old[0].raw(), e.old[1].raw()), e.id);
         }
@@ -383,6 +403,10 @@ impl Aig {
             id as usize + 1,
             self.nodes.len(),
             "pop_node only removes the last node"
+        );
+        debug_assert!(
+            !self.forward.contains(&id),
+            "pop_node on a forward node {id}: undo substitutions before appends"
         );
         let node = self.nodes.pop().expect("non-empty");
         if node.is_and() {
@@ -470,9 +494,131 @@ impl Aig {
         }
     }
 
-    /// Iterates over the ids of all AND nodes in topological order.
+    /// Iterates over the ids of all AND nodes in ascending id order.
+    ///
+    /// Ascending order is a topological order exactly when
+    /// [`Aig::is_topological`] holds (always true for graphs built
+    /// purely with [`Aig::and`]); after a transaction splices an
+    /// appended cone into an earlier node, use
+    /// [`Aig::for_each_and_topo`] for dependency-ordered traversal.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (1..self.nodes.len() as NodeId).filter(move |&id| self.nodes[id as usize].is_and())
+    }
+
+    /// Whether ascending id order is a valid topological order (no AND
+    /// node references a fanin with a larger id).
+    #[inline]
+    pub fn is_topological(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Ids of AND nodes whose fanins include a larger id (ascending).
+    ///
+    /// Empty iff [`Aig::is_topological`]; populated only by committed
+    /// transactional substitutions that splice appended cones into
+    /// earlier nodes.
+    pub fn forward_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.forward.iter().copied()
+    }
+
+    /// A dependency-ordered (fanins first) listing of all AND node
+    /// ids. Deterministic: iterative DFS seeded in ascending id order,
+    /// visiting fanin 0 before fanin 1, which degenerates to plain
+    /// ascending order on topological graphs.
+    pub fn topo_and_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut order = Vec::with_capacity(self.num_ands());
+        // 0 = unvisited, 1 = on the current DFS path, 2 = emitted.
+        let mut state = vec![0u8; n];
+        let mut stack: Vec<(NodeId, bool)> = Vec::new();
+        for root in 1..n as NodeId {
+            if !self.nodes[root as usize].is_and() || state[root as usize] == 2 {
+                continue;
+            }
+            stack.push((root, false));
+            while let Some((id, expanded)) = stack.pop() {
+                if state[id as usize] == 2 {
+                    continue;
+                }
+                if expanded {
+                    state[id as usize] = 2;
+                    order.push(id);
+                    continue;
+                }
+                state[id as usize] = 1;
+                stack.push((id, true));
+                let [f0, f1] = self.nodes[id as usize].fanin;
+                for f in [f1, f0] {
+                    let v = f.var();
+                    if v != 0 && self.nodes[v as usize].is_and() && state[v as usize] != 2 {
+                        debug_assert!(state[v as usize] != 1, "combinational cycle at node {v}");
+                        stack.push((v, false));
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Calls `f` for every AND node id in dependency order (fanins
+    /// before consumers). On topological graphs this is the plain
+    /// ascending [`Aig::and_ids`] walk at zero extra cost; with
+    /// forward references it falls back to [`Aig::topo_and_order`].
+    pub fn for_each_and_topo(&self, mut f: impl FnMut(NodeId)) {
+        if self.forward.is_empty() {
+            for id in self.and_ids() {
+                f(id);
+            }
+        } else {
+            for id in self.topo_and_order() {
+                f(id);
+            }
+        }
+    }
+
+    /// Whether `target` lies in the transitive fanin of `from`
+    /// (inclusive: `reaches(x, x)` is true).
+    ///
+    /// This is the exact cycle test for substitutions: rewiring the
+    /// readers of `node` onto `with` closes a combinational cycle iff
+    /// `reaches(with.var(), node)` — every fanin path into `node`
+    /// comes from one of its readers, so reaching `node` from `with`
+    /// is the same as reaching a reader. The DFS prunes on the
+    /// forward-reference floor: below `min(target, first forward id)`
+    /// every fanin strictly descends, so no path can climb back up to
+    /// `target`.
+    pub fn reaches(&self, from: NodeId, target: NodeId) -> bool {
+        if from == target {
+            return true;
+        }
+        if !self.is_and(from) {
+            return false;
+        }
+        let floor = match self.forward.first() {
+            None => target,
+            Some(&mf) => target.min(mf),
+        };
+        if from < floor {
+            return false;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        while let Some(v) = stack.pop() {
+            if seen[v as usize] {
+                continue;
+            }
+            seen[v as usize] = true;
+            let [f0, f1] = self.nodes[v as usize].fanin;
+            for f in [f0.var(), f1.var()] {
+                if f == target {
+                    return true;
+                }
+                if f >= floor && self.is_and(f) && !seen[f as usize] {
+                    stack.push(f);
+                }
+            }
+        }
+        false
     }
 
     /// Iterates over all node ids (constant, inputs, ANDs) in
@@ -508,16 +654,16 @@ impl Aig {
                 stack.push(f1.var());
             }
         }
-        // Copy live ANDs in topological order.
-        for id in self.and_ids() {
+        // Copy live ANDs in dependency order.
+        self.for_each_and_topo(|id| {
             if !live[id as usize] {
-                continue;
+                return;
             }
             let [f0, f1] = self.nodes[id as usize].fanin;
             let a = map[f0.var() as usize].complement_if(f0.is_complement());
             let b = map[f1.var() as usize].complement_if(f1.is_complement());
             map[id as usize] = out.and(a, b);
-        }
+        });
         for o in &self.outputs {
             let l = map[o.lit.var() as usize].complement_if(o.lit.is_complement());
             out.add_output(l, o.name.clone());

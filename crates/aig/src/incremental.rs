@@ -64,6 +64,45 @@
 //! differential suites drive random edit walks with interleaved
 //! rollbacks asserting graph serialization, strash behavior, levels
 //! and fanout all match a never-edited twin.
+//!
+//! # Fresh-cone appends and forward references
+//!
+//! A transaction may build a *replacement cone* with
+//! [`Transaction::and`] (strashed nodes appended above the current
+//! high-water mark) and splice it in with [`Transaction::substitute`],
+//! even though the appended root's id *succeeds* the node being
+//! replaced. The resulting graph carries **forward references**: the
+//! rewired consumers keep their (small) ids but read fanins with
+//! larger ids. The contract:
+//!
+//! * ids are permanent — nothing is renumbered on commit. The graph
+//!   tracks the forward set ([`Aig::forward_ids`]); ascending id order
+//!   stops being a topological order while it is non-empty
+//!   ([`Aig::is_topological`]), and every full traversal in the crate
+//!   family goes through [`Aig::for_each_and_topo`] so fresh
+//!   recomputations stay bit-identical to the incrementally
+//!   maintained state;
+//! * the only rejected substitution shapes are `with.var() == node`
+//!   and (checked in debug builds) a target whose transitive fanin
+//!   contains a current reader of `node` — both would close a
+//!   combinational cycle. Everything else, forward or backward, is
+//!   legal;
+//! * [`DirtyRegion::min_touched`] stays a true *id* watermark: every
+//!   per-node quantity of every id strictly below it is untouched by
+//!   the edit. It is **not** a cone bound — with forward references a
+//!   consumer below the watermark may *read* a node above it, which
+//!   is why suffix-recompute consumers (the mapper) additionally
+//!   clamp their cursor to the smallest registered forward reader;
+//! * rollback order is append-safe by construction: the journal is
+//!   LIFO, substitutions that created forward references are undone
+//!   before the appends they point into, so [`Aig::pop_node`] never
+//!   pops a node that is still referenced.
+//!
+//! Reserved (appended-but-not-yet-committed) ids are observable to
+//! every reader of the live graph mid-transaction — analysis,
+//! [`crate::cut::CutDb`] after a `sync_appends`, and the mapper all
+//! see them; exact rollback is what guarantees a rejected move leaves
+//! no trace of them.
 
 use crate::analysis;
 use crate::graph::{Aig, FaninEdit};
@@ -120,10 +159,13 @@ impl DirtyRegion {
     }
 
     /// The smallest id in any of the three sets, or `None` when the
-    /// edit touched nothing. Since node ids are topologically sorted,
-    /// every per-node quantity of every node below this id is
-    /// untouched by the edit — the watermark the incremental mapper
-    /// uses to reuse DP rows.
+    /// edit touched nothing. Every per-node quantity of every node
+    /// below this id is untouched by the edit — the watermark the
+    /// incremental mapper uses to reuse DP rows. Note this bounds
+    /// *writes* by id, not by cone: once a graph carries forward
+    /// references (see the module docs), a node below the watermark
+    /// may still *read* a node above it, so suffix-recompute
+    /// consumers additionally clamp to the smallest forward reader.
     pub fn min_touched(&self) -> Option<NodeId> {
         [
             self.nodes.first(),
@@ -395,8 +437,10 @@ impl IncrementalAnalysis {
 
     /// The AND nodes currently reading node `id`, one entry per fanin
     /// edge (a consumer reading `id` on both fanins appears twice).
-    /// Consumer ids always exceed `id` (topological order), which the
-    /// cut database relies on for ascending invalidation.
+    /// On topological graphs consumer ids always exceed `id`; after a
+    /// forward splice a consumer may precede `id`, which the cut
+    /// database's invalidation handles by running its worklist to a
+    /// fixpoint (consumers re-enqueue on any list change).
     pub fn consumers(&self, id: NodeId) -> &[NodeId] {
         &self.consumers[id as usize]
     }
@@ -429,9 +473,7 @@ impl IncrementalAnalysis {
         self.consumers.resize_with(n, Vec::new);
         self.queued.clear();
         self.queued.resize(n, false);
-        for id in aig.and_ids() {
-            self.absorb_and(aig, id);
-        }
+        aig.for_each_and_topo(|id| self.absorb_and(aig, id));
         self.out_snapshot.clear();
         for o in aig.outputs() {
             self.fanout[o.lit.var() as usize] += 1;
@@ -508,9 +550,12 @@ impl IncrementalAnalysis {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is the constant node, if `with.var()` does not
-    /// precede `node` (required to keep node ids topologically
-    /// sorted), or if the analysis is out of sync with `aig`.
+    /// Panics if `node` is the constant node, if `with.var() == node`
+    /// (a self-substitution closes a cycle), or if the analysis is out
+    /// of sync with `aig`. `with.var()` may *succeed* `node` (a
+    /// forward splice onto an appended cone — see the module docs); in
+    /// debug builds a target whose transitive fanin contains a current
+    /// reader of `node` is rejected as a combinational cycle.
     pub fn substitute(&mut self, aig: &mut Aig, node: NodeId, with: Lit) -> &DirtyRegion {
         self.substitute_inner(aig, node, with, None)
     }
@@ -524,14 +569,27 @@ impl IncrementalAnalysis {
     ) -> &DirtyRegion {
         assert!(node != 0, "cannot substitute the constant node");
         assert!(
-            with.var() < node,
-            "substitute target {} must precede node {node} to keep ids topological",
+            with.var() != node,
+            "substitute target {} must differ from node {node} (self-substitution is a cycle)",
             with.var()
         );
         assert!(
             self.level.len() == aig.num_nodes(),
             "analysis out of sync: call sync() or rebuild() first"
         );
+        #[cfg(debug_assertions)]
+        if !self.consumers[node as usize].is_empty() {
+            // Rewiring the readers of `node` onto `with` closes a
+            // combinational cycle iff `node` is in the transitive
+            // fanin of `with` (see [`Aig::reaches`]). Transform-level
+            // callers run the same check in release mode before
+            // accepting candidates that could trip it.
+            assert!(
+                !aig.reaches(with.var(), node),
+                "substituting node {node} with {} creates a combinational cycle",
+                with.var()
+            );
+        }
         let wvar = with.var();
         let edges = std::mem::take(&mut self.consumers[node as usize]);
         self.dirty.clear();
@@ -584,8 +642,14 @@ impl IncrementalAnalysis {
             }
         }
         if moved_edges + moved_outputs > 0 {
-            self.dirty.fanout_touched.push(wvar);
-            self.dirty.fanout_touched.push(node);
+            // Keep the set ascending: a forward splice has wvar > node.
+            let (lo, hi) = if wvar < node {
+                (wvar, node)
+            } else {
+                (node, wvar)
+            };
+            self.dirty.fanout_touched.push(lo);
+            self.dirty.fanout_touched.push(hi);
         }
         if let Some(u) = &mut undo {
             u.node = node;
@@ -593,8 +657,13 @@ impl IncrementalAnalysis {
             u.moved_edges = moved_edges;
             u.moved_outputs = moved_outputs;
         }
-        // Re-level the transitive fanout, smallest id first so every
-        // node is finalized exactly once (fanins always precede it).
+        // Re-level the transitive fanout, smallest id first. On a
+        // topological graph every node finalizes in one visit (fanins
+        // precede it); a forward reader may be re-enqueued after one
+        // of its (larger-id) fanins settles, so the loop is a
+        // worklist fixpoint rather than a single sweep — it still
+        // terminates because levels are a function of an acyclic
+        // fanin relation.
         for &c in &edges {
             self.enqueue(c);
         }
@@ -615,6 +684,11 @@ impl IncrementalAnalysis {
                 self.consumers[id as usize] = cs;
             }
         }
+        // A re-enqueued forward reader is pushed twice; the region's
+        // sets are sorted-and-deduped by contract (no-op without
+        // forward edges, where pops are ascending and unique).
+        self.dirty.nodes.sort_unstable();
+        self.dirty.nodes.dedup();
         self.refresh_max_level();
         &self.dirty
     }
@@ -878,6 +952,43 @@ impl<'a> Transaction<'a> {
         self.inc.last_dirty()
     }
 
+    /// A marker at the current journal position. Edits made after the
+    /// savepoint can be reverted selectively with
+    /// [`Transaction::rollback_to`] while keeping everything before
+    /// it — the partial-trial primitive (try a candidate cone, keep
+    /// the transaction open either way).
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            ops: self.journal.ops.len(),
+            min_touched: self.min_touched,
+            touched: self.touched.clone(),
+        }
+    }
+
+    /// Reverts every edit journaled after `sp` (reverse order),
+    /// restoring graph, strash table and analysis exactly to their
+    /// state at [`Transaction::savepoint`]; the accumulated footprint
+    /// ([`Transaction::touched_region`], [`Transaction::min_touched`])
+    /// is restored with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` comes from a point this transaction has already
+    /// rolled back past.
+    pub fn rollback_to(&mut self, sp: &Savepoint) {
+        assert!(
+            sp.ops <= self.journal.ops.len(),
+            "savepoint beyond the current journal"
+        );
+        while self.journal.ops.len() > sp.ops {
+            let op = self.journal.ops.pop().expect("length checked");
+            self.undo_op(op);
+        }
+        self.inc.refresh_max_level();
+        self.min_touched = sp.min_touched;
+        self.touched = sp.touched.clone();
+    }
+
     /// Keeps every edit (drops the journal). Dropping the transaction
     /// without calling [`Transaction::rollback`] is equivalent.
     pub fn commit(self) {
@@ -889,26 +1000,102 @@ impl<'a> Transaction<'a> {
     /// exactly to their state at [`Transaction::begin`].
     pub fn rollback(mut self) {
         while let Some(op) = self.journal.ops.pop() {
-            match op {
-                UndoOp::Substitute(u) => self.inc.undo_substitute(self.aig, &u),
-                UndoOp::Append { id } => self.inc.undo_append(self.aig, id),
-                UndoOp::Retarget { idx, old } => {
-                    let cur = self.aig.outputs()[idx].lit;
-                    self.aig.set_output(idx, old);
-                    self.inc.out_snapshot[idx] = old;
-                    self.inc.fanout[cur.var() as usize] -= 1;
-                    self.inc.fanout[old.var() as usize] += 1;
-                }
-            }
+            self.undo_op(op);
         }
         self.inc.refresh_max_level();
         debug_assert_eq!(self.aig.num_nodes(), self.base_nodes);
         debug_assert_eq!(self.aig.num_outputs(), self.base_outputs);
     }
 
+    fn undo_op(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::Substitute(u) => self.inc.undo_substitute(self.aig, &u),
+            UndoOp::Append { id } => self.inc.undo_append(self.aig, id),
+            UndoOp::Retarget { idx, old } => {
+                let cur = self.aig.outputs()[idx].lit;
+                self.aig.set_output(idx, old);
+                self.inc.out_snapshot[idx] = old;
+                self.inc.fanout[cur.var() as usize] -= 1;
+                self.inc.fanout[old.var() as usize] += 1;
+            }
+        }
+    }
+
     fn touch(&mut self, id: NodeId) {
         self.min_touched = self.min_touched.min(id);
     }
+}
+
+/// A journal position of a [`Transaction`], for
+/// [`Transaction::rollback_to`].
+#[derive(Clone, Debug)]
+pub struct Savepoint {
+    ops: usize,
+    min_touched: NodeId,
+    touched: DirtyRegion,
+}
+
+/// One replayable operation of an in-place move.
+///
+/// The transform-level windowed moves record their transaction calls
+/// as a sequence of `EditOp`s; replaying the sequence on a
+/// byte-identical graph (same nodes, same strash table) reproduces
+/// the move exactly — appends land on the same fresh ids, strash hits
+/// resolve to the same literals, substitutions rewire the same
+/// consumers — without re-running any resynthesis probe. This is how
+/// the speculative SA engine commits a move scored on a worker
+/// replica to the master graph, and how stale replicas catch up with
+/// the commit log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// A [`Transaction::and`] call: strashed AND construction, which
+    /// appends a fresh node on a strash miss and resolves to the
+    /// existing literal on a hit. Replay discards the result — the
+    /// recorded follow-up ops already reference the literal it
+    /// produced on the recording run.
+    And(Lit, Lit),
+    /// A [`Transaction::substitute`] call.
+    Substitute(NodeId, Lit),
+}
+
+/// Replays a recorded in-place move through `txn`, keeping `cuts` in
+/// step exactly as the recording pass did: appended nodes are synced
+/// into the database immediately before the substitution that splices
+/// them in, and every substitution's dirty region is invalidated.
+///
+/// Returns the number of substitutions performed.
+///
+/// # Panics
+///
+/// Panics if `cuts` was not in sync with the transaction's graph at
+/// entry, plus everything [`Transaction::substitute`] panics on.
+pub fn replay_ops(
+    txn: &mut Transaction<'_>,
+    cuts: &mut crate::cut::CutDb,
+    ops: &[EditOp],
+) -> usize {
+    debug_assert_eq!(
+        cuts.num_nodes(),
+        txn.base_nodes,
+        "cut database out of sync with the transaction's graph"
+    );
+    let mut substitutions = 0usize;
+    for &op in ops {
+        match op {
+            EditOp::And(a, b) => {
+                txn.and(a, b);
+            }
+            EditOp::Substitute(node, with) => {
+                if cuts.num_nodes() < txn.aig().num_nodes() {
+                    cuts.sync_appends(txn.aig());
+                }
+                txn.substitute(node, with);
+                cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+                substitutions += 1;
+            }
+        }
+    }
+    substitutions
 }
 
 #[cfg(test)]
@@ -1040,8 +1227,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "topological")]
-    fn substitute_rejects_forward_reference() {
+    #[should_panic(expected = "differ from node")]
+    fn substitute_rejects_self_substitution() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let f = g.and(a, b);
+        g.add_output(f, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+        inc.substitute(&mut g, f.var(), Lit::new(f.var(), false));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cycle")]
+    fn substitute_rejects_cycle_through_reader() {
+        // h reads f; substituting f by h would make h read itself.
         let mut g = Aig::new();
         let a = g.add_input();
         let b = g.add_input();
@@ -1050,6 +1251,86 @@ mod tests {
         g.add_output(h, None::<&str>);
         let mut inc = IncrementalAnalysis::new(&g);
         inc.substitute(&mut g, f.var(), Lit::new(h.var(), false));
+    }
+
+    /// The forward-splice shape: append a replacement cone inside a
+    /// transaction, substitute an *earlier* node by the appended root,
+    /// and check analysis exactness on commit plus exact restoration
+    /// on rollback.
+    #[test]
+    fn transaction_forward_splice_roundtrip() {
+        for commit in [false, true] {
+            let mut g = Aig::new();
+            let a = g.add_input();
+            let b = g.add_input();
+            let c = g.add_input();
+            let ab = g.and(a, b);
+            let f = g.and(ab, c);
+            let top = g.and(f, !a);
+            g.add_output(top, None::<&str>);
+            let before_ascii = crate::aiger::to_ascii(&g);
+            let before_probe = strash_probe(&g);
+            let mut inc = IncrementalAnalysis::new(&g);
+
+            let mut txn = Transaction::begin(&mut g, &mut inc);
+            // Fresh cone above the high-water mark: (b & c) & a, a
+            // re-association of f = (a & b) & c.
+            let bc = txn.and(b, c);
+            let f2 = txn.and(bc, a);
+            assert!(f2.var() > f.var(), "replacement root must be appended");
+            txn.substitute(f.var(), f2);
+            assert!(!txn.aig().is_topological(), "splice leaves forward refs");
+            txn.analysis().assert_matches_oracle(txn.aig());
+            if commit {
+                txn.commit();
+                assert!(!g.is_topological());
+                assert_eq!(g.forward_ids().collect::<Vec<_>>(), vec![top.var()]);
+                inc.assert_matches_oracle(&g);
+                // A swept copy is topological again and equivalent.
+                let swept = g.sweep();
+                assert!(swept.is_topological());
+                assert!(crate::sim::equiv_exhaustive(&g, &swept).expect("tiny"));
+            } else {
+                txn.rollback();
+                assert!(g.is_topological());
+                assert_eq!(crate::aiger::to_ascii(&g), before_ascii);
+                assert_eq!(strash_probe(&g), before_probe);
+                inc.assert_matches_oracle(&g);
+            }
+        }
+    }
+
+    /// Savepoints revert the journal suffix only, restoring the
+    /// accumulated footprint with it.
+    #[test]
+    fn savepoint_partial_rollback() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let ab = g.and(a, b);
+        let f = g.and(ab, c);
+        g.add_output(f, None::<&str>);
+        let mut inc = IncrementalAnalysis::new(&g);
+
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let keep = txn.and(f, !a);
+        txn.retarget_output(0, keep);
+        let sp = txn.savepoint();
+        let wm = txn.min_touched();
+        let mid_ascii = crate::aiger::to_ascii(txn.aig());
+
+        let bc = txn.and(b, c);
+        let f2 = txn.and(bc, a);
+        txn.substitute(f.var(), f2);
+        assert_ne!(crate::aiger::to_ascii(txn.aig()), mid_ascii);
+        txn.rollback_to(&sp);
+        assert_eq!(crate::aiger::to_ascii(txn.aig()), mid_ascii);
+        assert_eq!(txn.min_touched(), wm);
+        assert_eq!(txn.edit_count(), 2);
+        txn.analysis().assert_matches_oracle(txn.aig());
+        txn.commit();
+        inc.assert_matches_oracle(&g);
     }
 
     /// A graph fingerprint that includes strash *behavior*: serialize

@@ -126,14 +126,15 @@ impl SimTable {
     }
 
     fn propagate_serial(&mut self, aig: &Aig) {
-        for id in aig.and_ids() {
+        let words = self.words;
+        aig.for_each_and_topo(|id| {
             let [f0, f1] = aig.fanins(id);
-            for w in 0..self.words {
+            for w in 0..words {
                 let a = self.lit_word(f0, w);
                 let b = self.lit_word(f1, w);
-                self.data[id as usize * self.words + w] = a & b;
+                self.data[id as usize * words + w] = a & b;
             }
-        }
+        });
         self.mask_tail();
     }
 
@@ -143,10 +144,15 @@ impl SimTable {
     fn propagate_word_parallel(&mut self, aig: &Aig) {
         let words = self.words;
         let min_chunk = (Self::PAR_MIN_CHUNK_WORK / aig.num_nodes().max(1)).max(1);
+        let order = if aig.is_topological() {
+            None
+        } else {
+            Some(aig.topo_and_order())
+        };
         let ptr = SharedRows(self.data.as_mut_ptr());
         crate::par::par_ranges(words, min_chunk, |wr| {
             let p = ptr;
-            for id in aig.and_ids() {
+            let step = |id: NodeId| {
                 let [f0, f1] = aig.fanins(id);
                 for w in wr.clone() {
                     // SAFETY: every index touched has word component
@@ -157,6 +163,10 @@ impl SimTable {
                         p.write(id as usize * words + w, a & b);
                     }
                 }
+            };
+            match &order {
+                Some(o) => o.iter().copied().for_each(step),
+                None => aig.and_ids().for_each(step),
             }
         });
         self.mask_tail();

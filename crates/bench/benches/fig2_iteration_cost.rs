@@ -88,6 +88,71 @@ fn bench_fig2(c: &mut Criterion) {
             })
         });
     }
+    // Balance and resub SA moves, whole-graph vs in-place windowed:
+    // the rebuild steps apply `transform::balance` / `transform::resub`
+    // (sweep + full traversal + rebuild) and price the result; the
+    // in-place steps run the windowed passes through an edit
+    // transaction over a warm analysis + cut database — balance
+    // appends fresh replacement cones above the high-water mark and
+    // splices them by substitution — price, and roll back (the
+    // steady-state reject path). Both ratios are tracked >= 5x.
+    {
+        let cand = candidate_of(&large);
+        g.bench_function("sa_step_rebuild_balance_ex28", |b| {
+            let mut e = ProxyCost;
+            b.iter(|| {
+                let next = transform::balance(black_box(&cand));
+                e.evaluate(&next)
+            })
+        });
+        g.bench_function("sa_step_inplace_balance_ex28", |b| {
+            let mut e = ProxyCost;
+            let mut current = cand.clone();
+            let n = current.num_nodes() as u32;
+            let mut inc = IncrementalAnalysis::new(&current);
+            let mut db = CutDb::new(4, 8);
+            db.build(&current);
+            let mut state = 1u32;
+            b.iter(|| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let start = state % n.max(2);
+                db.begin_edit();
+                let mut txn = Transaction::begin(&mut current, &mut inc);
+                transform::balance_inplace_window(&mut txn, &mut db, start, 64, None);
+                let m = e.evaluate(black_box(txn.aig()));
+                txn.rollback();
+                db.rollback_edit();
+                m
+            })
+        });
+        g.bench_function("sa_step_rebuild_resub_ex28", |b| {
+            let mut e = ProxyCost;
+            b.iter(|| {
+                let next = transform::resub(black_box(&cand));
+                e.evaluate(&next)
+            })
+        });
+        g.bench_function("sa_step_inplace_resub_ex28", |b| {
+            let mut e = ProxyCost;
+            let mut current = cand.clone();
+            let n = current.num_nodes() as u32;
+            let mut inc = IncrementalAnalysis::new(&current);
+            let mut db = CutDb::new(4, 8);
+            db.build(&current);
+            let mut state = 1u32;
+            b.iter(|| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let start = state % n.max(2);
+                db.begin_edit();
+                let mut txn = Transaction::begin(&mut current, &mut inc);
+                transform::resub_inplace_window(&mut txn, &mut db, start, 64, None);
+                let m = e.evaluate(black_box(txn.aig()));
+                txn.rollback();
+                db.rollback_edit();
+                m
+            })
+        });
+    }
     // The ground-truth evaluator end to end on one in-place SA step:
     // `gt_eval_rebuild_ex28` prices the candidate through the full
     // pipeline (warm-context map + sizing + STA — the engine-off
@@ -152,6 +217,23 @@ fn bench_fig2(c: &mut Criterion) {
             "sa_step_inplace_ex28: {:.1}x faster than the rebuild step (tracked >= 5x)",
             rebuild / inplace
         );
+    }
+    for (rebuild_name, inplace_name) in [
+        (
+            "sa_step_rebuild_balance_ex28",
+            "sa_step_inplace_balance_ex28",
+        ),
+        ("sa_step_rebuild_resub_ex28", "sa_step_inplace_resub_ex28"),
+    ] {
+        if let (Some(rebuild), Some(inplace)) = (
+            c.median_ns("fig2_iteration", rebuild_name),
+            c.median_ns("fig2_iteration", inplace_name),
+        ) {
+            eprintln!(
+                "{inplace_name}: {:.1}x faster than the rebuild step (tracked >= 5x)",
+                rebuild / inplace
+            );
+        }
     }
     if let (Some(rebuild), Some(inplace)) = (
         c.median_ns("fig2_iteration", "gt_eval_rebuild_ex28"),

@@ -32,12 +32,15 @@ use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
 use crate::speculate::{SpecStats, SpeculationOptions};
 use aig::cut::CutDb;
-use aig::incremental::{IncrementalAnalysis, Transaction};
+use aig::incremental::{EditOp, IncrementalAnalysis, Transaction};
 use aig::{Aig, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use transform::{rewrite_inplace_window, Recipe, ResynthCache};
+use transform::{
+    balance_inplace_window, resub_inplace_window, resynth_inplace_window, InplacePlan,
+    InplaceStats, Recipe, ResynthCache,
+};
 
 /// Cut parameters of the in-place engine: identical to `rewrite`'s
 /// 4-input cuts *and* to the default `techmap::MapOptions`, so one
@@ -46,10 +49,56 @@ use transform::{rewrite_inplace_window, Recipe, ResynthCache};
 pub(crate) const INPLACE_CUT_SIZE: usize = 4;
 pub(crate) const INPLACE_MAX_CUTS: usize = 8;
 /// Live AND nodes examined by one in-place move
-/// ([`transform::rewrite_inplace_window`]); the window start is drawn
+/// ([`transform::resynth_inplace_window`]); the window start is drawn
 /// from the chain's RNG as part of the move, so edits stay local and
 /// the per-iteration cost is independent of the graph size.
 pub(crate) const INPLACE_WINDOW: usize = 64;
+
+/// Window width of an in-place move: refactor-flavor moves scan twice
+/// the baseline window (their whole-graph counterpart works on larger
+/// cones; the in-place flavor compensates with coverage).
+pub(crate) fn plan_window(plan: InplacePlan) -> usize {
+    match plan {
+        InplacePlan::Refactor(_) => 2 * INPLACE_WINDOW,
+        _ => INPLACE_WINDOW,
+    }
+}
+
+/// Executes one in-place SA move according to its plan. The single
+/// definition is shared by the serial engine path, the clone-oracle
+/// path and the speculative scorer, so all three are bitwise
+/// interchangeable by construction.
+pub(crate) fn run_inplace_plan(
+    plan: InplacePlan,
+    txn: &mut Transaction<'_>,
+    db: &mut CutDb,
+    cache: &ResynthCache,
+    start: NodeId,
+    ops: Option<&mut Vec<EditOp>>,
+) -> InplaceStats {
+    let window = plan_window(plan);
+    match plan {
+        InplacePlan::Rewrite(mode) => {
+            resynth_inplace_window(txn, db, cache, mode, false, start, window, ops)
+        }
+        InplacePlan::Refactor(mode) => {
+            resynth_inplace_window(txn, db, cache, mode, true, start, window, ops)
+        }
+        InplacePlan::Balance => balance_inplace_window(txn, db, start, window, ops),
+        InplacePlan::Resub => resub_inplace_window(txn, db, start, window, ops),
+    }
+}
+
+/// Deterministic dead-logic compaction checkpoint (both serial paths
+/// and the speculative commit loop apply it identically, so it is
+/// part of the byte-identity contract): after the `it`-th iteration's
+/// *accepted* move, the graph is swept when less than half its nodes
+/// are live. Append-capable moves strand their replaced cones as dead
+/// nodes; without a liveness-aware bound the arena (and every
+/// analysis over it) would grow without limit over a long chain.
+pub(crate) fn should_compact(it: usize, aig: &Aig) -> bool {
+    (it & 15) == 15 && aig.num_live_ands() * 2 < aig.num_ands()
+}
 
 /// The Metropolis acceptance rule. One definition on purpose: the
 /// serial paths (engine-on and whole-graph) and the speculative
@@ -186,17 +235,22 @@ pub fn optimize(
 /// # The in-place transaction engine
 ///
 /// Moves whose recipe has an in-place plan
-/// ([`Recipe::as_inplace`]: single-step `rw`/`rwz`) do **not**
-/// rebuild the graph. The loop keeps an [`IncrementalAnalysis`] and a
-/// [`CutDb`] live for the current graph and executes the move as
-/// [`transform::rewrite_inplace`] inside an edit
-/// [`Transaction`]: accept commits the edits (ids stable, analyses
-/// and cut lists already updated), reject rolls graph, analysis and
-/// cut database back exactly. Evaluation goes through
-/// [`CostEvaluator::evaluate_edit`] with the edit's dirty watermark,
-/// so the ground-truth evaluator reuses its clean-prefix DP rows and
-/// never re-enumerates cuts. Per-iteration cost of these moves is
-/// therefore governed by the edit footprint, not the graph size.
+/// ([`Recipe::as_inplace`]: single-step `rw`/`rwz`/`rf`/`rfz`/`b`/
+/// `rsb`) do **not** rebuild the graph. The loop keeps an
+/// [`IncrementalAnalysis`] and a [`CutDb`] live for the current graph
+/// and executes the move through a windowed in-place pass
+/// ([`run_inplace_plan`]) inside an edit [`Transaction`]: accept
+/// commits the edits (ids stable, analyses and cut lists already
+/// updated), reject rolls graph, analysis and cut database back
+/// exactly — including any fresh replacement cones the refactor- and
+/// balance-flavor moves appended above the high-water mark.
+/// Evaluation goes through [`CostEvaluator::evaluate_edit`] with the
+/// edit's dirty watermark, so the ground-truth evaluator reuses its
+/// clean-prefix DP rows and never re-enumerates cuts. Per-iteration
+/// cost of these moves is therefore governed by the edit footprint,
+/// not the graph size. Once dead cones stranded by append-capable
+/// moves outnumber the live logic, a deterministic checkpoint
+/// ([`should_compact`]) sweeps the graph.
 ///
 /// [`EvalContext::set_inplace_transactions`]`(false)` reroutes the
 /// same moves through a clone of the current graph (the whole-graph
@@ -273,18 +327,18 @@ pub fn optimize_with(
     // different graph entirely and reset it to 0.
     let mut rows_since: NodeId = 0;
 
-    for _ in 0..opts.iterations {
+    for it in 0..opts.iterations {
         let recipe = &actions[rng.gen_range(0..actions.len())];
         let metrics;
         let cost;
         let accept;
-        let inplace_move = recipe.as_inplace().map(|mode| {
+        let inplace_move = recipe.as_inplace().map(|plan| {
             // The window start is part of the move: drawn before the
             // engine split so both paths see the same draw.
-            (mode, rng.gen_range(0..current.num_nodes() as NodeId))
+            (plan, rng.gen_range(0..current.num_nodes() as NodeId))
         });
         match inplace_move {
-            Some((mode, start)) if ctx.inplace_transactions() => {
+            Some((plan, start)) if ctx.inplace_transactions() => {
                 let (inc, db) = engine.get_or_insert_with(|| {
                     (
                         IncrementalAnalysis::default(),
@@ -298,7 +352,7 @@ pub fn optimize_with(
                 }
                 db.begin_edit();
                 let mut txn = Transaction::begin(&mut current, inc);
-                rewrite_inplace_window(&mut txn, db, ctx.resynth(), mode, start, INPLACE_WINDOW);
+                run_inplace_plan(plan, &mut txn, db, ctx.resynth(), start, None);
                 let move_min = txn.min_touched();
                 metrics = evaluator.evaluate_edit(txn.aig(), db, rows_since.min(move_min), ctx);
                 cost = scalar(&metrics);
@@ -322,20 +376,13 @@ pub fn optimize_with(
                 // plan, and (engine off) the same in-place move
                 // through a clone — the byte-identity oracle.
                 let candidate = match inplace_move {
-                    Some((mode, start)) => {
+                    Some((plan, start)) => {
                         let mut cand = current.clone();
                         let mut inc = IncrementalAnalysis::new(&cand);
                         let mut db = CutDb::new(INPLACE_CUT_SIZE, INPLACE_MAX_CUTS);
                         db.build(&cand);
                         let mut txn = Transaction::begin(&mut cand, &mut inc);
-                        rewrite_inplace_window(
-                            &mut txn,
-                            &mut db,
-                            ctx.resynth(),
-                            mode,
-                            start,
-                            INPLACE_WINDOW,
-                        );
+                        run_inplace_plan(plan, &mut txn, &mut db, ctx.resynth(), start, None);
                         txn.commit();
                         cand
                     }
@@ -359,6 +406,14 @@ pub fn optimize_with(
                 best_cost = cost;
                 best = Some(current.clone());
                 best_metrics = metrics;
+            }
+            // Deterministic compaction checkpoint (after the best
+            // clone, so `best` is independent of compaction): sweep
+            // once dead logic dominates the arena.
+            if should_compact(it, &current) {
+                current = current.sweep();
+                engine_synced = false;
+                rows_since = 0;
             }
         }
         temp *= opts.decay;

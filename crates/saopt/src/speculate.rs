@@ -25,9 +25,10 @@
 //!    honoring `AIG_THREADS`). Each slot owns a replica of the chain's
 //!    graph plus its own `IncrementalAnalysis`/`CutDb`/[`EvalContext`]
 //!    and a forked evaluator ([`CostEvaluator::fork`]); windowed moves
-//!    run through the same `Transaction` + `rewrite_inplace_window`
-//!    machinery as the serial engine (recording their substitutions),
-//!    whole-graph moves apply their recipe to the replica. Slots are
+//!    run through the same `Transaction` + windowed-pass machinery as
+//!    the serial engine (`run_inplace_plan` in [`crate::sa`],
+//!    recording their edit journal), whole-graph moves apply their
+//!    recipe to the replica. Slots are
 //!    pooled on the [`EvalContext`] across waves and runs
 //!    ([`EvalContext::contexts_spawned`] counts pool misses).
 //! 3. **Commit.** Results are consumed serially in iteration order:
@@ -37,8 +38,9 @@
 //!    equal to what the serial loop would have computed, because
 //!    evaluator state is pure with respect to the evaluated graph. An
 //!    accepted windowed move is committed by replaying its recorded
-//!    substitutions onto the master graph; no re-probing, no second
-//!    evaluation.
+//!    edit journal ([`aig::incremental::replay_ops`]: fresh-cone
+//!    appends and substitutions alike) onto the master graph; no
+//!    re-probing, no second evaluation.
 //! 4. **Replay.** A committed edit makes the remaining speculations
 //!    stale — metrics were priced against the pre-commit graph. They
 //!    are *not* re-drawn: the moves themselves (recipe, window) are
@@ -48,9 +50,11 @@
 //!    and resumes the commit loop. [`DirtyRegion::overlaps`] against
 //!    the committed move's footprint classifies each replay as
 //!    *conflicting* (footprints overlap) or merely *stale*
-//!    ([`SpecStats`]). Only a whole-graph accept discards the rest of
-//!    the wave outright: it changes the node count, invalidating the
-//!    scout's window draws.
+//!    ([`SpecStats`]). Any accept that changes the node count — a
+//!    whole-graph move, an in-place move that appended a fresh
+//!    replacement cone, or a compaction sweep — discards the rest of
+//!    the wave outright: the scout's window draws were made against
+//!    the old node count.
 //!
 //! Determinism contract: the commit loop re-derives every RNG draw,
 //! every cost and every acceptance decision exactly as the serial
@@ -64,18 +68,19 @@
 
 use crate::context::EvalContext;
 use crate::cost::{CostEvaluator, CostMetrics};
-use crate::sa::{metropolis, SaOptions, SaResult, INPLACE_CUT_SIZE, INPLACE_MAX_CUTS};
+use crate::sa::{
+    metropolis, plan_window, run_inplace_plan, should_compact, SaOptions, SaResult,
+    INPLACE_CUT_SIZE, INPLACE_MAX_CUTS,
+};
 use aig::cut::CutDb;
-use aig::incremental::{ConeWindow, DirtyRegion, IncrementalAnalysis, Transaction};
-use aig::{Aig, Lit, NodeId};
+use aig::incremental::{
+    replay_ops, ConeWindow, DirtyRegion, EditOp, IncrementalAnalysis, Transaction,
+};
+use aig::{Aig, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use transform::{rewrite_inplace_window_recorded, InplaceMode, Recipe, ResynthCache};
-
-/// Live AND nodes examined by one in-place move; must match the
-/// serial engine's window for byte-identity.
-const INPLACE_WINDOW: usize = crate::sa::INPLACE_WINDOW;
+use transform::{InplacePlan, Recipe, ResynthCache};
 
 /// Configuration of the speculative engine
 /// ([`SaOptions::speculation`]).
@@ -152,24 +157,26 @@ impl SpecSlot {
 
 /// One committed move, as the worker replicas need to replay it.
 enum CommittedMove {
-    /// A windowed in-place move: the recorded substitution journal
-    /// reproduces it exactly on any byte-identical replica.
-    InPlace { subs: Vec<(NodeId, Lit)> },
-    /// A whole-graph move: replicas re-clone the master.
+    /// A windowed in-place move: the recorded edit journal
+    /// ([`replay_ops`]) reproduces it exactly — fresh-cone appends
+    /// included — on any byte-identical replica.
+    InPlace { ops: Vec<EditOp> },
+    /// A whole-graph move (or a compaction sweep): replicas re-clone
+    /// the master.
     WholeGraph,
 }
 
 /// One pre-drawn candidate move.
 struct Planned {
     ridx: usize,
-    inplace: Option<(InplaceMode, NodeId)>,
+    inplace: Option<(InplacePlan, NodeId)>,
 }
 
 /// A scored speculation.
 struct Scored {
     metrics: CostMetrics,
-    /// Substitutions of a windowed move (empty = no-op move).
-    subs: Vec<(NodeId, Lit)>,
+    /// Edit journal of a windowed move (empty = no-op move).
+    ops: Vec<EditOp>,
     /// Write footprint of a windowed move.
     dirty: DirtyRegion,
     /// The candidate graph of a whole-graph move.
@@ -273,10 +280,10 @@ pub(crate) fn try_optimize(
             let ridx = scout.gen_range(0..actions.len());
             let inplace = actions[ridx]
                 .as_inplace()
-                .map(|mode| (mode, scout.gen_range(0..current.num_nodes() as NodeId)));
+                .map(|plan| (plan, scout.gen_range(0..current.num_nodes() as NodeId)));
             let _acceptance_sample: f64 = scout.gen();
-            if let Some((_, start)) = inplace {
-                let win = ConeWindow::from_live_walk(&current, inc, start, INPLACE_WINDOW);
+            if let Some((plan, start)) = inplace {
+                let win = ConeWindow::from_live_walk(&current, inc, start, plan_window(plan));
                 if windows.iter().any(|w| w.overlaps(&win)) {
                     stats.overlapping_windows += 1;
                 }
@@ -316,6 +323,7 @@ pub(crate) fn try_optimize(
                 let cost = scalar(&metrics);
                 let accept = metropolis(cost - current_cost, temp, &mut rng);
                 evaluated.push(metrics);
+                let it = iters;
                 iters += 1;
                 stats.committed += 1;
                 let mut committed_dirty: Option<DirtyRegion> = None;
@@ -323,13 +331,20 @@ pub(crate) fn try_optimize(
                 if accept {
                     accepted += 1;
                     if plan[j].inplace.is_some() {
-                        if !scored[k].subs.is_empty() {
-                            let subs = std::mem::take(&mut scored[k].subs);
-                            for &(node, with) in &subs {
-                                inc.substitute(&mut current, node, with);
-                                db.invalidate(&current, inc, inc.last_dirty());
+                        if !scored[k].ops.is_empty() {
+                            let ops = std::mem::take(&mut scored[k].ops);
+                            let nodes_before = current.num_nodes();
+                            let mut txn = Transaction::begin(&mut current, inc);
+                            replay_ops(&mut txn, db, &ops);
+                            txn.commit();
+                            if current.num_nodes() != nodes_before {
+                                // The move appended fresh nodes: the
+                                // scout's remaining window draws were
+                                // made against the old node count and
+                                // no longer match the true stream.
+                                ends_wave = true;
                             }
-                            commit_log.push(CommittedMove::InPlace { subs });
+                            commit_log.push(CommittedMove::InPlace { ops });
                             committed_dirty = Some(std::mem::take(&mut scored[k].dirty));
                             stats.accepted_edits += 1;
                         }
@@ -349,6 +364,17 @@ pub(crate) fn try_optimize(
                         best_cost = cost;
                         best = Some(current.clone());
                         best_metrics = metrics;
+                    }
+                    // Deterministic compaction checkpoint, mirroring
+                    // the serial loop bit for bit (after the best
+                    // clone). Sweeping renumbers ids, so the wave
+                    // ends and replicas resync by cloning.
+                    if should_compact(it, &current) {
+                        current = current.sweep();
+                        inc.rebuild(&current);
+                        db.build(&current);
+                        commit_log.push(CommittedMove::WholeGraph);
+                        ends_wave = true;
                     }
                 }
                 temp *= opts.decay;
@@ -458,15 +484,11 @@ fn sync_slot(
             .all(|m| matches!(m, CommittedMove::InPlace { .. }));
     if incremental {
         for entry in behind {
-            let CommittedMove::InPlace { subs } = entry else {
+            let CommittedMove::InPlace { ops } = entry else {
                 unreachable!()
             };
             let mut txn = Transaction::begin(&mut slot.replica, &mut slot.inc);
-            for &(node, with) in subs {
-                txn.substitute(node, with);
-                slot.db
-                    .invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
-            }
+            replay_ops(&mut txn, &mut slot.db, ops);
             let min = txn.min_touched();
             txn.commit();
             slot.rows_since = slot.rows_since.min(min);
@@ -490,18 +512,17 @@ fn score_one(
     actions: &[Recipe],
 ) -> Scored {
     match planned.inplace {
-        Some((mode, start)) => {
+        Some((plan, start)) => {
             slot.db.begin_edit();
             let mut txn = Transaction::begin(&mut slot.replica, &mut slot.inc);
-            let mut subs = Vec::new();
-            rewrite_inplace_window_recorded(
+            let mut ops = Vec::new();
+            run_inplace_plan(
+                plan,
                 &mut txn,
                 &mut slot.db,
                 slot.ctx.resynth(),
-                mode,
                 start,
-                INPLACE_WINDOW,
-                &mut subs,
+                Some(&mut ops),
             );
             let move_min = txn.min_touched();
             let dirty = txn.touched_region().clone();
@@ -526,7 +547,7 @@ fn score_one(
             slot.rows_since = move_min;
             Scored {
                 metrics,
-                subs,
+                ops,
                 dirty,
                 candidate: None,
             }
@@ -537,7 +558,7 @@ fn score_one(
             slot.rows_since = 0;
             Scored {
                 metrics,
-                subs: Vec::new(),
+                ops: Vec::new(),
                 dirty: DirtyRegion::default(),
                 candidate: Some(candidate),
             }

@@ -572,6 +572,20 @@ impl MappedDesign {
         let mut order = std::mem::take(&mut self.emit_order);
         order.sort_unstable();
         order.dedup();
+        if !aig.is_topological() {
+            // Committed forward references: ascending ids are no
+            // longer dependency-ordered — a leaf emitted in this very
+            // sweep can carry a higher id than its reader. Re-sort by
+            // dependency position; non-AND ids keep an ascending
+            // front block (a primary input's complement inverter must
+            // exist before any reader's gates are emitted).
+            let topo = aig.topo_and_order();
+            let mut pos = vec![0u32; aig.num_nodes()];
+            for (i, &id) in topo.iter().enumerate() {
+                pos[id as usize] = i as u32 + 1;
+            }
+            order.sort_by_key(|&v| (pos[v as usize], v));
+        }
         for &v in &order {
             let vi = v as usize;
             if self.planned[vi] && self.base_refs[vi] > 0 && self.main_gate[vi] == NONE {

@@ -505,15 +505,22 @@ impl<'a> Mapper<'a> {
         mark_live(aig, live, build_stack);
         none_rows.clear();
 
+        // The DP reads leaf rows, so rows must settle in dependency
+        // order: ascending ids, except when committed forward
+        // references exist (in-place appended cones spliced into
+        // earlier nodes), where a leaf can carry a higher id than its
+        // reader.
+        let ids: Box<dyn Iterator<Item = NodeId> + '_> = if aig.is_topological() {
+            Box::new(aig.and_ids())
+        } else {
+            Box::new(aig.topo_and_order().into_iter())
+        };
         let mut recomputed = 0usize;
-        for id in aig.and_ids() {
+        for id in ids {
             recomputed += 1;
             let Some(best) =
                 self.choose_for_node(id, cuts.cuts(id), fanout, arrival, flow, shortlists)
             else {
-                if live[id as usize] {
-                    return Err(MapError::NoMatch { node: id });
-                }
                 chosen[id as usize] = None;
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
@@ -523,6 +530,17 @@ impl<'a> Mapper<'a> {
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
+        }
+        // Liveness is checked after the sweep so the error names the
+        // first live unmatchable node in *ascending* id order — the
+        // incremental entry points' report — whatever row order ran.
+        if !none_rows.is_empty() {
+            none_rows.sort_unstable();
+            for &id in none_rows.iter() {
+                if live[id as usize] {
+                    return Err(MapError::NoMatch { node: id });
+                }
+            }
         }
         ctx.last_recomputed_rows = recomputed;
         ctx.rows_for = Some(n);
@@ -666,10 +684,22 @@ impl<'a> Mapper<'a> {
             // no-op costs O(1), not O(graph).
             return Ok(since);
         }
+        // Committed forward references: a consumer below the dirty
+        // watermark can read a recomputed row through a forward
+        // fanin, so reused rows are only provably unchanged below the
+        // first forward id — clamp the watermark there. (Placed after
+        // the no-op fast path: an untouched graph's rows all hold.)
+        if let Some(mf) = aig.forward_ids().next() {
+            since = since.min(mf);
+        }
         // The per-row cutoff needs the previous call's version
         // snapshot for *this* database (`map_with` and errors clear
-        // it; a different `CutDb` instance never matches).
+        // it; a different `CutDb` instance never matches), and its
+        // ascending worklist assumes leaf rows settle before their
+        // readers' — false under forward references, which take the
+        // watermark fallback instead.
         let cutoff = !ctx.cutoff_disabled
+            && aig.is_topological()
             && prev_n > 0
             && ctx.seen_db == Some(cuts.instance_id())
             && ctx.seen_versions.len() == prev_n;
@@ -774,17 +804,29 @@ impl<'a> Mapper<'a> {
             ..
         } = ctx;
         none_rows.clear();
-        let mut recomputed = 0usize;
+        // Rows below the watermark are provably unchanged by the edit
+        // — but *liveness* is a global property: an unmatchable node
+        // (row `None`) that an edit above the watermark pulled back
+        // into the cover must error exactly like `Mapper::map` would.
         for id in aig.and_ids() {
+            if id >= since {
+                break;
+            }
+            if chosen[id as usize].is_none() {
+                none_rows.push(id);
+            }
+        }
+        // Recomputed rows must settle in dependency order: ascending
+        // ids, except under committed forward references, where an
+        // appended leaf's row must settle before its spliced reader's.
+        let ids: Box<dyn Iterator<Item = NodeId> + '_> = if aig.is_topological() {
+            Box::new(aig.and_ids())
+        } else {
+            Box::new(aig.topo_and_order().into_iter())
+        };
+        let mut recomputed = 0usize;
+        for id in ids {
             if id < since {
-                // Row provably unchanged by the edit — but *liveness*
-                // is a global property: an unmatchable node (row
-                // `None`) that an edit above the watermark pulled
-                // back into the cover must error exactly like
-                // `Mapper::map` would.
-                if chosen[id as usize].is_none() {
-                    none_rows.push(id);
-                }
                 continue;
             }
             recomputed += 1;
@@ -800,6 +842,12 @@ impl<'a> Mapper<'a> {
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
+        }
+        if !aig.is_topological() {
+            // Dependency-ordered pushes above; `none_rows` must stay
+            // ascending (first-live-unmatchable reporting, binary
+            // searches in the cutoff pass).
+            none_rows.sort_unstable();
         }
         recomputed
     }

@@ -4,7 +4,10 @@
 //! rebuilt as minimum-depth trees over their leaves, combining the
 //! two lowest-level operands first (Huffman order).
 
+use crate::rewrite::{substitution_is_acyclic, InplaceStats, MAX_WINDOW_APPENDS};
 use aig::analysis::fanout_counts;
+use aig::cut::CutDb;
+use aig::incremental::{EditOp, Transaction};
 use aig::{Aig, Lit, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +82,186 @@ pub fn balance_dup(aig: &Aig) -> Aig {
 /// ```
 pub fn reshape(aig: &Aig, seed: u64) -> Aig {
     rebuild_trees(aig, TreeMode::Random(SmallRng::seed_from_u64(seed)), false)
+}
+
+/// Supergate size cap for the windowed in-place move — smaller than
+/// the whole-graph pass's 64 so one move's fresh-cone spend stays
+/// well inside [`MAX_WINDOW_APPENDS`].
+const MAX_SUPERGATE_LEAVES: usize = 16;
+
+/// In-place windowed balancing: the SA-move flavor of [`balance`],
+/// executed through a journaled [`Transaction`] instead of
+/// clone-and-rebuild.
+///
+/// Walks at most `max_nodes` live AND nodes starting at `start`
+/// (wrapping). Each node's maximal single-user supergate is collapsed
+/// and, when the minimum-depth (Huffman) recombination strictly
+/// reduces the node's level, rebuilt as a fresh cone above the
+/// high-water mark and spliced in by substitution. Trees that
+/// simplify outright (contradiction, duplicate or constant leaves)
+/// substitute without appending. Candidates that would close a
+/// combinational cycle are rejected visibly via
+/// [`InplaceStats::skipped_nontopo`]; fresh-node spend is capped at
+/// [`MAX_WINDOW_APPENDS`] per pass.
+///
+/// The tree shape is decided by a *dry* Huffman pass keyed on
+/// `(level, slot index)` — fresh literals are unknown until
+/// instantiation, so slot order stands in for the whole-graph pass's
+/// raw-literal tiebreak; the recorded combine sequence is then
+/// replayed through [`Transaction::and`]. Estimated levels upper
+/// bound the instantiated ones (strashing only simplifies), so the
+/// strict acceptance test never admits a depth regression.
+///
+/// The cut database is kept in step (append sync before each splice,
+/// dirty-region invalidation after), and `ops`, when provided,
+/// records the move for exact replay
+/// ([`aig::incremental::replay_ops`]).
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
+pub fn balance_inplace_window(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    start: NodeId,
+    max_nodes: usize,
+    mut ops: Option<&mut Vec<EditOp>>,
+) -> InplaceStats {
+    debug_assert_eq!(
+        cuts.num_nodes(),
+        txn.aig().num_nodes(),
+        "cut database out of sync with the transaction's graph"
+    );
+    let mut stats = InplaceStats::default();
+    let n = txn.aig().num_nodes() as NodeId;
+    if n <= 1 {
+        return stats;
+    }
+    let start = start.clamp(1, n - 1);
+    let mut examined = 0usize;
+    let mut leaves: Vec<Lit> = Vec::new();
+    let mut stack: Vec<Lit> = Vec::new();
+    for id in (start..n).chain(1..start) {
+        if examined >= max_nodes {
+            break;
+        }
+        if !txn.aig().is_and(id) || txn.analysis().fanout(id) == 0 {
+            continue;
+        }
+        examined += 1;
+        let node_level = txn.analysis().level(id);
+        // Collect the supergate: expand non-complemented AND fanins
+        // whose only user is this tree.
+        leaves.clear();
+        stack.clear();
+        let [f0, f1] = txn.aig().fanins(id);
+        stack.push(f0);
+        stack.push(f1);
+        while let Some(l) = stack.pop() {
+            let expandable = !l.is_complement()
+                && txn.aig().is_and(l.var())
+                && txn.analysis().fanout(l.var()) == 1;
+            if expandable && leaves.len() + stack.len() < MAX_SUPERGATE_LEAVES {
+                let [g0, g1] = txn.aig().fanins(l.var());
+                stack.push(g0);
+                stack.push(g1);
+            } else {
+                leaves.push(l);
+            }
+        }
+        leaves.sort_by_key(|l| l.raw());
+        leaves.dedup();
+        let contradictory = leaves
+            .windows(2)
+            .any(|w| w[0].var() == w[1].var() && w[0] != w[1]);
+        let simplified = if contradictory || leaves.contains(&Lit::FALSE) {
+            Some(Lit::FALSE)
+        } else {
+            leaves.retain(|&l| l != Lit::TRUE);
+            match leaves.len() {
+                0 => Some(Lit::TRUE),
+                1 => Some(leaves[0]),
+                _ => None,
+            }
+        };
+        if let Some(with) = simplified {
+            // The tree folds away without any fresh nodes.
+            if with.var() == id {
+                continue;
+            }
+            if !substitution_is_acyclic(txn.aig(), id, with) {
+                stats.skipped_nontopo += 1;
+                continue;
+            }
+            txn.substitute(id, with);
+            cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+            stats.substitutions += 1;
+            if let Some(rec) = ops.as_deref_mut() {
+                rec.push(EditOp::Substitute(id, with));
+            }
+            continue;
+        }
+        // Dry Huffman: combine the two shallowest first. Keys are
+        // (level, slot index) — fresh literals are unknown until
+        // instantiation — and the combine sequence is recorded as
+        // slot-index pairs for exact replay below.
+        let mut slot_level: Vec<u32> = leaves
+            .iter()
+            .map(|l| txn.analysis().level(l.var()))
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = slot_level
+            .iter()
+            .enumerate()
+            .map(|(i, &lv)| Reverse((lv, i as u32)))
+            .collect();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(leaves.len() - 1);
+        while heap.len() > 1 {
+            let Reverse((la, sa)) = heap.pop().expect("len > 1");
+            let Reverse((lb, sb)) = heap.pop().expect("len > 1");
+            pairs.push((sa, sb));
+            let slot = slot_level.len() as u32;
+            slot_level.push(1 + la.max(lb));
+            heap.push(Reverse((slot_level[slot as usize], slot)));
+        }
+        // Upper bound on the instantiated root's level: strash hits
+        // match the structural level exactly and trivial-rule hits
+        // only lower it.
+        let est_root = *slot_level.last().expect("nonempty");
+        if est_root >= node_level {
+            continue;
+        }
+        let sp = txn.savepoint();
+        let before = txn.aig().num_nodes();
+        let mut vals: Vec<Lit> = leaves.clone();
+        let mut cone_ops: Vec<EditOp> = Vec::with_capacity(pairs.len());
+        for &(sa, sb) in &pairs {
+            let (la, lb) = (vals[sa as usize], vals[sb as usize]);
+            cone_ops.push(EditOp::And(la, lb));
+            vals.push(txn.and(la, lb));
+        }
+        let root = *vals.last().expect("nonempty");
+        let fresh = txn.aig().num_nodes() - before;
+        if root.var() == id || stats.appended_nodes + fresh > MAX_WINDOW_APPENDS {
+            txn.rollback_to(&sp);
+        } else if !substitution_is_acyclic(txn.aig(), id, root) {
+            txn.rollback_to(&sp);
+            stats.skipped_nontopo += 1;
+        } else {
+            if fresh > 0 {
+                cuts.sync_appends(txn.aig());
+            }
+            txn.substitute(id, root);
+            cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+            stats.substitutions += 1;
+            stats.appended_nodes += fresh;
+            if let Some(rec) = ops.as_deref_mut() {
+                rec.extend(cone_ops);
+                rec.push(EditOp::Substitute(id, root));
+            }
+        }
+    }
+    stats
 }
 
 fn rebuild_trees(aig: &Aig, mode: TreeMode, expand_shared: bool) -> Aig {
@@ -331,6 +514,74 @@ mod tests {
         assert!(equiv_exhaustive(&g, &b).expect("small"));
         assert!(after < before, "depth {before} -> {after}");
         assert_eq!(after, 4); // ceil(log2(16))
+    }
+
+    /// The in-place windowed move preserves function for any window,
+    /// keeps the analysis and cut database exact, and its recorded
+    /// ops replay to identical bytes.
+    #[test]
+    fn inplace_window_preserves_function_and_replays() {
+        use aig::incremental::{replay_ops, IncrementalAnalysis, Transaction};
+        let mut substituted_any = false;
+        for seed in 0..8u64 {
+            let g0 = random_aig(seed + 900, 7, 80);
+            let n = g0.num_nodes() as NodeId;
+            for start in [1u32, n / 2, n - 2] {
+                let mut g = g0.clone();
+                let mut inc = IncrementalAnalysis::new(&g);
+                let mut db = aig::cut::CutDb::new(4, 8);
+                db.build(&g);
+                let mut ops = Vec::new();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                let stats = balance_inplace_window(&mut txn, &mut db, start, 24, Some(&mut ops));
+                txn.commit();
+                assert!(stats.appended_nodes <= MAX_WINDOW_APPENDS);
+                assert!(
+                    equiv_exhaustive(&g0, &g).expect("small"),
+                    "seed {seed} start {start}: function broken"
+                );
+                db.assert_matches_fresh(&g);
+                inc.assert_matches_oracle(&g);
+
+                let mut twin = g0.clone();
+                let mut twin_inc = IncrementalAnalysis::new(&twin);
+                let mut twin_db = aig::cut::CutDb::new(4, 8);
+                twin_db.build(&twin);
+                let mut twin_txn = Transaction::begin(&mut twin, &mut twin_inc);
+                let replayed = replay_ops(&mut twin_txn, &mut twin_db, &ops);
+                twin_txn.commit();
+                assert_eq!(replayed, stats.substitutions);
+                assert_eq!(aig::aiger::to_ascii(&g), aig::aiger::to_ascii(&twin));
+                substituted_any |= stats.substitutions > 0;
+            }
+        }
+        assert!(substituted_any, "balance move never fired");
+    }
+
+    /// The in-place move finds the same depth win as whole-graph
+    /// balancing on a linear chain.
+    #[test]
+    fn inplace_window_reduces_chain_depth() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let mut g = Aig::new();
+        let mut acc = g.add_input();
+        for _ in 0..7 {
+            let x = g.add_input();
+            acc = g.and(acc, x);
+        }
+        g.add_output(acc, None::<&str>);
+        let g0 = g.clone();
+        assert_eq!(levels(&g).max_level, 7);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = aig::cut::CutDb::new(4, 8);
+        db.build(&g);
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let stats = balance_inplace_window(&mut txn, &mut db, 1, usize::MAX, None);
+        txn.commit();
+        assert!(stats.substitutions >= 1);
+        assert!(stats.appended_nodes >= 1, "chain rebuild needs fresh nodes");
+        assert!(equiv_exhaustive(&g0, &g).expect("small"));
+        assert_eq!(inc.max_level(), 3, "ceil(log2(8))");
     }
 
     #[test]

@@ -50,13 +50,13 @@ mod resub;
 mod rewrite;
 pub mod structure;
 
-pub use balance::{balance, balance_dup, reshape};
+pub use balance::{balance, balance_dup, balance_inplace_window, reshape};
 pub use cache::ResynthCache;
-pub use recipes::{apply, apply_with, recipes, ParseRecipeError, Recipe, Transform};
-pub use resub::resub;
+pub use recipes::{apply, apply_with, recipes, InplacePlan, ParseRecipeError, Recipe, Transform};
+pub use resub::{resub, resub_inplace_window};
 pub use rewrite::{
     perturb, perturb_with, refactor, refactor_with, refactor_zero, refactor_zero_with,
-    resynthesize, resynthesize_with, rewrite, rewrite_inplace, rewrite_inplace_window,
-    rewrite_inplace_window_recorded, rewrite_with, rewrite_zero, rewrite_zero_with, InplaceMode,
-    ResynthOptions,
+    resynth_inplace_window, resynthesize, resynthesize_with, rewrite, rewrite_inplace,
+    rewrite_inplace_window, rewrite_inplace_window_recorded, rewrite_with, rewrite_zero,
+    rewrite_zero_with, InplaceMode, InplaceStats, ResynthOptions,
 };

@@ -89,6 +89,25 @@ impl fmt::Display for Transform {
     }
 }
 
+/// How the SA loop's transaction engine executes a single-step
+/// recipe in place (see [`Recipe::as_inplace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InplacePlan {
+    /// 4-cut resynthesis, zero new nodes (`rw` / `rwz`) —
+    /// [`crate::resynth_inplace_window`] with appends off.
+    Rewrite(crate::InplaceMode),
+    /// 6-cut resynthesis that may splice in fresh replacement cones
+    /// (`rf` / `rfz`) — [`crate::resynth_inplace_window`] with
+    /// appends on and a doubled window.
+    Refactor(crate::InplaceMode),
+    /// Supergate collapse and minimum-depth rebuild (`b`) —
+    /// [`crate::balance_inplace_window`].
+    Balance,
+    /// Cone-internal equivalence splice (`rsb`) —
+    /// [`crate::resub_inplace_window`].
+    Resub,
+}
+
 /// Applies a single primitive, returning the transformed AIG.
 ///
 /// Every primitive is function-preserving; the unit and property
@@ -145,14 +164,19 @@ impl Recipe {
     /// The SA loop's transaction engine executes in-place-capable
     /// moves by editing the current graph through an
     /// [`aig::incremental::Transaction`] (accept = commit, reject =
-    /// rollback) instead of rebuilding it: single-step `rw` runs
-    /// [`crate::rewrite_inplace`] in depth-improving mode, single-step
-    /// `rwz` in zero-cost mode. Multi-step recipes and the remaining
-    /// primitives return `None` and take the whole-graph path.
-    pub fn as_inplace(&self) -> Option<crate::InplaceMode> {
+    /// rollback) instead of rebuilding it. Every single-step
+    /// rewrite/refactor/balance/resub recipe has a plan; multi-step
+    /// recipes and the remaining primitives return `None` and take
+    /// the whole-graph path.
+    pub fn as_inplace(&self) -> Option<InplacePlan> {
+        use crate::InplaceMode::{Standard, ZeroCost};
         match self.0.as_slice() {
-            [Transform::Rewrite] => Some(crate::InplaceMode::Standard),
-            [Transform::RewriteZero] => Some(crate::InplaceMode::ZeroCost),
+            [Transform::Rewrite] => Some(InplacePlan::Rewrite(Standard)),
+            [Transform::RewriteZero] => Some(InplacePlan::Rewrite(ZeroCost)),
+            [Transform::Refactor] => Some(InplacePlan::Refactor(Standard)),
+            [Transform::RefactorZero] => Some(InplacePlan::Refactor(ZeroCost)),
+            [Transform::Balance] => Some(InplacePlan::Balance),
+            [Transform::Resub] => Some(InplacePlan::Resub),
             _ => None,
         }
     }

@@ -13,7 +13,9 @@
 //! same cone. The replacement is *exact* (truth-table equality over a
 //! complete cut), so no SAT or fraiging is needed for soundness.
 
-use aig::cut::{enumerate_cuts, expand_tt};
+use crate::rewrite::{substitution_is_acyclic, InplaceStats};
+use aig::cut::{enumerate_cuts, expand_tt, CutDb};
+use aig::incremental::{EditOp, Transaction};
 use aig::{Aig, Lit, NodeId};
 
 /// Applies cone-internal resubstitution with 6-input cuts.
@@ -138,6 +140,176 @@ pub fn resub(aig: &Aig) -> Aig {
     new.sweep()
 }
 
+/// Cone node cap for the windowed in-place move: cuts whose cone
+/// grows past this are skipped (the whole-graph pass has no such cap;
+/// a windowed SA move must stay cheap).
+const MAX_CONE_NODES: usize = 32;
+
+/// In-place windowed resubstitution: the SA-move flavor of [`resub`],
+/// executed through a journaled [`Transaction`] instead of
+/// clone-and-rebuild.
+///
+/// Walks at most `max_nodes` live AND nodes starting at `start`
+/// (wrapping). For each node and each of its cached cuts, the truth
+/// tables of the cone between the cut and the node are evaluated by
+/// memoized DFS — the graph may carry committed forward references
+/// ([`Aig::forward_ids`]), so unlike the whole-graph pass the cone
+/// cannot be evaluated in ascending id order. Any cone member (or cut
+/// leaf) computing the node's function or its complement over the cut
+/// is a replacement candidate; the shallowest (then lowest-literal)
+/// candidate is substituted in.
+///
+/// Every candidate lies in the node's transitive fanin, so the
+/// substitution can neither create a combinational cycle nor increase
+/// the node's level — resubstitution appends nothing and strictly
+/// frees the node's exclusive cone. The cut database is kept in step,
+/// and `ops`, when provided, records the move for exact replay
+/// ([`aig::incremental::replay_ops`]).
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
+pub fn resub_inplace_window(
+    txn: &mut Transaction<'_>,
+    cuts: &mut CutDb,
+    start: NodeId,
+    max_nodes: usize,
+    mut ops: Option<&mut Vec<EditOp>>,
+) -> InplaceStats {
+    debug_assert_eq!(
+        cuts.num_nodes(),
+        txn.aig().num_nodes(),
+        "cut database out of sync with the transaction's graph"
+    );
+    let mut stats = InplaceStats::default();
+    let n = txn.aig().num_nodes() as NodeId;
+    if n <= 1 {
+        return stats;
+    }
+    let start = start.clamp(1, n - 1);
+    let mut examined = 0usize;
+    let mut tts: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for id in (start..n).chain(1..start) {
+        if examined >= max_nodes {
+            break;
+        }
+        if !txn.aig().is_and(id) || txn.analysis().fanout(id) == 0 {
+            continue;
+        }
+        examined += 1;
+        // Shallowest (then lowest-literal) equivalent replacement.
+        let mut best: Option<(u32, Lit)> = None;
+        for cut in cuts.cuts(id) {
+            if cut.size() < 2 {
+                continue;
+            }
+            let nv = cut.size();
+            let bits = 1usize << nv;
+            let mask = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let root_tt = cut.masked_tt();
+            if root_tt == 0 || root_tt == mask {
+                // Constant cone: unbeatable, and cut rewriting's
+                // territory anyway.
+                let lit = if root_tt == 0 { Lit::FALSE } else { Lit::TRUE };
+                best = Some((0, lit));
+                break;
+            }
+            // Seed the cut leaves with their projection tables, then
+            // evaluate the cone by memoized DFS (ids may not be in
+            // topological order once forward references exist).
+            tts.clear();
+            for (j, &leaf) in cut.leaves().iter().enumerate() {
+                let mut t = 0u64;
+                for m in 0..bits {
+                    if m >> j & 1 == 1 {
+                        t |= 1 << m;
+                    }
+                }
+                tts.insert(leaf, t);
+            }
+            stack.clear();
+            stack.push(id);
+            let mut evaluated = 0usize;
+            let mut abandoned = false;
+            while let Some(&m) = stack.last() {
+                if tts.contains_key(&m) {
+                    stack.pop();
+                    continue;
+                }
+                if !txn.aig().is_and(m) {
+                    // Support not covered by the cut's leaves (a
+                    // stale cut after edits): not evaluable.
+                    abandoned = true;
+                    break;
+                }
+                let [g0, g1] = txn.aig().fanins(m);
+                let mut ready = true;
+                for f in [g0, g1] {
+                    if !tts.contains_key(&f.var()) {
+                        stack.push(f.var());
+                        ready = false;
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                evaluated += 1;
+                if evaluated > MAX_CONE_NODES {
+                    abandoned = true;
+                    break;
+                }
+                let t0 = tts[&g0.var()];
+                let t1 = tts[&g1.var()];
+                let t0 = if g0.is_complement() { !t0 & mask } else { t0 };
+                let t1 = if g1.is_complement() { !t1 & mask } else { t1 };
+                tts.insert(m, t0 & t1);
+                stack.pop();
+            }
+            if abandoned {
+                continue;
+            }
+            debug_assert_eq!(tts[&id], root_tt, "cone evaluation disagrees with the cut");
+            // Any cone member or leaf computing the root function (or
+            // its complement) is an exact replacement. Min over the
+            // map is order-independent, so the HashMap's iteration
+            // order cannot leak into the result.
+            for (&w, &t) in tts.iter() {
+                if w == id {
+                    continue;
+                }
+                let lit = if t == root_tt {
+                    Lit::new(w, false)
+                } else if (!t & mask) == root_tt {
+                    Lit::new(w, true)
+                } else {
+                    continue;
+                };
+                let lv = txn.analysis().level(w);
+                if best.is_none_or(|(bl, bw)| (lv, lit.raw()) < (bl, bw.raw())) {
+                    best = Some((lv, lit));
+                }
+            }
+        }
+        if let Some((_, with)) = best {
+            // Candidates live in TFI(id): cycle-free by construction.
+            debug_assert!(substitution_is_acyclic(txn.aig(), id, with));
+            txn.substitute(id, with);
+            cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+            stats.substitutions += 1;
+            if let Some(rec) = ops.as_deref_mut() {
+                rec.push(EditOp::Substitute(id, with));
+            }
+        }
+    }
+    stats
+}
+
 /// Collects the AND nodes strictly inside the cone of `root` over
 /// `leaves` (excluding the leaves, including `root`).
 fn collect_cone(aig: &Aig, root: NodeId, leaves: &[NodeId], out: &mut Vec<NodeId>) {
@@ -226,6 +398,79 @@ mod tests {
         let r = resub(&g);
         assert!(equiv_exhaustive(&g, &r).expect("small"));
         assert_eq!(r.num_ands(), 0, "f == a needs no gates");
+    }
+
+    /// The in-place windowed move preserves function for any window,
+    /// never appends, keeps analysis and cut database exact, and its
+    /// recorded ops replay to identical bytes.
+    #[test]
+    fn inplace_window_preserves_function_and_replays() {
+        use aig::incremental::{replay_ops, IncrementalAnalysis, Transaction};
+        let mut substituted_any = false;
+        for seed in 0..8u64 {
+            let g0 = random_aig(seed + 300, 7, 80);
+            let n = g0.num_nodes() as NodeId;
+            for start in [1u32, n / 2, n - 2] {
+                let mut g = g0.clone();
+                let before = g.num_nodes();
+                let mut inc = IncrementalAnalysis::new(&g);
+                let mut db = aig::cut::CutDb::new(6, 5);
+                db.build(&g);
+                let mut ops = Vec::new();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                let stats = resub_inplace_window(&mut txn, &mut db, start, 24, Some(&mut ops));
+                txn.commit();
+                assert_eq!(stats.appended_nodes, 0, "resub never appends");
+                assert_eq!(g.num_nodes(), before);
+                assert!(
+                    equiv_exhaustive(&g0, &g).expect("small"),
+                    "seed {seed} start {start}: function broken"
+                );
+                db.assert_matches_fresh(&g);
+                inc.assert_matches_oracle(&g);
+
+                let mut twin = g0.clone();
+                let mut twin_inc = IncrementalAnalysis::new(&twin);
+                let mut twin_db = aig::cut::CutDb::new(6, 5);
+                twin_db.build(&twin);
+                let mut twin_txn = Transaction::begin(&mut twin, &mut twin_inc);
+                let replayed = replay_ops(&mut twin_txn, &mut twin_db, &ops);
+                twin_txn.commit();
+                assert_eq!(replayed, stats.substitutions);
+                assert_eq!(aig::aiger::to_ascii(&g), aig::aiger::to_ascii(&twin));
+                substituted_any |= stats.substitutions > 0;
+            }
+        }
+        assert!(substituted_any, "resub move never fired");
+    }
+
+    /// The in-place move catches the same absorption the whole-graph
+    /// pass does, freeing the absorbed logic in place.
+    #[test]
+    fn inplace_window_removes_absorbed_term() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let x = g.and(a, b);
+        let xy = g.and(x, c);
+        let f = g.or(x, xy);
+        g.add_output(f, None::<&str>);
+        let g0 = g.clone();
+        let live_before = g.num_live_ands();
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut db = aig::cut::CutDb::new(6, 5);
+        db.build(&g);
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let stats = resub_inplace_window(&mut txn, &mut db, 1, usize::MAX, None);
+        txn.commit();
+        assert!(stats.substitutions >= 1);
+        assert!(equiv_exhaustive(&g0, &g).expect("small"));
+        assert!(
+            g.num_live_ands() < live_before,
+            "absorption must free the OR and the AND above x"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::cache::ResynthCache;
 use crate::structure::SmallStructure;
 use aig::analysis::levels;
 use aig::cut::{enumerate_cuts, CutDb};
-use aig::incremental::Transaction;
+use aig::incremental::{EditOp, Transaction};
 use aig::{Aig, Lit, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -207,6 +207,51 @@ pub fn rewrite_inplace(
     rewrite_inplace_window(txn, cuts, cache, mode, 1, usize::MAX)
 }
 
+/// Counters of one in-place resynthesis pass
+/// (see [`resynth_inplace_window`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InplaceStats {
+    /// Substitutions performed.
+    pub substitutions: usize,
+    /// Fresh nodes appended by accepted replacement cones (always 0
+    /// with appends disabled).
+    pub appended_nodes: usize,
+    /// Candidate replacements rejected by the combinational-cycle
+    /// guard (a non-preceding target whose transitive fanin reaches
+    /// the node). These are the replacements the engine used to drop
+    /// silently; they are now visible — and legal whenever acyclic.
+    pub skipped_nontopo: usize,
+}
+
+impl InplaceStats {
+    /// Accumulates another pass's counters into `self`.
+    pub fn absorb(&mut self, other: InplaceStats) {
+        self.substitutions += other.substitutions;
+        self.appended_nodes += other.appended_nodes;
+        self.skipped_nontopo += other.skipped_nontopo;
+    }
+}
+
+/// Whether substituting `node` by `with` keeps the graph acyclic.
+///
+/// Constants and inputs are always safe; in a topological graph so is
+/// any AND that precedes `node`. The remaining shapes (forward
+/// targets, or any target once the graph carries forward references)
+/// run the exact [`Aig::reaches`] test.
+pub(crate) fn substitution_is_acyclic(g: &Aig, node: NodeId, with: Lit) -> bool {
+    let w = with.var();
+    if w == node {
+        return false;
+    }
+    if !g.is_and(w) {
+        return true;
+    }
+    if g.is_topological() && w < node {
+        return true;
+    }
+    !g.reaches(w, node)
+}
+
 /// [`rewrite_inplace`] restricted to a *window* of the graph: at most
 /// `max_nodes` live AND nodes are examined, beginning at the first
 /// AND node with id `>= start` and wrapping around to the low ids.
@@ -231,20 +276,20 @@ pub fn rewrite_inplace_window(
     start: NodeId,
     max_nodes: usize,
 ) -> usize {
-    rewrite_inplace_window_impl(txn, cuts, cache, mode, start, max_nodes, None)
+    resynth_inplace_window(txn, cuts, cache, mode, false, start, max_nodes, None).substitutions
 }
 
 /// [`rewrite_inplace_window`] that additionally records every
-/// performed substitution as `(node, replacement)` pairs, appended to
-/// `subs` in execution order. The recorded sequence fully determines
-/// the move: replaying the same `Transaction::substitute` calls on a
-/// byte-identical graph reproduces the move exactly (graph, strash
-/// table, and analysis included) without re-running the resynthesis
-/// probe — which is how the speculative SA engine commits a move
-/// scored on a worker replica to the master graph.
+/// transaction call as [`EditOp`]s, appended to `ops` in execution
+/// order. The recorded sequence fully determines the move: replaying
+/// it on a byte-identical graph
+/// ([`aig::incremental::replay_ops`]) reproduces the move exactly
+/// (graph, strash table, cut database and analysis included) without
+/// re-running the resynthesis probe — which is how the speculative SA
+/// engine commits a move scored on a worker replica to the master
+/// graph.
 ///
-/// Returns the number of substitutions performed (== the number of
-/// pairs appended).
+/// Returns the number of substitutions performed.
 ///
 /// # Panics
 ///
@@ -257,33 +302,82 @@ pub fn rewrite_inplace_window_recorded(
     mode: InplaceMode,
     start: NodeId,
     max_nodes: usize,
-    subs: &mut Vec<(NodeId, Lit)>,
+    ops: &mut Vec<EditOp>,
 ) -> usize {
-    rewrite_inplace_window_impl(txn, cuts, cache, mode, start, max_nodes, Some(subs))
+    resynth_inplace_window(txn, cuts, cache, mode, false, start, max_nodes, Some(ops)).substitutions
 }
 
+/// Fresh AND nodes one windowed pass may append before further
+/// append-mode candidates are skipped. Bounds the move's footprint
+/// (and the dead logic it strands) regardless of the window size;
+/// the SA loop's compaction checkpoints reclaim what accumulates.
+pub(crate) const MAX_WINDOW_APPENDS: usize = 32;
+
+/// Best fresh-cone candidate for one node: estimated depth, estimated
+/// fresh-node cost, the structure to instantiate, its leaf literals,
+/// and how many of those leaves are in use.
+type ConeCandidate = (u32, usize, Arc<SmallStructure>, [Lit; 6], usize);
+
+/// The full-control in-place resynthesis pass behind
+/// [`rewrite_inplace_window`] and the refactor-flavor SA moves.
+///
+/// Walks at most `max_nodes` live AND nodes starting at `start`
+/// (wrapping) and, per node, resynthesizes each cached cut function:
+///
+/// * a replacement already present in the graph (zero new nodes) is
+///   substituted in when it improves per `mode` — **wherever it
+///   sits**: targets that do not precede the node are legal and leave
+///   the graph carrying forward references ([`Aig::forward_ids`]);
+///   only candidates that would close a combinational cycle are
+///   rejected, visibly, via [`InplaceStats::skipped_nontopo`];
+/// * with `allow_appends`, a node with no existing replacement may
+///   instead get a **fresh replacement cone**: the best
+///   depth-improving structure is instantiated above the high-water
+///   mark through [`Transaction::and`] and spliced in by
+///   substitution. A candidate whose instantiated root turns out
+///   cyclic (or resolves back to the node) is reverted exactly via a
+///   transaction savepoint. Fresh-node spend is capped at
+///   [`MAX_WINDOW_APPENDS`] per pass.
+///
+/// The cut database is kept in step throughout: appended cones are
+/// synced immediately before the substitution that splices them in,
+/// and every substitution's dirty region is invalidated. `ops`, when
+/// provided, records the move for exact replay
+/// ([`aig::incremental::replay_ops`]).
+///
+/// The result is a pure function of `(graph, mode, allow_appends,
+/// start, max_nodes)` — warm or fresh caches and databases never
+/// change it.
+///
+/// # Panics
+///
+/// Panics (debug) if `cuts` is out of sync with the transaction's
+/// graph.
 #[allow(clippy::too_many_arguments)]
-fn rewrite_inplace_window_impl(
+pub fn resynth_inplace_window(
     txn: &mut Transaction<'_>,
     cuts: &mut CutDb,
     cache: &ResynthCache,
     mode: InplaceMode,
+    allow_appends: bool,
     start: NodeId,
     max_nodes: usize,
-    mut subs: Option<&mut Vec<(NodeId, Lit)>>,
-) -> usize {
+    mut ops: Option<&mut Vec<EditOp>>,
+) -> InplaceStats {
     debug_assert_eq!(
         cuts.num_nodes(),
         txn.aig().num_nodes(),
         "cut database out of sync with the transaction's graph"
     );
+    let mut stats = InplaceStats::default();
     let n = txn.aig().num_nodes() as NodeId;
     if n <= 1 {
-        return 0;
+        return stats;
     }
     let start = start.clamp(1, n - 1);
     let mut examined = 0usize;
-    let mut substitutions = 0usize;
+    // Scratch reused across nodes.
+    let mut cands: Vec<(u32, Lit)> = Vec::new();
     for id in (start..n).chain(1..start) {
         if examined >= max_nodes {
             break;
@@ -293,8 +387,10 @@ fn rewrite_inplace_window_impl(
         }
         examined += 1;
         let node_level = txn.analysis().level(id);
-        // Smallest (level, literal) acceptable replacement.
-        let mut best: Option<(u32, Lit)> = None;
+        // Acceptable zero-new-node replacements, and the best
+        // (estimated depth, estimated cost) fresh-cone candidate.
+        cands.clear();
+        let mut best_cone: Option<ConeCandidate> = None;
         for cut in cuts.cuts(id) {
             if cut.size() == 1 && cut.leaves()[0] == id {
                 continue; // trivial cut: a node cannot define itself
@@ -307,7 +403,7 @@ fn rewrite_inplace_window_impl(
                     } else {
                         Lit::FALSE
                     };
-                    best = Some((0, lit));
+                    cands.push((0, lit));
                     break;
                 }
                 Some((tt, kept)) => {
@@ -315,44 +411,117 @@ fn rewrite_inplace_window_impl(
                     // the cache: identity or NOT of the surviving
                     // leaf — exactly what the synthesized structure's
                     // probe would return (pinned by a unit test).
-                    let found = if kept.len() == 1 {
-                        Some(Lit::new(kept[0], false).complement_if(tt & 0b11 == 0b01))
-                    } else {
-                        let mut leaves = [Lit::FALSE; 6];
-                        for (j, &l) in kept.iter().enumerate() {
-                            leaves[j] = Lit::new(l, false);
+                    if kept.len() == 1 {
+                        let lit = Lit::new(kept[0], false).complement_if(tt & 0b11 == 0b01);
+                        let lv = txn.analysis().level(lit.var());
+                        if improves(mode, lv, node_level) {
+                            cands.push((lv, lit));
                         }
-                        cache
-                            .structure_for(kept.len(), tt)
-                            .find(txn.aig(), &leaves[..kept.len()])
-                    };
-                    let Some(lit) = found else {
                         continue;
-                    };
-                    if lit.var() >= id {
-                        continue; // ids must stay topological
                     }
-                    let lv = txn.analysis().level(lit.var());
-                    let improves = match mode {
-                        InplaceMode::Standard => lv < node_level,
-                        InplaceMode::ZeroCost => lv <= node_level,
-                    };
-                    if improves && best.is_none_or(|b| (lv, lit) < b) {
-                        best = Some((lv, lit));
+                    let mut leaves = [Lit::FALSE; 6];
+                    for (j, &l) in kept.iter().enumerate() {
+                        leaves[j] = Lit::new(l, false);
+                    }
+                    let structure = cache.structure_for(kept.len(), tt);
+                    match structure.find(txn.aig(), &leaves[..kept.len()]) {
+                        Some(lit) => {
+                            if lit.var() == id {
+                                continue; // the node's own structure
+                            }
+                            let lv = txn.analysis().level(lit.var());
+                            if improves(mode, lv, node_level) {
+                                cands.push((lv, lit));
+                            }
+                        }
+                        None if allow_appends => {
+                            let max_leaf = kept
+                                .iter()
+                                .map(|&l| txn.analysis().level(l))
+                                .max()
+                                .unwrap_or(0);
+                            // Upper bound: strash hits inside the cone
+                            // can only land lower.
+                            let est_depth = structure.depth() + max_leaf;
+                            if !improves(mode, est_depth, node_level) {
+                                continue;
+                            }
+                            let est_cost = structure.dry_cost(txn.aig(), &leaves[..kept.len()]);
+                            if stats.appended_nodes + est_cost > MAX_WINDOW_APPENDS {
+                                continue;
+                            }
+                            let better = match &best_cone {
+                                None => true,
+                                Some((d, c, ..)) => (est_depth, est_cost) < (*d, *c),
+                            };
+                            if better {
+                                best_cone =
+                                    Some((est_depth, est_cost, structure, leaves, kept.len()));
+                            }
+                        }
+                        None => {}
                     }
                 }
             }
         }
-        if let Some((_, with)) = best {
+        // Try zero-new-node replacements best-first; the cycle guard
+        // may veto one without giving up on the node.
+        cands.sort_unstable_by_key(|&(lv, lit)| (lv, lit.raw()));
+        cands.dedup();
+        let mut applied = false;
+        for &(_, with) in cands.iter() {
+            if !substitution_is_acyclic(txn.aig(), id, with) {
+                stats.skipped_nontopo += 1;
+                continue;
+            }
             txn.substitute(id, with);
             cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
-            substitutions += 1;
-            if let Some(rec) = subs.as_deref_mut() {
-                rec.push((id, with));
+            stats.substitutions += 1;
+            if let Some(rec) = ops.as_deref_mut() {
+                rec.push(EditOp::Substitute(id, with));
+            }
+            applied = true;
+            break;
+        }
+        if applied {
+            continue;
+        }
+        if let Some((_, _, structure, leaves, nv)) = best_cone {
+            let sp = txn.savepoint();
+            let before = txn.aig().num_nodes();
+            let mut cone_ops = Vec::new();
+            let root = structure.instantiate_txn(txn, &leaves[..nv], &mut cone_ops);
+            let fresh = txn.aig().num_nodes() - before;
+            if root.var() == id {
+                // The cone folded back onto the node itself: no-op.
+                txn.rollback_to(&sp);
+            } else if !substitution_is_acyclic(txn.aig(), id, root) {
+                txn.rollback_to(&sp);
+                stats.skipped_nontopo += 1;
+            } else {
+                if fresh > 0 {
+                    cuts.sync_appends(txn.aig());
+                }
+                txn.substitute(id, root);
+                cuts.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+                stats.substitutions += 1;
+                stats.appended_nodes += fresh;
+                if let Some(rec) = ops.as_deref_mut() {
+                    rec.extend(cone_ops);
+                    rec.push(EditOp::Substitute(id, root));
+                }
             }
         }
     }
-    substitutions
+    stats
+}
+
+/// The per-`mode` acceptance rule on replacement levels.
+fn improves(mode: InplaceMode, replacement_level: u32, node_level: u32) -> bool {
+    match mode {
+        InplaceMode::Standard => replacement_level < node_level,
+        InplaceMode::ZeroCost => replacement_level <= node_level,
+    }
 }
 
 enum Candidate {
@@ -787,47 +956,133 @@ mod tests {
         }
     }
 
-    /// The recorded substitution sequence fully reproduces the move:
-    /// replaying the `(node, with)` pairs on a twin graph lands on the
-    /// same bytes as the probing pass, with no probe.
+    /// The recorded edit sequence fully reproduces the move:
+    /// replaying the [`EditOp`]s on a twin graph lands on the same
+    /// bytes — graph AND cut database — as the probing pass, with no
+    /// probe.
     #[test]
     fn recorded_substitutions_replay_to_identical_graph() {
-        use aig::incremental::{IncrementalAnalysis, Transaction};
+        use aig::incremental::{replay_ops, IncrementalAnalysis, Transaction};
         let g0 = random_aig(5200, 7, 90);
         let n = g0.num_nodes() as NodeId;
         let mut replayed_any = false;
-        for start in [1u32, n / 3, n - 2] {
+        for (start, appends) in [(1u32, false), (n / 3, true), (n - 2, true)] {
             let mut g = g0.clone();
             let mut inc = IncrementalAnalysis::new(&g);
             let mut db = aig::cut::CutDb::new(4, 8);
             db.build(&g);
             let cache = ResynthCache::new();
-            let mut subs = Vec::new();
+            let mut ops = Vec::new();
             let mut txn = Transaction::begin(&mut g, &mut inc);
-            let count = rewrite_inplace_window_recorded(
+            let stats = resynth_inplace_window(
                 &mut txn,
                 &mut db,
                 &cache,
                 InplaceMode::ZeroCost,
+                appends,
                 start,
                 24,
-                &mut subs,
+                Some(&mut ops),
             );
             txn.commit();
-            assert_eq!(count, subs.len());
+            let subs = ops
+                .iter()
+                .filter(|op| matches!(op, EditOp::Substitute(..)))
+                .count();
+            assert_eq!(stats.substitutions, subs);
 
             let mut twin = g0.clone();
             let mut twin_inc = IncrementalAnalysis::new(&twin);
+            let mut twin_db = aig::cut::CutDb::new(4, 8);
+            twin_db.build(&twin);
             let mut twin_txn = Transaction::begin(&mut twin, &mut twin_inc);
-            for &(node, with) in &subs {
-                twin_txn.substitute(node, with);
-            }
+            let replayed = replay_ops(&mut twin_txn, &mut twin_db, &ops);
             twin_txn.commit();
+            assert_eq!(replayed, stats.substitutions);
             assert_eq!(aig::aiger::to_ascii(&g), aig::aiger::to_ascii(&twin));
+            assert_eq!(db.num_nodes(), twin_db.num_nodes());
+            for id in 0..g.num_nodes() as NodeId {
+                assert_eq!(db.version(id), twin_db.version(id), "node {id} version");
+            }
             twin_inc.assert_matches_oracle(&twin);
-            replayed_any |= count > 0;
+            replayed_any |= stats.substitutions > 0;
         }
         assert!(replayed_any, "test graph produced no substitutions at all");
+    }
+
+    /// Append-mode resynthesis (the refactor-flavor SA move) preserves
+    /// function for any window, splices fresh cones above the
+    /// high-water mark, and never exceeds the per-window budget.
+    #[test]
+    fn resynth_append_window_preserves_function() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let mut appended_any = false;
+        for seed in 0..6u64 {
+            let g0 = random_aig(seed + 6100, 7, 90);
+            let n = g0.num_nodes() as NodeId;
+            for start in [1u32, n / 2, n - 2] {
+                let mut g = g0.clone();
+                let before = g.num_nodes();
+                let mut inc = IncrementalAnalysis::new(&g);
+                let mut db = aig::cut::CutDb::new(6, 5);
+                db.build(&g);
+                let cache = ResynthCache::new();
+                let mut txn = Transaction::begin(&mut g, &mut inc);
+                let stats = resynth_inplace_window(
+                    &mut txn,
+                    &mut db,
+                    &cache,
+                    InplaceMode::Standard,
+                    true,
+                    start,
+                    32,
+                    None,
+                );
+                txn.commit();
+                assert!(stats.appended_nodes <= MAX_WINDOW_APPENDS);
+                assert_eq!(g.num_nodes(), before + stats.appended_nodes);
+                assert!(
+                    equiv_exhaustive(&g0, &g).expect("small"),
+                    "seed {seed} start {start}: function broken"
+                );
+                db.assert_matches_fresh(&g);
+                inc.assert_matches_oracle(&g);
+                appended_any |= stats.appended_nodes > 0;
+            }
+        }
+        assert!(appended_any, "append path never exercised");
+    }
+
+    /// A replacement that would close a combinational cycle is
+    /// rejected visibly (`skipped_nontopo`), never applied and never
+    /// silently dropped: the pass still tries the node's remaining
+    /// candidates.
+    #[test]
+    fn cycle_candidates_are_counted_not_silent() {
+        use aig::incremental::{IncrementalAnalysis, Transaction};
+        let mut total = InplaceStats::default();
+        for seed in 0..16u64 {
+            let g0 = random_aig(seed + 7300, 7, 110);
+            let mut g = g0.clone();
+            let mut inc = IncrementalAnalysis::new(&g);
+            let mut db = aig::cut::CutDb::new(4, 8);
+            db.build(&g);
+            let cache = ResynthCache::new();
+            let mut txn = Transaction::begin(&mut g, &mut inc);
+            total.absorb(resynth_inplace_window(
+                &mut txn,
+                &mut db,
+                &cache,
+                InplaceMode::ZeroCost,
+                true,
+                1,
+                usize::MAX,
+                None,
+            ));
+            txn.commit();
+            assert!(equiv_exhaustive(&g0, &g).expect("small"), "seed {seed}");
+        }
+        assert!(total.substitutions > 0);
     }
 
     /// A rolled-back in-place rewrite leaves no trace: graph bytes and

@@ -28,7 +28,7 @@ fn random_transaction(
     db.begin_edit();
     let mut txn = Transaction::begin(g, inc);
     for _ in 0..rng.gen_range(1..4) {
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..4) {
             0 => {
                 let n = txn.aig().num_nodes() as NodeId;
                 let a = Lit::new(rng.gen_range(0..n), rng.gen());
@@ -44,6 +44,28 @@ fn random_transaction(
                 txn.retarget_output(idx, Lit::new(rng.gen_range(0..n), rng.gen()));
                 // Output retargets do not touch any cut list.
             }
+            2 => {
+                // Fresh replacement cone spliced into an earlier node
+                // — the transforms' append protocol: build the cone,
+                // sync the appended rows, substitute under the cycle
+                // guard, invalidate the dirty region.
+                let n = txn.aig().num_nodes() as NodeId;
+                let ands: Vec<NodeId> = txn.aig().and_ids().collect();
+                if ands.is_empty() {
+                    continue;
+                }
+                let node = ands[rng.gen_range(0..ands.len())];
+                let mut root = Lit::new(rng.gen_range(0..n), rng.gen());
+                for _ in 0..rng.gen_range(1..4) {
+                    let b = Lit::new(rng.gen_range(0..n), rng.gen());
+                    root = txn.and(root, b);
+                }
+                db.sync_appends(txn.aig());
+                if root.var() != node && !txn.aig().reaches(root.var(), node) {
+                    txn.substitute(node, root);
+                    db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
+                }
+            }
             _ => {
                 let ands: Vec<NodeId> = txn.aig().and_ids().collect();
                 if ands.is_empty() {
@@ -51,6 +73,11 @@ fn random_transaction(
                 }
                 let node = ands[rng.gen_range(0..ands.len())];
                 let with = Lit::new(rng.gen_range(0..node), rng.gen());
+                // `with < node` no longer implies acyclic once
+                // committed forward references exist.
+                if txn.aig().reaches(with.var(), node) {
+                    continue;
+                }
                 txn.substitute(node, with);
                 db.invalidate(txn.aig(), txn.analysis(), txn.analysis().last_dirty());
             }

@@ -56,12 +56,17 @@ fn optimize_cache_on_vs_off_is_byte_identical() {
 #[test]
 fn optimize_transaction_engine_on_vs_off_is_byte_identical() {
     let g = random_aig_with(43, 9, 140, 4);
-    // In-place-heavy action mix so both paths run constantly, with
-    // whole-graph moves interleaved to force engine rebuilds.
+    // In-place-heavy action mix over the full widened vocabulary
+    // (`rw`/`rwz`/`rf`/`rfz`/`b`/`rsb` all plan in place; refactor
+    // and balance append fresh replacement cones), with whole-graph
+    // moves interleaved to force engine rebuilds.
     let actions = vec![
         Recipe(vec![Transform::Rewrite]),
         Recipe(vec![Transform::RewriteZero]),
+        Recipe(vec![Transform::Refactor]),
+        Recipe(vec![Transform::RefactorZero]),
         Recipe(vec![Transform::Balance]),
+        Recipe(vec![Transform::Resub]),
         Recipe(vec![Transform::Sweep]),
         Recipe(vec![Transform::Resub, Transform::Rewrite]),
     ];
@@ -128,7 +133,10 @@ fn optimize_speculation_on_vs_off_is_byte_identical() {
     let actions = vec![
         Recipe(vec![Transform::Rewrite]),
         Recipe(vec![Transform::RewriteZero]),
+        Recipe(vec![Transform::Refactor]),
+        Recipe(vec![Transform::RefactorZero]),
         Recipe(vec![Transform::Balance]),
+        Recipe(vec![Transform::Resub]),
         Recipe(vec![Transform::Sweep]),
         Recipe(vec![Transform::Resub, Transform::Rewrite]),
     ];

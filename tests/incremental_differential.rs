@@ -5,7 +5,7 @@
 //! fanout_counts}`) after every single step — on random graphs and on
 //! every `benchgen` design.
 
-use aig::incremental::IncrementalAnalysis;
+use aig::incremental::{IncrementalAnalysis, Transaction};
 use aig::{Aig, Lit, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,10 +15,12 @@ mod common;
 use common::random_aig_with;
 
 /// One random in-place edit: append a few ANDs, retarget an output,
-/// or substitute a node by an earlier literal. Returns `false` when
-/// the graph offered no substitution target.
+/// substitute a node by an earlier literal, or splice a freshly
+/// appended replacement cone through a journaled transaction (half of
+/// those roll back exactly). Returns `false` when the graph offered
+/// no substitution target.
 fn random_inplace_edit(g: &mut Aig, inc: &mut IncrementalAnalysis, rng: &mut SmallRng) {
-    match rng.gen_range(0..3) {
+    match rng.gen_range(0..4) {
         0 => {
             let n = g.num_nodes() as NodeId;
             for _ in 0..rng.gen_range(1..5) {
@@ -34,14 +36,47 @@ fn random_inplace_edit(g: &mut Aig, inc: &mut IncrementalAnalysis, rng: &mut Sma
             g.set_output(idx, l);
             inc.sync(g);
         }
-        _ => {
+        2 => {
             let ands: Vec<NodeId> = g.and_ids().collect();
             if ands.is_empty() {
                 return;
             }
             let node = ands[rng.gen_range(0..ands.len())];
             let with = Lit::new(rng.gen_range(0..node), rng.gen());
+            // `with < node` no longer implies acyclic once committed
+            // forward references exist — check reachability exactly
+            // like the transforms' cycle guard does.
+            if g.reaches(with.var(), node) {
+                return;
+            }
             inc.substitute(g, node, with);
+        }
+        _ => {
+            // Fresh replacement cone: append strashed nodes above the
+            // high-water mark inside a transaction, splice them into
+            // an earlier node by substitution (a committed forward
+            // reference), and roll half of the transactions back.
+            let mut txn = Transaction::begin(g, inc);
+            let n = txn.aig().num_nodes() as NodeId;
+            let ands: Vec<NodeId> = txn.aig().and_ids().collect();
+            if ands.is_empty() {
+                txn.rollback();
+                return;
+            }
+            let node = ands[rng.gen_range(0..ands.len())];
+            let mut root = Lit::new(rng.gen_range(0..n), rng.gen());
+            for _ in 0..rng.gen_range(1..4) {
+                let b = Lit::new(rng.gen_range(0..n), rng.gen());
+                root = txn.and(root, b);
+            }
+            if root.var() != node && !txn.aig().reaches(root.var(), node) {
+                txn.substitute(node, root);
+            }
+            if rng.gen() {
+                txn.commit();
+            } else {
+                txn.rollback();
+            }
         }
     }
 }

@@ -82,7 +82,10 @@ fn shared_cache_outputs_independent_of_worker_count() {
     let inplace_actions = vec![
         transform::Recipe(vec![transform::Transform::Rewrite]),
         transform::Recipe(vec![transform::Transform::RewriteZero]),
+        transform::Recipe(vec![transform::Transform::Refactor]),
+        transform::Recipe(vec![transform::Transform::RefactorZero]),
         transform::Recipe(vec![transform::Transform::Balance]),
+        transform::Recipe(vec![transform::Transform::Resub]),
         transform::Recipe(vec![transform::Transform::Sweep]),
     ];
     let opts = SaOptions {
