@@ -3,6 +3,7 @@
 use crate::lit::{Lit, NodeId};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// The kind of an AIG node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,6 +49,56 @@ impl Node {
     }
 }
 
+/// A dependency-order snapshot of the graph's AND nodes: the listing
+/// itself ([`TopoIndex::order`], fanins first) plus the inverse
+/// *position* table ([`TopoIndex::positions`]) consumers use as a
+/// worklist key — `pos[leaf] < pos[root]` for every node in a root's
+/// transitive fanin, whatever the raw ids say.
+///
+/// Produced by [`Aig::topo_and_order`], which caches one instance per
+/// *forward epoch*: the snapshot is derived at most once between
+/// structural edits, delta-extended in place when fresh nodes are
+/// appended (they only reference earlier ids, so pushing them at the
+/// tail keeps the order valid), and dropped whenever an edit could
+/// reorder dependencies ([`Aig::replace_fanins`] /
+/// [`Aig::undo_fanin_edit`] introducing a non-preceding fanin,
+/// [`Aig::pop_node`] mid-order). Holding the `Arc` across edits is
+/// safe but yields a stale snapshot — refetch per use.
+#[derive(Debug)]
+pub struct TopoIndex {
+    order: Vec<NodeId>,
+    pos: Vec<u32>,
+}
+
+impl TopoIndex {
+    /// Position value of the constant and of primary inputs — they
+    /// precede every AND node in dependency order.
+    pub const NOT_AND: u32 = u32::MAX;
+
+    /// The AND ids in dependency order (fanins before consumers).
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Per-node position key, indexed by node id: `pos[order[i]] == i`
+    /// for AND nodes, [`TopoIndex::NOT_AND`] for the constant and
+    /// primary inputs (which sort before every AND — callers ordering
+    /// mixed ids map the sentinel to the front).
+    #[inline]
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
+}
+
+impl std::ops::Deref for TopoIndex {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
 /// A combinational And-Inverter Graph with structural hashing.
 ///
 /// Nodes are stored in a topologically sorted arena: node 0 is the
@@ -82,7 +133,6 @@ impl Node {
 /// assert_eq!(g.num_outputs(), 2);
 /// assert!(g.num_ands() <= 9);
 /// ```
-#[derive(Clone)]
 pub struct Aig {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
@@ -98,7 +148,30 @@ pub struct Aig {
     /// no longer a topological order and traversals must go through
     /// [`Aig::for_each_and_topo`] / [`Aig::topo_and_order`].
     forward: BTreeSet<NodeId>,
+    /// Lazily derived [`TopoIndex`] for the current forward epoch
+    /// (`None` until [`Aig::topo_and_order`] is called, and again
+    /// after any structural edit that could reorder dependencies).
+    /// Behind a `Mutex` so the read-only accessor can fill it from
+    /// `&self` while the graph stays `Sync` for `aig::par`.
+    topo_cache: Mutex<Option<Arc<TopoIndex>>>,
     name: String,
+}
+
+impl Clone for Aig {
+    fn clone(&self) -> Self {
+        Aig {
+            nodes: self.nodes.clone(),
+            inputs: self.inputs.clone(),
+            input_names: self.input_names.clone(),
+            outputs: self.outputs.clone(),
+            strash: self.strash.clone(),
+            forward: self.forward.clone(),
+            // The snapshot is immutable and valid for the identical
+            // clone; sharing the `Arc` keeps the clone cheap.
+            topo_cache: Mutex::new(self.topo_cache.lock().unwrap().clone()),
+            name: self.name.clone(),
+        }
+    }
 }
 
 impl Default for Aig {
@@ -119,6 +192,7 @@ impl Aig {
             outputs: Vec::new(),
             strash: HashMap::new(),
             forward: BTreeSet::new(),
+            topo_cache: Mutex::new(None),
             name: String::new(),
         }
     }
@@ -236,7 +310,52 @@ impl Aig {
         });
         self.inputs.push(id);
         self.input_names.push(name.map(Into::into));
+        self.topo_cache_append(id, false);
         Lit::new(id, false)
+    }
+
+    /// Delta-extends the cached [`TopoIndex`] for a freshly appended
+    /// node: appended nodes only reference earlier ids, so the tail of
+    /// the dependency order is the only place they can go. A snapshot
+    /// some consumer still holds (`Arc` shared) cannot be mutated and
+    /// is dropped instead — the next [`Aig::topo_and_order`] re-derives.
+    #[inline]
+    fn topo_cache_append(&mut self, id: NodeId, is_and: bool) {
+        let cache = self.topo_cache.get_mut().unwrap();
+        if let Some(arc) = cache.as_mut() {
+            match Arc::get_mut(arc) {
+                Some(ix) => {
+                    debug_assert_eq!(ix.pos.len(), id as usize);
+                    if is_and {
+                        ix.pos.push(ix.order.len() as u32);
+                        ix.order.push(id);
+                    } else {
+                        ix.pos.push(TopoIndex::NOT_AND);
+                    }
+                }
+                None => *cache = None,
+            }
+        }
+    }
+
+    /// Keeps the cached [`TopoIndex`] across a fanin rewire iff both
+    /// new fanins already precede the node in the cached order (then
+    /// the old order is still a valid dependency order of the new
+    /// graph); drops it otherwise — e.g. when a transaction splices an
+    /// appended cone (tail positions) into an earlier node.
+    #[inline]
+    fn topo_cache_check_rewire(&mut self, id: NodeId, fanins: [Lit; 2]) {
+        let cache = self.topo_cache.get_mut().unwrap();
+        if let Some(ix) = cache.as_deref() {
+            let p = ix.pos[id as usize];
+            let precedes = |f: Lit| {
+                let fp = ix.pos[f.var() as usize];
+                fp == TopoIndex::NOT_AND || fp < p
+            };
+            if !(precedes(fanins[0]) && precedes(fanins[1])) {
+                *cache = None;
+            }
+        }
     }
 
     /// Registers `lit` as a primary output; returns the output index.
@@ -291,6 +410,7 @@ impl Aig {
         let id = self.nodes.len() as NodeId;
         self.nodes.push(Node { fanin: [x, y] });
         self.strash.insert(key, id);
+        self.topo_cache_append(id, true);
         Lit::new(id, false)
     }
 
@@ -356,6 +476,7 @@ impl Aig {
         } else {
             self.forward.remove(&id);
         }
+        self.topo_cache_check_rewire(id, [x, y]);
         let mut inserted_new_key = false;
         self.strash.entry((x.raw(), y.raw())).or_insert_with(|| {
             inserted_new_key = true;
@@ -390,6 +511,7 @@ impl Aig {
         } else {
             self.forward.remove(&e.id);
         }
+        self.topo_cache_check_rewire(e.id, e.old);
         if e.removed_old_key {
             self.strash.insert((e.old[0].raw(), e.old[1].raw()), e.id);
         }
@@ -417,6 +539,25 @@ impl Aig {
             debug_assert_eq!(self.inputs.last(), Some(&id));
             self.inputs.pop();
             self.input_names.pop();
+        }
+        // Shrink the cached order in place when the popped node sits
+        // at its tail (the common rollback shape: the cache was
+        // extended or derived while the node was newest); a snapshot
+        // derived later — or shared — is dropped instead.
+        let cache = self.topo_cache.get_mut().unwrap();
+        if let Some(arc) = cache.as_mut() {
+            match Arc::get_mut(arc) {
+                Some(ix)
+                    if ix.pos.len() == id as usize + 1
+                        && (!node.is_and() || ix.order.last() == Some(&id)) =>
+                {
+                    if node.is_and() {
+                        ix.order.pop();
+                    }
+                    ix.pos.pop();
+                }
+                _ => *cache = None,
+            }
         }
     }
 
@@ -521,13 +662,27 @@ impl Aig {
         self.forward.iter().copied()
     }
 
-    /// A dependency-ordered (fanins first) listing of all AND node
-    /// ids. Deterministic: iterative DFS seeded in ascending id order,
+    /// The dependency-ordered (fanins first) [`TopoIndex`] over all
+    /// AND node ids — the listing plus its inverse position table.
+    /// Deterministic: iterative DFS seeded in ascending id order,
     /// visiting fanin 0 before fanin 1, which degenerates to plain
     /// ascending order on topological graphs.
-    pub fn topo_and_order(&self) -> Vec<NodeId> {
+    ///
+    /// Cached per forward epoch: the DFS runs at most once between
+    /// structural edits — repeat calls return the same snapshot
+    /// (`Arc`-shared), and plain appends extend it in place instead of
+    /// re-deriving. Structural edits that could reorder dependencies
+    /// ([`Aig::replace_fanins`] introducing a non-preceding fanin,
+    /// rollback pops of mid-order nodes) drop the cache; the next call
+    /// re-derives against the current graph.
+    pub fn topo_and_order(&self) -> Arc<TopoIndex> {
+        let mut cache = self.topo_cache.lock().unwrap();
+        if let Some(ix) = cache.as_ref() {
+            return Arc::clone(ix);
+        }
         let n = self.nodes.len();
         let mut order = Vec::with_capacity(self.num_ands());
+        let mut pos = vec![TopoIndex::NOT_AND; n];
         // 0 = unvisited, 1 = on the current DFS path, 2 = emitted.
         let mut state = vec![0u8; n];
         let mut stack: Vec<(NodeId, bool)> = Vec::new();
@@ -542,6 +697,7 @@ impl Aig {
                 }
                 if expanded {
                     state[id as usize] = 2;
+                    pos[id as usize] = order.len() as u32;
                     order.push(id);
                     continue;
                 }
@@ -557,7 +713,9 @@ impl Aig {
                 }
             }
         }
-        order
+        let ix = Arc::new(TopoIndex { order, pos });
+        *cache = Some(Arc::clone(&ix));
+        ix
     }
 
     /// Calls `f` for every AND node id in dependency order (fanins
@@ -570,7 +728,7 @@ impl Aig {
                 f(id);
             }
         } else {
-            for id in self.topo_and_order() {
+            for &id in self.topo_and_order().iter() {
                 f(id);
             }
         }
@@ -742,6 +900,111 @@ impl fmt::Debug for Aig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `pos` must be the exact inverse of `order`, with the sentinel
+    /// on every non-AND id.
+    fn assert_index_consistent(g: &Aig, ix: &TopoIndex) {
+        assert_eq!(ix.order().len(), g.num_ands());
+        for (i, &id) in ix.order().iter().enumerate() {
+            assert_eq!(ix.positions()[id as usize], i as u32);
+        }
+        for id in g.node_ids() {
+            if !g.is_and(id) {
+                assert_eq!(ix.positions()[id as usize], TopoIndex::NOT_AND);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_cache_stable_across_calls() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let _ = g.and(x, a);
+        let t1 = g.topo_and_order();
+        let t2 = g.topo_and_order();
+        assert!(Arc::ptr_eq(&t1, &t2), "repeat calls share the snapshot");
+        assert_index_consistent(&g, &t1);
+    }
+
+    #[test]
+    fn topo_cache_extends_on_append() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let before = g.topo_and_order().order().to_vec();
+        drop(g.topo_and_order());
+        // Sole owner: fresh nodes extend the snapshot in place.
+        let y = g.and(x, !a);
+        let c = g.add_input();
+        let z = g.and(y, c);
+        let after = g.topo_and_order();
+        assert_eq!(after.order()[..before.len()], before[..]);
+        assert_eq!(after.order()[before.len()..], [y.var(), z.var()]);
+        assert_index_consistent(&g, &after);
+    }
+
+    #[test]
+    fn topo_cache_dropped_when_snapshot_shared() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let held = g.topo_and_order();
+        // A live external reference pins the old snapshot; the cache
+        // cannot extend it in place and must re-derive.
+        let _ = g.and(x, !b);
+        let fresh = g.topo_and_order();
+        assert!(!Arc::ptr_eq(&held, &fresh));
+        assert_eq!(held.order().len(), 1, "held snapshot is the stale one");
+        assert_index_consistent(&g, &fresh);
+    }
+
+    #[test]
+    fn topo_cache_survives_backward_rewire_drops_on_forward() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.add_input();
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        let z = g.and(y, a);
+        drop(g.topo_and_order());
+        // Rewiring onto earlier nodes preserves the cached order.
+        let t1 = g.topo_and_order();
+        g.replace_fanins(z.var(), x, c);
+        let t2 = g.topo_and_order();
+        assert!(Arc::ptr_eq(&t1, &t2));
+        drop((t1, t2));
+        // A forward fanin (an appended replacement cone spliced into
+        // an earlier reader) invalidates it.
+        let w = g.and(b, c);
+        g.replace_fanins(x.var(), w, a);
+        assert!(!g.is_topological());
+        let t3 = g.topo_and_order();
+        assert_index_consistent(&g, &t3);
+        let px = t3.positions()[x.var() as usize];
+        let pw = t3.positions()[w.var() as usize];
+        assert!(pw < px, "fanin w must precede its reader x");
+    }
+
+    #[test]
+    fn topo_cache_shrinks_on_tail_pop() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        drop(g.topo_and_order());
+        let y = g.and(x, !a);
+        let before = g.topo_and_order().order().to_vec();
+        drop(g.topo_and_order());
+        g.pop_node(y.var());
+        let after = g.topo_and_order();
+        assert_eq!(after.order(), &before[..before.len() - 1]);
+        assert_index_consistent(&g, &after);
+    }
 
     #[test]
     fn trivial_and_rules() {

@@ -78,8 +78,12 @@
 //! * ids are permanent — nothing is renumbered on commit. The graph
 //!   tracks the forward set ([`Aig::forward_ids`]); ascending id order
 //!   stops being a topological order while it is non-empty
-//!   ([`Aig::is_topological`]), and every full traversal in the crate
-//!   family goes through [`Aig::for_each_and_topo`] so fresh
+//!   ([`Aig::is_topological`]). Dependency order is served by the
+//!   cached per-forward-epoch [`crate::TopoIndex`]
+//!   ([`Aig::topo_and_order`], delta-extended across appends), whose
+//!   position table is the worklist key incremental consumers (the
+//!   mapper's per-row cutoff) order by; every full traversal in the
+//!   crate family goes through [`Aig::for_each_and_topo`] so fresh
 //!   recomputations stay bit-identical to the incrementally
 //!   maintained state;
 //! * the only rejected substitution shapes are `with.var() == node`

@@ -94,7 +94,7 @@ pub mod sim;
 pub mod tt;
 
 pub use error::AigError;
-pub use graph::{Aig, AigStats, NodeKind, Output};
+pub use graph::{Aig, AigStats, NodeKind, Output, TopoIndex};
 pub use lit::{Lit, NodeId};
 
 #[cfg(test)]

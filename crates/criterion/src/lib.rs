@@ -112,6 +112,32 @@ impl Criterion {
         &self.records
     }
 
+    /// Registers a deterministic counter (recomputed rows, worklist
+    /// sizes, …) as a pseudo-measurement so it lands in the JSON
+    /// report as an ordinary series — median/mean/min all carry
+    /// `value`, with a single one-iteration sample. Ratio gates over
+    /// such series express *work* bounds instead of wall-clock ones,
+    /// immune to machine noise.
+    pub fn record_value(
+        &mut self,
+        group: impl Into<String>,
+        name: impl Into<String>,
+        value: f64,
+    ) -> &mut Self {
+        let record = Record {
+            group: group.into(),
+            name: name.into(),
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            samples: 1,
+            iters_per_sample: 1,
+        };
+        print_record(&record);
+        self.records.push(record);
+        self
+    }
+
     /// The median time of a recorded benchmark, by `(group, name)`.
     pub fn median_ns(&self, group: &str, name: &str) -> Option<f64> {
         self.records

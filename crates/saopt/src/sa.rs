@@ -92,12 +92,16 @@ pub(crate) fn run_inplace_plan(
 /// Deterministic dead-logic compaction checkpoint (both serial paths
 /// and the speculative commit loop apply it identically, so it is
 /// part of the byte-identity contract): after the `it`-th iteration's
-/// *accepted* move, the graph is swept when less than half its nodes
-/// are live. Append-capable moves strand their replaced cones as dead
-/// nodes; without a liveness-aware bound the arena (and every
-/// analysis over it) would grow without limit over a long chain.
+/// *accepted* move, the graph is swept when less than a quarter of
+/// its nodes are live. Append-capable moves strand their replaced
+/// cones as dead nodes; without a liveness-aware bound the arena (and
+/// every analysis over it) would grow without limit over a long
+/// chain. This is purely a garbage-ratio policy: the mapper's per-row
+/// cutoff and the design's in-place grow path stay active on
+/// uncompacted (non-topological) graphs, so sweeping is never needed
+/// to restore per-step speed.
 pub(crate) fn should_compact(it: usize, aig: &Aig) -> bool {
-    (it & 15) == 15 && aig.num_live_ands() * 2 < aig.num_ands()
+    (it & 15) == 15 && aig.num_live_ands() * 4 < aig.num_ands()
 }
 
 /// The Metropolis acceptance rule. One definition on purpose: the

@@ -34,11 +34,20 @@
 //!
 //! Patched netlists do not keep gate ids topologically sorted
 //! (retired slots are revived for unrelated logic), so the caller
-//! supplies a per-gate `order` key — any assignment where every gate's
-//! key strictly exceeds the keys of the gates driving its inputs (the
-//! incremental mapper derives one from AIG node ids). The worklist
-//! pops gates in ascending key order, so each touched gate is
-//! re-evaluated once, after all its fanin arrivals settled.
+//! supplies a per-gate `order` key — ideally an assignment where every
+//! gate's key strictly exceeds the keys of the gates driving its
+//! inputs (the incremental mapper derives one from AIG node ids). The
+//! worklist pops gates in ascending key order, so each touched gate
+//! is re-evaluated once, after all its fanin arrivals settled.
+//!
+//! The key ordering is a **performance contract, not a correctness
+//! one**: each pop recomputes its gate's arrival from scratch and
+//! re-pushes the sinks whenever the stored value's bits moved, so the
+//! drain reaches the same fixed point under any key assignment —
+//! mis-ordered keys (e.g. id-derived keys under the AIG's committed
+//! forward references, where an appended driver carries a higher id
+//! than its reader) only cost extra re-evaluations along the
+//! mis-ordered paths.
 //!
 //! Results are **bit-identical** to the full-recompute oracle: the
 //! per-gate arrival arithmetic is the same max-fold in pin order over

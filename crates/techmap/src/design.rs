@@ -57,6 +57,20 @@ use cells::Library;
 
 const NONE: u32 = u32::MAX;
 
+/// How the incoming graph's shape relates to the design's last-synced
+/// shape (see [`MappedDesign::shape_fit`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShapeFit {
+    /// Identical shape: the normal in-place patch.
+    Exact,
+    /// The graph grew by appended nodes/inputs/outputs only: the
+    /// tables extend in place and the patch stays footprint-bounded.
+    Grown,
+    /// Uninitialized, invalidated, or the graph shrank/changed
+    /// incompatibly: full rebuild.
+    Fresh,
+}
+
 /// The netlist-relevant part of a DP row: everything that determines
 /// the emitted gates of a node (timing scores excluded).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,8 +164,15 @@ impl MappedDesign {
         &self.nl
     }
 
-    /// Per-gate topological keys for `sta::incremental` (every gate's
-    /// key strictly exceeds its fanin drivers' keys).
+    /// Per-gate topological keys for `sta::incremental`. On graphs
+    /// without forward references every gate's key strictly exceeds
+    /// its fanin drivers' keys; under committed forward references
+    /// (node-id-derived keys, appended leaves spliced into earlier
+    /// readers) a driver's key can exceed its reader's. That is a
+    /// performance caveat only: the incremental STA's push-on-change
+    /// worklist converges to the same fixed point regardless of key
+    /// order (see `sta::incremental`), at the cost of extra
+    /// re-evaluations on mis-ordered paths.
     pub fn topo_keys(&self) -> &[u64] {
         &self.topo
     }
@@ -197,8 +218,24 @@ impl MappedDesign {
         );
     }
 
-    fn matches_shape(&self, aig: &Aig) -> bool {
-        self.initialized && self.shape == (aig.num_nodes(), aig.num_inputs(), aig.num_outputs())
+    /// How the graph's shape relates to the design's last-synced one.
+    fn shape_fit(&self, aig: &Aig) -> ShapeFit {
+        if !self.initialized {
+            return ShapeFit::Fresh;
+        }
+        let now = (aig.num_nodes(), aig.num_inputs(), aig.num_outputs());
+        if self.shape == now {
+            ShapeFit::Exact
+        } else if now.0 >= self.shape.0 && now.1 >= self.shape.1 && now.2 >= self.shape.2 {
+            // The graph only grew: node ids, the input list, and the
+            // output list are all append-only in the transaction
+            // engine, so every tracked entry still describes the same
+            // object — the design extends in place instead of
+            // rebuilding (see `grow`).
+            ShapeFit::Grown
+        } else {
+            ShapeFit::Fresh
+        }
     }
 
     fn reset(&mut self, aig: &Aig, lib: &Library) {
@@ -236,6 +273,33 @@ impl MappedDesign {
         self.delta_nets.clear();
         self.net_mark.clear();
         self.initialized = true;
+    }
+
+    /// Extends the per-node tables in place after the graph grew by
+    /// appended rows (fresh-cone SA moves): appended nodes enter
+    /// unmaterialized with zero demand — the following `apply_rows`
+    /// materializes exactly those pulled into the cover, seeded by
+    /// the changed rows of the nodes spliced onto them. Appended
+    /// primary inputs get their nets here (the input list is
+    /// append-only, so existing entries keep their nets).
+    fn grow(&mut self, aig: &Aig) {
+        let n = aig.num_nodes();
+        self.base_refs.resize(n, 0);
+        self.compl_refs.resize(n, 0);
+        self.planned.resize(n, false);
+        self.main_gate.resize(n, NONE);
+        self.post_inv.resize(n, NONE);
+        self.compl_inv.resize(n, NONE);
+        self.base_net.resize(n, NONE);
+        self.emitted.resize(n, EmitKey::default());
+        self.reemit_mark.resize(n, false);
+        for &pi in &aig.inputs()[self.shape.1..] {
+            let net = self.nl.add_input();
+            self.base_net[pi as usize] = net.0;
+        }
+        // Appended output ports are handled by `apply_rows`' port
+        // diff (indexes past the snapshot read as additions);
+        // `shape` is refreshed there too.
     }
 
     fn begin_sync(&mut self) {
@@ -576,15 +640,16 @@ impl MappedDesign {
             // Committed forward references: ascending ids are no
             // longer dependency-ordered — a leaf emitted in this very
             // sweep can carry a higher id than its reader. Re-sort by
-            // dependency position; non-AND ids keep an ascending
-            // front block (a primary input's complement inverter must
-            // exist before any reader's gates are emitted).
+            // the cached dependency position; non-AND ids (position
+            // sentinel) keep an ascending front block (a primary
+            // input's complement inverter must exist before any
+            // reader's gates are emitted).
             let topo = aig.topo_and_order();
-            let mut pos = vec![0u32; aig.num_nodes()];
-            for (i, &id) in topo.iter().enumerate() {
-                pos[id as usize] = i as u32 + 1;
-            }
-            order.sort_by_key(|&v| (pos[v as usize], v));
+            let pos = topo.positions();
+            order.sort_by_key(|&v| match pos[v as usize] {
+                aig::TopoIndex::NOT_AND => (0, v),
+                p => (p + 1, v),
+            });
         }
         for &v in &order {
             let vi = v as usize;
@@ -660,10 +725,13 @@ impl Mapper<'_> {
     /// instead of everything above the watermark.
     ///
     /// Returns `true` when the design had to be (re)built from
-    /// scratch — uninitialized, invalidated, or shape-mismatched —
-    /// in which case the caller must run the full
+    /// scratch — uninitialized, invalidated, or incompatibly
+    /// reshaped — in which case the caller must run the full
     /// [`MappedDesign::finish_full`] + `IncrementalSta::build`
-    /// pipeline instead of the incremental one.
+    /// pipeline instead of the incremental one. A graph that only
+    /// *grew* (appended fresh-cone rows, appended inputs/outputs) is
+    /// **not** a rebuild: the tables extend in place and the sync
+    /// stays on the incremental pipeline.
     ///
     /// The live netlist mirrors [`Mapper::map_incremental`]'s output
     /// gate-for-gate (slot numbering aside): same cells, same
@@ -683,7 +751,7 @@ impl Mapper<'_> {
         dirty_since: NodeId,
         design: &mut MappedDesign,
     ) -> Result<bool, MapError> {
-        let fresh = !design.matches_shape(aig);
+        let fit = design.shape_fit(aig);
         let since = match self.dp_update(ctx, aig, cuts, dirty_since) {
             Ok(since) => since,
             Err(e) => {
@@ -691,11 +759,20 @@ impl Mapper<'_> {
                 return Err(e);
             }
         };
-        let since = if fresh {
-            design.reset(aig, self.library());
-            0
-        } else {
-            since
+        let (fresh, since) = match fit {
+            ShapeFit::Exact => (false, since),
+            ShapeFit::Grown => {
+                // Appended rows only: extend the tables in place and
+                // keep the DP watermark — the patch (and with it the
+                // sizing/STA worklists) stays footprint-seeded
+                // instead of rebuilding the whole cover.
+                design.grow(aig);
+                (false, since)
+            }
+            ShapeFit::Fresh => {
+                design.reset(aig, self.library());
+                (true, 0)
+            }
         };
         design.begin_sync();
         design.apply_rows(ctx, aig, self.library(), since);

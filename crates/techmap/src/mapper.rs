@@ -263,8 +263,9 @@ pub struct MapContext {
     /// AND fanins at the last successful `dp_update` (adjacency diff
     /// baseline; unused entries for non-AND ids).
     prev_fanins: Vec<[Lit; 2]>,
-    /// Ascending worklist scratch for the cutoff pass.
-    heap: BinaryHeap<Reverse<NodeId>>,
+    /// Dependency-ordered worklist scratch for the cutoff pass,
+    /// keyed by topo position (== id on topological graphs).
+    heap: BinaryHeap<Reverse<(u32, NodeId)>>,
     queued: Vec<bool>,
     /// Batched consumer-edge removals `(old target, reader)` for the
     /// fanin diff, grouped per target so a high-fanout substitution
@@ -509,14 +510,10 @@ impl<'a> Mapper<'a> {
         // order: ascending ids, except when committed forward
         // references exist (in-place appended cones spliced into
         // earlier nodes), where a leaf can carry a higher id than its
-        // reader.
-        let ids: Box<dyn Iterator<Item = NodeId> + '_> = if aig.is_topological() {
-            Box::new(aig.and_ids())
-        } else {
-            Box::new(aig.topo_and_order().into_iter())
-        };
+        // reader. `for_each_and_topo` serves the cached dependency
+        // order in that case — no per-call allocation either way.
         let mut recomputed = 0usize;
-        for id in ids {
+        aig.for_each_and_topo(|id| {
             recomputed += 1;
             let Some(best) =
                 self.choose_for_node(id, cuts.cuts(id), fanout, arrival, flow, shortlists)
@@ -525,12 +522,12 @@ impl<'a> Mapper<'a> {
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
                 none_rows.push(id);
-                continue;
+                return;
             };
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
-        }
+        });
         // Liveness is checked after the sweep so the error names the
         // first live unmatchable node in *ascending* id order — the
         // incremental entry points' report — whatever row order ran.
@@ -623,7 +620,7 @@ impl<'a> Mapper<'a> {
     /// is recomputed only if its cut-list version moved or the
     /// leaf-visible state (arrival, flow, fanout) of one of its
     /// candidate cuts' leaves changed, with changes propagated in
-    /// topological order by bit-equality. Skipped rows are provably
+    /// dependency order by bit-equality. Skipped rows are provably
     /// bit-identical to what a recompute would produce (deterministic
     /// DP over unchanged inputs), so the result — and the produced
     /// netlist — never depends on the cutoff. Without a valid
@@ -631,6 +628,22 @@ impl<'a> Mapper<'a> {
     /// database, or [`MapContext::set_row_cutoff`]`(false)`) every row
     /// at or above the watermark is recomputed and a fresh snapshot
     /// is taken.
+    ///
+    /// **Cutoff invariant (leaf settles before root).** The worklist
+    /// is keyed by [`aig::TopoIndex`] position — the identity on
+    /// topological graphs, the cached dependency order under
+    /// committed forward references. Every leaf of every candidate
+    /// cut lies in the transitive fanin of its root, so its position
+    /// key is strictly smaller than the root's; the ascending-key pop
+    /// therefore finalizes a leaf's (arrival, flow, fanout) bits and
+    /// its `row_changed` mark before any root row consults them, and
+    /// the equality cutoff never reads half-settled state. The
+    /// watermark is additionally clamped below the first forward id
+    /// (see the clamp in the body), which restores the suffix-closure
+    /// argument the three sequential scans (version diff, suffix
+    /// fanout refresh, fanin diff) rely on: below the clamp no
+    /// forward node exists, so no node below the watermark reads one
+    /// at or above it.
     pub(crate) fn dp_update(
         &self,
         ctx: &mut MapContext,
@@ -694,12 +707,12 @@ impl<'a> Mapper<'a> {
         }
         // The per-row cutoff needs the previous call's version
         // snapshot for *this* database (`map_with` and errors clear
-        // it; a different `CutDb` instance never matches), and its
-        // ascending worklist assumes leaf rows settle before their
-        // readers' — false under forward references, which take the
-        // watermark fallback instead.
+        // it; a different `CutDb` instance never matches). Forward
+        // references do not disqualify it: the worklist pops in
+        // topo-position order, so leaf rows settle before their
+        // readers' even when a leaf carries a higher id (see
+        // `dp_rows_cutoff`).
         let cutoff = !ctx.cutoff_disabled
-            && aig.is_topological()
             && prev_n > 0
             && ctx.seen_db == Some(cuts.instance_id())
             && ctx.seen_versions.len() == prev_n;
@@ -718,7 +731,15 @@ impl<'a> Mapper<'a> {
             ctx.changed_rows.clear();
         }
         ctx.last_recomputed_rows = if cutoff {
-            self.dp_rows_cutoff(ctx, aig, cuts, since)
+            let recomputed = self.dp_rows_cutoff(ctx, aig, cuts, since);
+            // The worklist pops in topo-position order, so
+            // `changed_rows` accumulated in pop order; downstream
+            // consumers (`apply_rows`' re-emission scan, design
+            // patching) expect ascending ids, exactly like the
+            // watermark path's record.
+            ctx.changed_rows.sort_unstable();
+            ctx.changed_rows.dedup();
+            recomputed
         } else {
             self.dp_rows_watermark(ctx, aig, cuts, since)
         };
@@ -818,16 +839,13 @@ impl<'a> Mapper<'a> {
         }
         // Recomputed rows must settle in dependency order: ascending
         // ids, except under committed forward references, where an
-        // appended leaf's row must settle before its spliced reader's.
-        let ids: Box<dyn Iterator<Item = NodeId> + '_> = if aig.is_topological() {
-            Box::new(aig.and_ids())
-        } else {
-            Box::new(aig.topo_and_order().into_iter())
-        };
+        // appended leaf's row must settle before its spliced reader's
+        // — `for_each_and_topo` serves the cached dependency order in
+        // that case, with no per-call allocation either way.
         let mut recomputed = 0usize;
-        for id in ids {
+        aig.for_each_and_topo(|id| {
             if id < since {
-                continue;
+                return;
             }
             recomputed += 1;
             let Some(best) =
@@ -837,12 +855,12 @@ impl<'a> Mapper<'a> {
                 arrival[id as usize] = 0.0;
                 flow[id as usize] = 0.0;
                 none_rows.push(id);
-                continue;
+                return;
             };
             arrival[id as usize] = best.arrival_ps;
             flow[id as usize] = best.area_flow;
             chosen[id as usize] = Some(best);
-        }
+        });
         if !aig.is_topological() {
             // Dependency-ordered pushes above; `none_rows` must stay
             // ascending (first-live-unmatchable reporting, binary
@@ -856,7 +874,8 @@ impl<'a> Mapper<'a> {
     /// for the validity conditions): a consumer-adjacency worklist,
     /// seeded by rows whose [`CutDb::version`] moved and by the
     /// consumers of leaves whose fanout count moved, popped in
-    /// ascending (topological) id order. A popped row is recomputed
+    /// dependency (topo-position) order — plain ascending ids on
+    /// topological graphs. A popped row is recomputed
     /// only if its version moved or one of its candidate cuts' leaves
     /// carries a changed (arrival, flow, fanout) bit-state; the
     /// change — or a still-dirty candidate leaf, which a consumer may
@@ -882,8 +901,11 @@ impl<'a> Mapper<'a> {
         ctx.row_changed.resize(n, false);
         // Suffix fanout refresh: fanout below the watermark is
         // unchanged by the caller contract, and every consumer of a
-        // node at or above it also sits at or above it (ids are
-        // topological), so the suffix counts close over themselves.
+        // node at or above it also sits at or above it — `dp_update`
+        // clamped the watermark below the first forward id, so a
+        // consumer below it reading a node above it would itself be a
+        // forward node below the first one, a contradiction. The
+        // suffix counts therefore close over themselves.
         // Leaves whose count moved feed the area-flow term of every
         // row using them — mark them changed and collect them as
         // worklist seeds.
@@ -972,6 +994,24 @@ impl<'a> Mapper<'a> {
             }
             i = j;
         }
+        // Worklist ordering: on topological graphs the id itself is a
+        // dependency-order key (no index derivation); under committed
+        // forward references the cached topo-position index supplies
+        // one. Either way a cut leaf lies in the transitive fanin of
+        // its root, so its key is strictly smaller — popping in
+        // ascending key order makes every leaf row final before any
+        // reader consults it.
+        let topo = if aig.is_topological() {
+            None
+        } else {
+            Some(aig.topo_and_order())
+        };
+        let key = |id: NodeId| -> u32 {
+            match &topo {
+                None => id,
+                Some(t) => t.positions()[id as usize],
+            }
+        };
         let MapContext {
             fanout,
             chosen,
@@ -989,10 +1029,10 @@ impl<'a> Mapper<'a> {
             ..
         } = ctx;
         let enqueue =
-            |heap: &mut BinaryHeap<Reverse<NodeId>>, queued: &mut Vec<bool>, id: NodeId| {
+            |heap: &mut BinaryHeap<Reverse<(u32, NodeId)>>, queued: &mut Vec<bool>, id: NodeId| {
                 if !queued[id as usize] {
                     queued[id as usize] = true;
-                    heap.push(Reverse(id));
+                    heap.push(Reverse((key(id), id)));
                 }
             };
         // Seeds: rows whose own cut list may have changed (version
@@ -1010,13 +1050,13 @@ impl<'a> Mapper<'a> {
             }
         }
         let mut recomputed = 0usize;
-        while let Some(Reverse(id)) = heap.pop() {
+        while let Some(Reverse((_, id))) = heap.pop() {
             queued[id as usize] = false;
             let vi = id as usize;
             let cut_list = cuts.cuts(id);
-            // Cut leaves precede the root, so their `row_changed`
-            // bits are final by the time this ascending pop reads
-            // them.
+            // Cut leaves precede the root in dependency order, so
+            // their `row_changed` bits are final by the time this
+            // ascending-key pop reads them.
             let version_moved = seen_versions.get(vi).copied() != Some(cuts.version(id));
             let leaf_dirty = cut_list
                 .iter()

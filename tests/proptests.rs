@@ -132,6 +132,110 @@ fn sta_is_consistent() {
     }
 }
 
+/// `topo_and_order` / `forward_ids` structural properties, on
+/// topological graphs and on graphs carrying committed forward
+/// references (appended replacement cones spliced into earlier
+/// readers): the order is a valid dependency order containing every
+/// AND node exactly once, its position table is the exact inverse
+/// (sentinel on non-ANDs), the snapshot is stable (pointer-equal)
+/// across calls without edits, and the forward set is precisely the
+/// ANDs reading a larger-id fanin.
+#[test]
+fn topo_order_is_a_stable_dependency_order() {
+    use aig::incremental::{IncrementalAnalysis, Transaction};
+    use aig::{Lit, TopoIndex};
+    use std::sync::Arc;
+
+    let check = |g: &aig::Aig, what: &str| {
+        let ix = g.topo_and_order();
+        // Pointer-stable without edits.
+        assert!(
+            Arc::ptr_eq(&ix, &g.topo_and_order()),
+            "{what}: repeat call re-derived"
+        );
+        // Every AND exactly once.
+        let mut listed: Vec<_> = ix.order().to_vec();
+        listed.sort_unstable();
+        let mut ands: Vec<_> = g.and_ids().collect();
+        ands.sort_unstable();
+        assert_eq!(
+            listed, ands,
+            "{what}: order is not a permutation of the ANDs"
+        );
+        // Inverse position table, sentinel on non-ANDs.
+        for (i, &id) in ix.order().iter().enumerate() {
+            assert_eq!(ix.positions()[id as usize], i as u32, "{what}: pos inverse");
+        }
+        for id in g.node_ids() {
+            if !g.is_and(id) {
+                assert_eq!(
+                    ix.positions()[id as usize],
+                    TopoIndex::NOT_AND,
+                    "{what}: non-AND sentinel"
+                );
+            }
+        }
+        // Valid dependency order: every AND fanin precedes its reader.
+        for &id in ix.order().iter() {
+            let p = ix.positions()[id as usize];
+            for f in g.fanins(id) {
+                if g.is_and(f.var()) {
+                    assert!(
+                        ix.positions()[f.var() as usize] < p,
+                        "{what}: fanin {} does not precede reader {id}",
+                        f.var()
+                    );
+                }
+            }
+        }
+        // The forward set is exactly the ANDs reading a larger id.
+        let expected: Vec<_> = g
+            .and_ids()
+            .filter(|&id| g.fanins(id).iter().any(|f| f.var() > id))
+            .collect();
+        let got: Vec<_> = g.forward_ids().collect();
+        assert_eq!(got, expected, "{what}: forward set");
+        assert_eq!(g.is_topological(), expected.is_empty(), "{what}");
+    };
+
+    let mut forward_cases = 0usize;
+    for case in 0..CASES {
+        let mut g = random_aig(8000 + case);
+        check(&g, &format!("case {case} (clean)"));
+        // Splice an appended cone into a mid-graph node, creating
+        // forward references at its readers.
+        let ands: Vec<_> = g.and_ids().collect();
+        if ands.len() < 4 {
+            continue;
+        }
+        let target = ands[ands.len() / 2 + (case as usize % (ands.len() / 4))];
+        let ins = g.inputs().to_vec();
+        let a = Lit::new(ins[case as usize % ins.len()], case % 2 == 0);
+        let b = Lit::new(ins[(case as usize + 1) % ins.len()], case % 3 == 0);
+        let mut inc = IncrementalAnalysis::new(&g);
+        let mut txn = Transaction::begin(&mut g, &mut inc);
+        let cone = txn.and(a, b);
+        let root = txn.and(cone, !a);
+        // Strashing may resolve the "fresh" cone to an existing node
+        // whose fanin contains the target — splicing that would close
+        // a cycle; skip those draws.
+        if txn.aig().reaches(root.var(), target) {
+            txn.rollback();
+            continue;
+        }
+        txn.substitute(target, root);
+        txn.commit();
+        check(&g, &format!("case {case} (appended)"));
+        if !g.is_topological() {
+            forward_cases += 1;
+        }
+    }
+    assert!(
+        forward_cases >= CASES as usize / 4,
+        "too few forward-carrying cases ({forward_cases})"
+    );
+}
+
 /// Feature extraction is total and finite on arbitrary AIGs.
 #[test]
 fn features_always_finite() {
