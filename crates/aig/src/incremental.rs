@@ -217,7 +217,11 @@ impl DirtyRegion {
         merge_sorted(&mut self.fanout_touched, &other.fanout_touched);
     }
 
-    fn clear(&mut self) {
+    /// Empties all three sets. Callers that keep a long-lived region
+    /// as a merge accumulator (the SA loops capture a move's footprint
+    /// across a rollback to drive evaluator resync) reset it with this
+    /// instead of reallocating.
+    pub fn clear(&mut self) {
         self.nodes.clear();
         self.edited.clear();
         self.fanout_touched.clear();
@@ -449,8 +453,11 @@ impl IncrementalAnalysis {
         &self.consumers[id as usize]
     }
 
-    /// The touched sets of the most recent
-    /// [`IncrementalAnalysis::substitute`].
+    /// The touched sets of the most recent edit — a
+    /// [`IncrementalAnalysis::substitute`] or a
+    /// [`IncrementalAnalysis::sync`] (appended consumers move their
+    /// fanins' fanout; retargeted outputs move their drivers').
+    /// [`IncrementalAnalysis::rebuild`] clears it.
     pub fn last_dirty(&self) -> &DirtyRegion {
         &self.dirty
     }
@@ -478,6 +485,7 @@ impl IncrementalAnalysis {
         self.queued.clear();
         self.queued.resize(n, false);
         aig.for_each_and_topo(|id| self.absorb_and(aig, id));
+        self.dirty.clear();
         self.out_snapshot.clear();
         for o in aig.outputs() {
             self.fanout[o.lit.var() as usize] += 1;
@@ -506,9 +514,14 @@ impl IncrementalAnalysis {
         self.fanout.resize(n, 0);
         self.consumers.resize_with(n, Vec::new);
         self.queued.resize(n, false);
+        self.dirty.clear();
         for id in old_n as NodeId..n as NodeId {
             if aig.is_and(id) {
                 self.absorb_and(aig, id);
+                self.dirty.nodes.push(id);
+                let [f0, f1] = aig.fanins(id);
+                self.dirty.fanout_touched.push(f0.var());
+                self.dirty.fanout_touched.push(f1.var());
             }
         }
         // Diff the outputs: changed drivers move one fanout unit.
@@ -519,14 +532,19 @@ impl IncrementalAnalysis {
                 Some(&old) => {
                     self.fanout[old.var() as usize] -= 1;
                     self.fanout[o.lit.var() as usize] += 1;
+                    self.dirty.fanout_touched.push(old.var());
+                    self.dirty.fanout_touched.push(o.lit.var());
                     self.out_snapshot[i] = o.lit;
                 }
                 None => {
                     self.fanout[o.lit.var() as usize] += 1;
+                    self.dirty.fanout_touched.push(o.lit.var());
                     self.out_snapshot.push(o.lit);
                 }
             }
         }
+        self.dirty.fanout_touched.sort_unstable();
+        self.dirty.fanout_touched.dedup();
         assert!(
             self.out_snapshot.len() == outs.len(),
             "outputs are append-only"

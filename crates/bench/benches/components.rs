@@ -14,6 +14,40 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use techmap::{MapContext, MapOptions, Mapper};
 
+/// Transitive-fanout cone size of every node (plan classification
+/// only — distinguishes footprint-bounded moves from global ones).
+fn fanout_cone_sizes(base: &aig::Aig) -> Vec<u32> {
+    let n = base.num_nodes();
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for id in base.and_ids() {
+        let [f0, f1] = base.fanins(id);
+        consumers[f0.var() as usize].push(id);
+        consumers[f1.var() as usize].push(id);
+    }
+    let mut out = vec![0u32; n];
+    let mut seen = vec![false; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for id in base.and_ids() {
+        stack.push(id);
+        while let Some(x) = stack.pop() {
+            for &c in &consumers[x as usize] {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
+                    touched.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out[id as usize] = touched.len() as u32;
+        for &t in &touched {
+            seen[t as usize] = false;
+        }
+        touched.clear();
+    }
+    out
+}
+
 fn bench_components(c: &mut Criterion) {
     let (small, large) = design_pair();
     let lib = library();
@@ -38,6 +72,123 @@ fn bench_components(c: &mut Criterion) {
     g.bench_function("feature_extract_ex28", |b| {
         b.iter(|| features::extract(black_box(&large.aig)))
     });
+    // Full Table II extraction (the ML evaluator's per-candidate cost
+    // before incremental maintenance) vs `IncrementalFeatures`
+    // replaying a *rejected* speculation (the dominant SA case):
+    // transaction substitute → sync + assemble on the edited graph →
+    // rollback → re-sync to the restored graph. Every rollback
+    // restores the base exactly, so the replay is rebuild-free steady
+    // state. The PO cache counters land as `feat_incr_pos_*` work
+    // bounds: most per-sync output evaluations must be served from
+    // the cache, not recomputed.
+    g.bench_function("feat_full_ex28", |b| {
+        b.iter(|| features::extract(black_box(&large.aig)))
+    });
+    let (feat_pos_recomputed, feat_pos_total);
+    {
+        use aig::incremental::{DirtyRegion, Transaction};
+        let base = large.aig.clone();
+        // Small transitive-fanout moves: a feature edit re-propagates
+        // the PO path-count recurrences through the node's whole
+        // downstream cone, so a footprint-bounded SA move is one on a
+        // small cone (the same move class `map_dp_*_ex28` replays).
+        let cones = fanout_cone_sizes(&base);
+        let small: Vec<NodeId> = base
+            .and_ids()
+            .filter(|&id| cones[id as usize] <= 60)
+            .collect();
+        // Deterministic plan of rewires onto an earlier small-cone
+        // node; every step must actually edit (some nodes have no
+        // readers).
+        let mut plan: Vec<(NodeId, Lit)> = Vec::new();
+        for i in 0..192u64 {
+            let node = small[((i.wrapping_mul(2654435761)) % small.len() as u64) as usize];
+            let lows: Vec<NodeId> = small.iter().copied().filter(|&v| v < node).collect();
+            if lows.is_empty() {
+                continue;
+            }
+            let with = Lit::new(lows[(i as usize).wrapping_mul(13) % lows.len()], i % 4 == 0);
+            let mut trial = base.clone();
+            let mut tinc = IncrementalAnalysis::new(&trial);
+            tinc.substitute(&mut trial, node, with);
+            if !tinc.last_dirty().edited().is_empty() {
+                plan.push((node, with));
+            }
+            if plan.len() >= 32 {
+                break;
+            }
+        }
+        assert!(plan.len() >= 16, "substitution plan degenerated");
+        let mut edited = base.clone();
+        let mut inc = IncrementalAnalysis::new(&edited);
+        let mut feats = features::IncrementalFeatures::default();
+        feats.rebuild(&edited);
+        let mut region = DirtyRegion::default();
+        let mut step = 0usize;
+        g.bench_function("feat_incr_edit_ex28", |b| {
+            b.iter(|| {
+                let (node, with) = plan[step % plan.len()];
+                step += 1;
+                let mut txn = Transaction::begin(&mut edited, &mut inc);
+                txn.substitute(node, with);
+                region.clear();
+                region.merge(txn.touched_region());
+                feats.sync(txn.aig(), &region, txn.analysis());
+                let probe = feats.features(txn.aig());
+                txn.rollback();
+                feats.sync(&edited, &region, &inc);
+                black_box(probe)
+            })
+        });
+        feat_pos_recomputed = feats.pos_recomputed();
+        feat_pos_total = feats.pos_evaluated();
+    }
+    // Batched allocation-free GBT inference: the pre-flattened SoA
+    // forest filling a caller-owned output slice vs the per-row
+    // boxed-tree walk, on a paper-sized model (120 rounds) over a
+    // few thousand feature rows.
+    {
+        use gbt::Forest;
+        let mut data = gbt::Dataset::new(features::NUM_FEATURES);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut row = vec![0.0f32; features::NUM_FEATURES];
+        for _ in 0..2048 {
+            let mut label = 10.0f32;
+            for f in row.iter_mut() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *f = ((state >> 40) as f32) / ((1u32 << 24) as f32);
+                label += *f;
+            }
+            data.push_row(&row, label);
+        }
+        let model = gbt::train(
+            &data,
+            &gbt::GbtParams {
+                num_rounds: 120,
+                seed: 5,
+                ..gbt::GbtParams::default()
+            },
+        );
+        let forest = Forest::flatten(&model);
+        let mut out = vec![0.0f64; data.len()];
+        g.bench_function("gbt_scalar_predict", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..data.len() {
+                    acc += model.predict(black_box(data.row(i)));
+                }
+                acc
+            })
+        });
+        g.bench_function("gbt_batch_predict", |b| {
+            b.iter(|| {
+                forest.predict_into(black_box(data.features()), &mut out);
+                out[out.len() - 1]
+            })
+        });
+    }
     g.bench_function("map_ex00", |b| b.iter(|| mapper.map(black_box(&small.aig))));
     g.bench_function("map_ex28", |b| b.iter(|| mapper.map(black_box(&large.aig))));
     // Context-reusing mapping: same netlists as `map_*`, but the
@@ -167,38 +318,7 @@ fn bench_components(c: &mut Criterion) {
         use aig::incremental::Transaction;
         let base = large.aig.clone();
         let ands: Vec<NodeId> = base.and_ids().collect();
-        // Transitive-fanout cone sizes (plan classification only).
-        let cones: Vec<u32> = {
-            let n = base.num_nodes();
-            let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-            for id in base.and_ids() {
-                let [f0, f1] = base.fanins(id);
-                consumers[f0.var() as usize].push(id);
-                consumers[f1.var() as usize].push(id);
-            }
-            let mut out = vec![0u32; n];
-            let mut seen = vec![false; n];
-            let mut touched: Vec<NodeId> = Vec::new();
-            let mut stack: Vec<NodeId> = Vec::new();
-            for id in base.and_ids() {
-                stack.push(id);
-                while let Some(x) = stack.pop() {
-                    for &c in &consumers[x as usize] {
-                        if !seen[c as usize] {
-                            seen[c as usize] = true;
-                            touched.push(c);
-                            stack.push(c);
-                        }
-                    }
-                }
-                out[id as usize] = touched.len() as u32;
-                for &t in &touched {
-                    seen[t as usize] = false;
-                }
-                touched.clear();
-            }
-            out
-        };
+        let cones = fanout_cone_sizes(&base);
         let small: Vec<NodeId> = ands
             .iter()
             .copied()
@@ -448,6 +568,31 @@ fn bench_components(c: &mut Criterion) {
         ) {
             eprintln!("map_ctx_reuse {ex}: {:.2}x vs fresh map", fresh / reused);
         }
+    }
+    c.record_value(
+        "components",
+        "feat_incr_pos_recomputed",
+        feat_pos_recomputed as f64,
+    );
+    c.record_value("components", "feat_incr_pos_total", feat_pos_total as f64);
+    if let (Some(full), Some(incr)) = (
+        c.median_ns("components", "feat_full_ex28"),
+        c.median_ns("components", "feat_incr_edit_ex28"),
+    ) {
+        eprintln!(
+            "feat_incr_edit_ex28: {:.1}x faster than full extraction (tracked >= 5x; \
+             PO cache: {feat_pos_recomputed}/{feat_pos_total} recomputed)",
+            full / incr
+        );
+    }
+    if let (Some(scalar), Some(batch)) = (
+        c.median_ns("components", "gbt_scalar_predict"),
+        c.median_ns("components", "gbt_batch_predict"),
+    ) {
+        eprintln!(
+            "gbt_batch_predict: {:.2}x faster than the per-row tree walk (tracked >= 2x)",
+            scalar / batch
+        );
     }
     if let (Some(full), Some(incr)) = (
         c.median_ns("components", "cut_enum_full_ex28"),

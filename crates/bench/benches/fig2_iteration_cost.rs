@@ -9,7 +9,7 @@ use aig::cut::CutDb;
 use aig::incremental::{IncrementalAnalysis, Transaction};
 use bench::{bench_json_path, candidate_of, design_pair, library};
 use criterion::{criterion_group, criterion_main, Criterion};
-use saopt::{CostEvaluator, GroundTruthCost, ProxyCost};
+use saopt::{CostEvaluator, EditScope, GroundTruthCost, ProxyCost};
 use sta::IncrementalSta;
 use std::hint::black_box;
 use techmap::{GateId, MapContext, MapOptions, MappedDesign, Mapper, SizingTable};
@@ -238,7 +238,7 @@ fn bench_fig2(c: &mut Criterion) {
             db.build(&current);
             // Warm the persistent design/STA state once; every
             // measured iteration is then the steady state.
-            let _ = e.evaluate_edit(&current, &db, 0, &mut ctx);
+            let _ = e.evaluate_edit(&current, &EditScope::new(&db, 0), &mut ctx);
             // Full-period LCG so the window start keeps sweeping the
             // whole graph (a plain multiplicative rotation can
             // collapse into a short cycle and flatter the numbers).
@@ -257,10 +257,10 @@ fn bench_fig2(c: &mut Criterion) {
                     64,
                 );
                 let since = txn.min_touched();
-                let m = e.evaluate_edit(txn.aig(), &db, since, &mut ctx);
+                let m = e.evaluate_edit(txn.aig(), &EditScope::new(&db, since), &mut ctx);
                 txn.rollback();
                 db.rollback_edit();
-                e.resync_edit(&current, &db, since, &mut ctx);
+                e.resync_edit(&current, &EditScope::new(&db, since), &mut ctx);
                 m
             })
         });
@@ -304,7 +304,7 @@ fn bench_fig2(c: &mut Criterion) {
             let mut inc = IncrementalAnalysis::new(&current);
             let mut db = CutDb::new(4, 8);
             db.build(&current);
-            let m0 = e.evaluate_edit(&current, &db, 0, &mut ctx);
+            let m0 = e.evaluate_edit(&current, &EditScope::new(&db, 0), &mut ctx);
             let mut last = (m0.delay, m0.area);
             let mut state = 1u32;
             b.iter(|| {
@@ -353,7 +353,7 @@ fn bench_fig2(c: &mut Criterion) {
                 // row at or above the dirty watermark clamped to the
                 // first committed forward reference.
                 let eff = since.min(current.forward_ids().next().unwrap_or(u32::MAX));
-                let m = e.evaluate_edit(&current, &db, since, &mut ctx);
+                let m = e.evaluate_edit(&current, &EditScope::new(&db, since), &mut ctx);
                 append_recomputed_rows += e.dp_recomputed_rows() as u64;
                 append_rows_above_watermark +=
                     (current.num_nodes() as u64).saturating_sub(eff as u64);
@@ -362,7 +362,7 @@ fn bench_fig2(c: &mut Criterion) {
                     inc = IncrementalAnalysis::new(&current);
                     db = CutDb::new(4, 8);
                     db.build(&current);
-                    let _ = e.evaluate_edit(&current, &db, 0, &mut ctx);
+                    let _ = e.evaluate_edit(&current, &EditScope::new(&db, 0), &mut ctx);
                 }
                 last = (m.delay, m.area);
                 last

@@ -96,10 +96,8 @@ pub fn run(cfg: &Config) -> GnnAblationResult {
         },
     );
     let gnn_train_s = t1.elapsed().as_secs_f64();
-    let gnn_preds: Vec<f64> = test_graphs
-        .iter()
-        .map(|(g, _)| gnn_model.predict(g))
-        .collect();
+    let graphs: Vec<_> = test_graphs.iter().map(|(g, _)| g.clone()).collect();
+    let gnn_preds: Vec<f64> = gnn_model.predict_batch(&graphs);
     let gnn_truths: Vec<f64> = test_graphs.iter().map(|(_, y)| *y).collect();
     let gnn_stats = pct_error_stats(&gnn_preds, &gnn_truths);
 

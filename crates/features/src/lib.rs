@@ -21,6 +21,35 @@
 //! invariant to monotone per-feature transforms, and raw path counts
 //! overflow `f64` display ranges on multiplier cones.
 //!
+//! # The `DirtyRegion` feature-delta contract
+//!
+//! [`IncrementalFeatures`] maintains this vector as deltas under the
+//! [`aig::incremental::DirtyRegion`] of an edit, bit-identical to
+//! [`extract`] (which stays as the differential oracle). The features
+//! split into two maintenance classes:
+//!
+//! * **Footprint-local** — node count, AIG level, and the fanout
+//!   mean/max/std/sum families (whole-graph and long-path-restricted).
+//!   These are exact integer aggregates (count / sum / sum-of-squares
+//!   / histogram); an edit adjusts only the contributions of nodes in
+//!   the region's footprint (`edited` ∪ `fanout_touched` ∪ re-leveled
+//!   `nodes`), so the per-edit cost is bounded by the footprint, not
+//!   the graph. Longest-path membership (`level + height ==
+//!   max_level`) is kept per-`s` bucketed, so a `max_level` shift
+//!   re-selects a bucket instead of rescanning the graph.
+//! * **PO-global** — the top-3 depth families and top-3 path counts
+//!   are per-output order statistics. Per-node depth/path mirrors
+//!   repair by worklist with an equality cutoff from the footprint
+//!   seeds; a PO's cached contribution is recomputed only when its
+//!   driver literal changed or the driver's mirrored value actually
+//!   moved (the `pos_recomputed` work-bound counter measures exactly
+//!   this against the all-POs denominator).
+//!
+//! Rollback needs no special machinery: a rejected move's footprint
+//! (captured before the rollback) re-seeds the same worklists on the
+//! restored graph, and the equality cutoff converges back to the
+//! pre-move mirrors exactly.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,6 +77,10 @@ use aig::analysis::{
 use aig::Aig;
 use std::fmt;
 use std::ops::Index;
+
+mod incremental;
+
+pub use incremental::IncrementalFeatures;
 
 /// Number of features in a [`FeatureVector`].
 pub const NUM_FEATURES: usize = 22;
@@ -172,6 +205,13 @@ impl fmt::Display for FeatureVector {
 
 /// Descending top-3 of a list, padded with the minimum (or 0.0).
 fn top3(mut vals: Vec<f64>) -> [f64; 3] {
+    top3_in_place(&mut vals)
+}
+
+/// [`top3`] over a caller-owned scratch slice (sorted in place), so
+/// the incremental path shares the exact selection and padding
+/// semantics without allocating.
+pub(crate) fn top3_in_place(vals: &mut [f64]) -> [f64; 3] {
     vals.sort_by(|a, b| b.total_cmp(a));
     let pad = vals.last().copied().unwrap_or(0.0);
     [
@@ -181,17 +221,35 @@ fn top3(mut vals: Vec<f64>) -> [f64; 3] {
     ]
 }
 
-/// Mean, max, population std and sum of a sample.
-fn stats(vals: &[f64]) -> [f64; 4] {
-    if vals.is_empty() {
+/// Mean, max, population std and sum from exact integer aggregates
+/// (`count`, `sum`, sum of squares, and the maximum value).
+///
+/// Both [`extract`] and [`IncrementalFeatures`] derive the fanout
+/// statistics through this one function from integer accumulators, so
+/// a delta-maintained aggregate and a from-scratch scan produce
+/// identical bits regardless of summation order. Empty samples report
+/// all-zero statistics.
+pub(crate) fn stats_from_aggregates(count: u64, sum: u64, ssq: u128, max: u32) -> [f64; 4] {
+    if count == 0 {
         return [0.0; 4];
     }
-    let n = vals.len() as f64;
-    let sum: f64 = vals.iter().sum();
-    let mean = sum / n;
-    let max = vals.iter().copied().fold(f64::MIN, f64::max);
-    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    [mean, max, var.sqrt(), sum]
+    let n = count as f64;
+    let sum_f = sum as f64;
+    let mean = sum_f / n;
+    let var = ((ssq as f64) / n - mean * mean).max(0.0);
+    [mean, f64::from(max), var.sqrt(), sum_f]
+}
+
+/// [`stats_from_aggregates`] over a stream of integer samples.
+fn int_stats(vals: impl IntoIterator<Item = u32>) -> [f64; 4] {
+    let (mut count, mut sum, mut ssq, mut max) = (0u64, 0u64, 0u128, 0u32);
+    for v in vals {
+        count += 1;
+        sum += u64::from(v);
+        ssq += u128::from(v) * u128::from(v);
+        max = max.max(v);
+    }
+    stats_from_aggregates(count, sum, ssq, max)
 }
 
 /// Extracts the Table II feature vector from an AIG.
@@ -225,18 +283,15 @@ pub fn extract(aig: &Aig) -> FeatureVector {
     let fanout = fanout_counts(aig);
     // Fanout statistics over real signals (inputs + AND nodes),
     // excluding the constant node.
-    let fo_vals: Vec<f64> = aig
-        .node_ids()
-        .skip(1)
-        .map(|id| f64::from(fanout[id as usize]))
-        .collect();
-    f[FANOUT_STATS..FANOUT_STATS + 4].copy_from_slice(&stats(&fo_vals));
+    f[FANOUT_STATS..FANOUT_STATS + 4].copy_from_slice(&int_stats(
+        aig.node_ids().skip(1).map(|id| fanout[id as usize]),
+    ));
 
-    let lp_vals: Vec<f64> = long_path_nodes(aig)
-        .into_iter()
-        .map(|id| f64::from(fanout[id as usize]))
-        .collect();
-    f[LONG_PATH_FANOUT_STATS..LONG_PATH_FANOUT_STATS + 4].copy_from_slice(&stats(&lp_vals));
+    f[LONG_PATH_FANOUT_STATS..LONG_PATH_FANOUT_STATS + 4].copy_from_slice(&int_stats(
+        long_path_nodes(aig)
+            .into_iter()
+            .map(|id| fanout[id as usize]),
+    ));
 
     let paths: Vec<f64> = po_path_counts(aig)
         .into_iter()

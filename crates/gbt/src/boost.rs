@@ -164,15 +164,30 @@ impl GbtModel {
         acc
     }
 
-    /// Predicts a row given in `f64` (converted to `f32` columns).
+    /// Predicts a row given in `f64`, allocation-free: each probed
+    /// feature is converted to `f32` at its comparison, which is
+    /// bit-identical to materialising a converted row first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.num_features`.
     pub fn predict_f64(&self, row: &[f64]) -> f64 {
-        let row: Vec<f32> = row.iter().map(|&v| v as f32).collect();
-        self.predict(&row)
+        assert_eq!(row.len(), self.num_features, "feature arity mismatch");
+        let mut acc = f64::from(self.base_score);
+        for t in &self.trees {
+            acc += f64::from(t.predict_row_f64(row));
+        }
+        acc
     }
 
-    /// Predicts every row of a dataset.
+    /// Predicts every row of a dataset through the batched
+    /// [`Forest`](crate::Forest) path (flattened once per call;
+    /// bit-identical to per-row [`GbtModel::predict`]).
     pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|r| self.predict(data.row(r))).collect()
+        let forest = crate::Forest::flatten(self);
+        let mut out = vec![0.0f64; data.len()];
+        forest.predict_into(data.features(), &mut out);
+        out
     }
 
     /// Total split gain attributed to each feature (gain importance).

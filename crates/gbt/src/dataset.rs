@@ -68,6 +68,12 @@ impl Dataset {
         self.push_row(&row, label as f32);
     }
 
+    /// All feature rows, row-major (`len() * num_features()` values) —
+    /// the shape [`crate::Forest::predict_into`] serves directly.
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
     /// The feature row at `idx`.
     pub fn row(&self, idx: usize) -> &[f32] {
         let s = idx * self.num_features;

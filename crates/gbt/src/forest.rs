@@ -1,0 +1,324 @@
+//! SoA-flattened forest for batched, allocation-free serving.
+//!
+//! [`Forest::flatten`] converts a trained [`GbtModel`]'s
+//! pointer-chasing [`TreeNode`](crate::TreeNode) trees into
+//! structure-of-arrays node storage: one contiguous
+//! feature/threshold/child/value array across every tree, re-laid
+//! out so an internal node's children occupy *consecutive* slots.
+//! Descent is then pure arithmetic — `left + (feature ≥ threshold)`
+//! — with nothing for the branch predictor to miss, where the
+//! scalar walk takes a data-dependent (≈ coin-flip) branch per
+//! level. Leaves self-loop (`left` = self, threshold = `+∞`) and
+//! every tree records its exact depth, so a traversal is a
+//! *fixed-count* select chain with no exit test either.
+//! [`Forest::predict_into`] serves a whole row block *tree-outer*
+//! (one tree's nodes stay cache-hot across all rows) and walks eight
+//! rows per tree in lock-step: eight independent select chains whose
+//! node-fetch latencies overlap, where the scalar path serialises on
+//! a single chain.
+//!
+//! Rows must be NaN-free (circuit features always are): an internal
+//! node routes NaN right exactly like the scalar path, but a NaN
+//! would also step *off* a self-looped leaf.
+//!
+//! Per-row accumulation order (base score, then trees in training
+//! order) is identical to [`GbtModel::predict`], so batched and
+//! scalar predictions agree bit for bit — the differential suite pins
+//! this.
+
+use crate::boost::GbtModel;
+
+/// A [`GbtModel`] flattened into contiguous per-field node arrays.
+///
+/// Build once with [`Forest::flatten`], then serve any number of
+/// predictions without touching the source model. Kept separate from
+/// `GbtModel` so training/serialisation keep their simple
+/// tree-of-structs shape.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    base_score: f32,
+    num_features: usize,
+    /// Root node index of each tree, in training (accumulation) order.
+    roots: Vec<u32>,
+    /// Exact depth of each tree: leaves self-loop, so a walk runs
+    /// this many select steps unconditionally and lands on the same
+    /// leaf an early-exit walk would.
+    depths: Vec<u32>,
+    feature: Vec<u32>,
+    threshold: Vec<f32>,
+    /// Left child; the right child is always `left + 1` (flatten
+    /// re-lays trees out breadth-first with sibling pairs adjacent),
+    /// and a leaf points at itself with threshold `+∞`.
+    left: Vec<u32>,
+    value: Vec<f32>,
+}
+
+impl Forest {
+    /// Flattens a trained model. Empty trees become single 0-valued
+    /// leaves so the additive accumulation is term-for-term identical
+    /// to the scalar path. Each tree is re-laid breadth-first with
+    /// sibling pairs in consecutive slots — descent needs no `right`
+    /// array, just `left + (feature ≥ threshold)`. A leaf reads
+    /// `row[0]` (feature 0 exists in every split-bearing model)
+    /// against `+∞` and re-selects itself until the tree's fixed
+    /// step count runs out.
+    pub fn flatten(model: &GbtModel) -> Forest {
+        let total: usize = model.trees.iter().map(|t| t.nodes.len().max(1)).sum();
+        let mut f = Forest {
+            base_score: model.base_score,
+            num_features: model.num_features,
+            roots: Vec::with_capacity(model.trees.len()),
+            depths: Vec::with_capacity(model.trees.len()),
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            value: Vec::with_capacity(total),
+        };
+        let mut queue: Vec<(u32, u32)> = Vec::new();
+        let mut slot: Vec<u32> = Vec::new();
+        for tree in &model.trees {
+            let base = f.feature.len() as u32;
+            f.roots.push(base);
+            if tree.nodes.is_empty() {
+                f.depths.push(0);
+                f.feature.push(0);
+                f.threshold.push(f32::INFINITY);
+                f.left.push(base);
+                f.value.push(0.0);
+                continue;
+            }
+            // Breadth-first slot assignment: dequeuing in order and
+            // handing each internal node the next two slots makes
+            // queue position == slot offset, siblings adjacent.
+            slot.clear();
+            slot.resize(tree.nodes.len(), 0);
+            queue.clear();
+            queue.push((0, 0));
+            let mut next = 1u32;
+            let mut depth = 0;
+            let mut qi = 0;
+            while qi < queue.len() {
+                let (o, d) = queue[qi];
+                qi += 1;
+                let n = &tree.nodes[o as usize];
+                if n.is_leaf {
+                    depth = depth.max(d);
+                } else {
+                    slot[n.left as usize] = next;
+                    slot[n.right as usize] = next + 1;
+                    next += 2;
+                    queue.push((n.left, d + 1));
+                    queue.push((n.right, d + 1));
+                }
+            }
+            for &(o, _) in &queue {
+                let n = &tree.nodes[o as usize];
+                if n.is_leaf {
+                    f.feature.push(0);
+                    f.threshold.push(f32::INFINITY);
+                    f.left.push(base + slot[o as usize]);
+                } else {
+                    debug_assert_eq!(slot[n.right as usize], slot[n.left as usize] + 1);
+                    f.feature.push(n.feature);
+                    f.threshold.push(n.threshold);
+                    f.left.push(base + slot[n.left as usize]);
+                }
+                f.value.push(n.value);
+            }
+            f.depths.push(depth);
+        }
+        f
+    }
+
+    /// Feature arity of every served row.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of flattened trees.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    // `!(x < t)` is the contract, not a style slip: it must route
+    // NaN right exactly like the scalar walk's `else` arm.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn leaf_value(&self, root: u32, depth: u32, row: &[f32]) -> f32 {
+        let mut n = root as usize;
+        for _ in 0..depth {
+            // `!(x < t)` routes NaN right, matching the scalar walk's
+            // `else` arm bit for bit.
+            n = self.left[n] as usize
+                + usize::from(!(row[self.feature[n] as usize] < self.threshold[n]));
+        }
+        self.value[n]
+    }
+
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    fn leaf_value_f64(&self, root: u32, depth: u32, row: &[f64]) -> f32 {
+        let mut n = root as usize;
+        for _ in 0..depth {
+            // Convert-then-compare in f32, exactly like the scalar
+            // `predict_f64` row conversion.
+            n = self.left[n] as usize
+                + usize::from(!((row[self.feature[n] as usize] as f32) < self.threshold[n]));
+        }
+        self.value[n]
+    }
+
+    /// Predicts one `f32` row; bit-identical to [`GbtModel::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.num_features()`.
+    pub fn predict_row(&self, row: &[f32]) -> f64 {
+        assert_eq!(row.len(), self.num_features, "feature arity mismatch");
+        let mut acc = f64::from(self.base_score);
+        for (&root, &depth) in self.roots.iter().zip(&self.depths) {
+            acc += f64::from(self.leaf_value(root, depth, row));
+        }
+        acc
+    }
+
+    /// Predicts one `f64` row (features converted per compare);
+    /// bit-identical to [`GbtModel::predict_f64`], allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.num_features()`.
+    pub fn predict_row_f64(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.num_features, "feature arity mismatch");
+        let mut acc = f64::from(self.base_score);
+        for (&root, &depth) in self.roots.iter().zip(&self.depths) {
+            acc += f64::from(self.leaf_value_f64(root, depth, row));
+        }
+        acc
+    }
+
+    /// Batched prediction of `out.len()` row-major rows into a
+    /// caller-owned buffer, allocation-free. Iterates tree-outer so
+    /// each tree's nodes stay cache-resident across the whole block,
+    /// and walks eight rows through a tree at once: each
+    /// lane is an independent load→compare→select chain, so the
+    /// per-level node-fetch latency of up to eight traversals
+    /// overlaps instead of serialising (the scalar path is one such
+    /// chain). Per-row accumulation order matches
+    /// [`Forest::predict_row`] (and therefore [`GbtModel::predict`])
+    /// bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != out.len() * self.num_features()`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must route right, like the scalar walk
+    pub fn predict_into(&self, rows: &[f32], out: &mut [f64]) {
+        assert_eq!(
+            rows.len(),
+            out.len() * self.num_features,
+            "row-major batch shape mismatch"
+        );
+        const LANES: usize = 8;
+        out.fill(f64::from(self.base_score));
+        let nf = self.num_features;
+        let full = out.len() - out.len() % LANES;
+        for (&root, &depth) in self.roots.iter().zip(&self.depths) {
+            for r in (0..full).step_by(LANES) {
+                let mut n = [root as usize; LANES];
+                let block = &rows[r * nf..(r + LANES) * nf];
+                // Lock-step fixed-depth descent: early lanes self-loop
+                // on their leaf, so there is no per-lane exit test,
+                // and the sibling-adjacent layout turns the direction
+                // into index arithmetic instead of a branch.
+                for _ in 0..depth {
+                    for (j, nj) in n.iter_mut().enumerate() {
+                        let x = block[j * nf + self.feature[*nj] as usize];
+                        *nj = self.left[*nj] as usize + usize::from(!(x < self.threshold[*nj]));
+                    }
+                }
+                for (j, &nj) in n.iter().enumerate() {
+                    out[r + j] += f64::from(self.value[nj]);
+                }
+            }
+            for (row, o) in rows[full * nf..]
+                .chunks_exact(nf)
+                .zip(out[full..].iter_mut())
+            {
+                *o += f64::from(self.leaf_value(root, depth, row));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::{train, GbtParams};
+    use crate::dataset::Dataset;
+
+    fn toy_model() -> (GbtModel, Dataset) {
+        let mut data = Dataset::new(3);
+        let mut s = 0x9e3779b9u32;
+        for _ in 0..256 {
+            let mut nxt = || {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s >> 8) as f32 / (1 << 24) as f32
+            };
+            let (a, b, c) = (nxt(), nxt(), nxt());
+            data.push_row(&[a, b, c], 3.0 * a - 2.0 * b + c * c);
+        }
+        let params = GbtParams {
+            num_rounds: 12,
+            ..GbtParams::default()
+        };
+        (train(&data, &params), data)
+    }
+
+    #[test]
+    fn flattened_matches_scalar_bits() {
+        let (model, data) = toy_model();
+        let forest = Forest::flatten(&model);
+        assert_eq!(forest.num_trees(), model.trees.len());
+        for r in 0..data.len() {
+            let row = data.row(r);
+            assert_eq!(
+                forest.predict_row(row).to_bits(),
+                model.predict(row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_bits() {
+        let (model, data) = toy_model();
+        let forest = Forest::flatten(&model);
+        let mut out = vec![0.0; data.len()];
+        forest.predict_into(data.features(), &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            assert_eq!(got.to_bits(), model.predict(data.row(r)).to_bits());
+        }
+    }
+
+    #[test]
+    fn f64_rows_match_converted_bits() {
+        let (model, data) = toy_model();
+        let forest = Forest::flatten(&model);
+        for r in 0..data.len() {
+            let row: Vec<f64> = data.row(r).iter().map(|&v| f64::from(v)).collect();
+            let converted: Vec<f32> = row.iter().map(|&v| v as f32).collect();
+            let want = model.predict(&converted);
+            assert_eq!(forest.predict_row_f64(&row).to_bits(), want.to_bits());
+            assert_eq!(model.predict_f64(&row).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (model, _) = toy_model();
+        let forest = Forest::flatten(&model);
+        let mut out = [0.0f64; 0];
+        forest.predict_into(&[], &mut out);
+    }
+}

@@ -28,10 +28,12 @@
 
 mod boost;
 mod dataset;
+mod forest;
 pub mod metrics;
 mod tree;
 
 pub use boost::{train, train_with_validation, GbtModel, GbtParams, TrainLog};
 pub use dataset::Dataset;
+pub use forest::Forest;
 pub use metrics::{mae, pct_error_stats, pearson, rmse, PctErrorStats};
 pub use tree::{Bins, Tree, TreeNode, TreeParams};

@@ -76,6 +76,28 @@ impl Tree {
         }
     }
 
+    /// Predicts one `f64` feature row, converting each probed feature
+    /// to `f32` at the comparison — the same convert-then-compare
+    /// semantics as materialising an `f32` row first, without the
+    /// allocation.
+    pub fn predict_row_f64(&self, row: &[f64]) -> f32 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut n = 0usize;
+        loop {
+            let node = &self.nodes[n];
+            if node.is_leaf {
+                return node.value;
+            }
+            n = if (row[node.feature as usize] as f32) < node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_leaf).count()

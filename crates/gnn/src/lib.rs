@@ -165,6 +165,7 @@ pub struct GnnModel {
     label_std: f32,
 }
 
+#[derive(Default)]
 struct Forward {
     /// Activations per layer (layer 0 = input features).
     acts: Vec<Vec<f32>>,
@@ -174,9 +175,45 @@ struct Forward {
     pooled: Vec<f32>,
     /// argmax node per hidden dim (for max-pool backprop).
     argmax: Vec<usize>,
+    /// Max-pool running maxima (scratch for the pooling pass).
+    maxv: Vec<f32>,
     /// Standardized prediction.
     y: f32,
 }
+
+/// Reusable forward-pass scratch for allocation-free prediction.
+///
+/// [`GnnModel::predict_with`] reuses the activation, pre-activation
+/// and pooling buffers across calls; once warm, a prediction
+/// allocates nothing. One scratch serves one thread — the batched
+/// path keeps one per worker.
+#[derive(Default)]
+pub struct GnnScratch(Forward);
+
+/// Disjoint-row writer handed to the level-parallel node loop: each
+/// worker range owns rows `v * h .. (v + 1) * h` for its `v`s only
+/// (same idiom as the word-sharded simulator in `aig::sim`).
+#[derive(Clone, Copy)]
+struct SharedRows(*mut f32);
+
+unsafe impl Send for SharedRows {}
+unsafe impl Sync for SharedRows {}
+
+impl SharedRows {
+    /// # Safety
+    ///
+    /// Caller guarantees `v` is owned by exactly one live range and
+    /// `v * h + h` is within the allocation.
+    #[inline]
+    unsafe fn row(self, v: usize, h: usize) -> &'static mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(v * h), h)
+    }
+}
+
+/// Minimum nodes per worker chunk in the layer-parallel node loop;
+/// below this the loop runs inline (small benchgen-class graphs, or
+/// nested inside a graph-level `par_map`).
+const PAR_MIN_NODES: usize = 256;
 
 impl GnnModel {
     fn layer_weights(&self, l: usize) -> (&Tensor, &Tensor, &Tensor, &Tensor) {
@@ -190,93 +227,138 @@ impl GnnModel {
     }
 
     fn forward(&self, g: &GraphData) -> Forward {
+        let mut fwd = Forward::default();
+        self.forward_into(g, &mut fwd);
+        fwd
+    }
+
+    /// The forward pass into caller-owned scratch. This is the single
+    /// implementation — training, scalar and batched prediction all
+    /// run through it, so there is no arithmetic to diverge. Within a
+    /// layer the per-node rows are independent (they read only the
+    /// previous layer), so the node loop runs level-parallel over
+    /// `aig::par` with disjoint row writes; per-node float order is
+    /// unchanged, keeping results identical for any thread count.
+    fn forward_into(&self, g: &GraphData, fwd: &mut Forward) {
         let h = self.params.hidden;
         let n = g.n;
-        let mut acts: Vec<Vec<f32>> = vec![g.x.clone()];
-        let mut pres: Vec<Vec<f32>> = Vec::new();
+        let layers = self.params.layers;
+        fwd.acts.truncate(layers + 1);
+        fwd.acts.resize_with(layers + 1, Vec::new);
+        fwd.pres.truncate(layers);
+        fwd.pres.resize_with(layers, Vec::new);
+        fwd.acts[0].clear();
+        fwd.acts[0].extend_from_slice(&g.x);
         let mut in_dim = NODE_FEATURES;
-        for l in 0..self.params.layers {
+        for l in 0..layers {
             let (ws, wi, wo, b) = self.layer_weights(l);
-            let prev = &acts[l];
-            let mut pre = vec![0.0f32; n * h];
-            for v in 0..n {
-                let out = &mut pre[v * h..(v + 1) * h];
-                out.copy_from_slice(&b.data);
-                ws.matvec_add(&prev[v * in_dim..(v + 1) * in_dim], out);
-                // Mean over fanins.
-                if !g.fanins[v].is_empty() {
+            let mut pre = std::mem::take(&mut fwd.pres[l]);
+            pre.clear();
+            pre.resize(n * h, 0.0);
+            {
+                let prev = &fwd.acts[l];
+                let rows = SharedRows(pre.as_mut_ptr());
+                aig::par::par_ranges(n, PAR_MIN_NODES, |range| {
                     let mut agg = vec![0.0f32; in_dim];
-                    for &u in &g.fanins[v] {
-                        for (a, p) in agg
-                            .iter_mut()
-                            .zip(&prev[u as usize * in_dim..(u as usize + 1) * in_dim])
-                        {
-                            *a += p;
+                    for v in range {
+                        // Safety: ranges partition 0..n, so each row
+                        // has exactly one writer.
+                        let out = unsafe { rows.row(v, h) };
+                        out.copy_from_slice(&b.data);
+                        ws.matvec_add(&prev[v * in_dim..(v + 1) * in_dim], out);
+                        // Mean over fanins.
+                        if !g.fanins[v].is_empty() {
+                            agg.fill(0.0);
+                            for &u in &g.fanins[v] {
+                                for (a, p) in agg
+                                    .iter_mut()
+                                    .zip(&prev[u as usize * in_dim..(u as usize + 1) * in_dim])
+                                {
+                                    *a += p;
+                                }
+                            }
+                            let k = g.fanins[v].len() as f32;
+                            for a in &mut agg {
+                                *a /= k;
+                            }
+                            wi.matvec_add(&agg, out);
+                        }
+                        if !g.fanouts[v].is_empty() {
+                            agg.fill(0.0);
+                            for &u in &g.fanouts[v] {
+                                for (a, p) in agg
+                                    .iter_mut()
+                                    .zip(&prev[u as usize * in_dim..(u as usize + 1) * in_dim])
+                                {
+                                    *a += p;
+                                }
+                            }
+                            let k = g.fanouts[v].len() as f32;
+                            for a in &mut agg {
+                                *a /= k;
+                            }
+                            wo.matvec_add(&agg, out);
                         }
                     }
-                    let k = g.fanins[v].len() as f32;
-                    for a in &mut agg {
-                        *a /= k;
-                    }
-                    wi.matvec_add(&agg, out);
-                }
-                if !g.fanouts[v].is_empty() {
-                    let mut agg = vec![0.0f32; in_dim];
-                    for &u in &g.fanouts[v] {
-                        for (a, p) in agg
-                            .iter_mut()
-                            .zip(&prev[u as usize * in_dim..(u as usize + 1) * in_dim])
-                        {
-                            *a += p;
-                        }
-                    }
-                    let k = g.fanouts[v].len() as f32;
-                    for a in &mut agg {
-                        *a /= k;
-                    }
-                    wo.matvec_add(&agg, out);
-                }
+                });
             }
-            let act: Vec<f32> = pre.iter().map(|&v| v.max(0.0)).collect();
-            pres.push(pre);
-            acts.push(act);
+            let mut act = std::mem::take(&mut fwd.acts[l + 1]);
+            act.clear();
+            act.extend(pre.iter().map(|&v| v.max(0.0)));
+            fwd.pres[l] = pre;
+            fwd.acts[l + 1] = act;
             in_dim = h;
         }
         // Global mean + max pooling over the last activation.
-        let last = &acts[self.params.layers];
-        let mut pooled = vec![0.0f32; 2 * h];
-        let mut argmax = vec![0usize; h];
-        let mut maxv = vec![f32::MIN; h];
+        let last = &fwd.acts[layers];
+        fwd.pooled.clear();
+        fwd.pooled.resize(2 * h, 0.0);
+        fwd.argmax.clear();
+        fwd.argmax.resize(h, 0);
+        fwd.maxv.clear();
+        fwd.maxv.resize(h, f32::MIN);
         for v in 0..n {
             for d in 0..h {
                 let val = last[v * h + d];
-                pooled[d] += val / n as f32;
-                if val > maxv[d] {
-                    maxv[d] = val;
-                    argmax[d] = v;
+                fwd.pooled[d] += val / n as f32;
+                if val > fwd.maxv[d] {
+                    fwd.maxv[d] = val;
+                    fwd.argmax[d] = v;
                 }
             }
         }
-        pooled[h..2 * h].copy_from_slice(&maxv);
-        let w_read = &self.weights[self.params.layers * 4];
-        let bias_read = &self.weights[self.params.layers * 4 + 1];
+        fwd.pooled[h..2 * h].copy_from_slice(&fwd.maxv);
+        let w_read = &self.weights[layers * 4];
+        let bias_read = &self.weights[layers * 4 + 1];
         let mut y = bias_read.data[0];
-        for (w, p) in w_read.data.iter().zip(&pooled) {
+        for (w, p) in w_read.data.iter().zip(&fwd.pooled) {
             y += w * p;
         }
-        Forward {
-            acts,
-            pres,
-            pooled,
-            argmax,
-            y,
-        }
+        fwd.y = y;
     }
 
     /// Predicts the (denormalized) label for one graph.
     pub fn predict(&self, g: &GraphData) -> f64 {
         let f = self.forward(g);
         f64::from(f.y * self.label_std + self.label_mean)
+    }
+
+    /// [`GnnModel::predict`] into reusable scratch: allocation-free
+    /// once the scratch is warm, bit-identical to the scalar path
+    /// (they share one forward implementation).
+    pub fn predict_with(&self, g: &GraphData, scratch: &mut GnnScratch) -> f64 {
+        self.forward_into(g, &mut scratch.0);
+        f64::from(scratch.0.y * self.label_std + self.label_mean)
+    }
+
+    /// Batched prediction over many graphs, parallel across
+    /// `aig::par` workers with one warm [`GnnScratch`] per worker.
+    /// Results are in input order and bit-identical to calling
+    /// [`GnnModel::predict`] per graph, for any `AIG_THREADS`.
+    pub fn predict_batch(&self, graphs: &[GraphData]) -> Vec<f64> {
+        aig::par::par_map_with(graphs, GnnScratch::default, |scratch, _i, g| {
+            self.predict_with(g, scratch)
+        })
     }
 
     /// Trains a model; returns it plus the mean squared loss (on
@@ -590,6 +672,36 @@ mod tests {
     #[should_panic(expected = "zero graphs")]
     fn empty_training_panics() {
         let _ = GnnModel::train(&[], &GnnParams::default());
+    }
+
+    #[test]
+    fn batched_and_scratch_match_scalar_bits() {
+        let samples: Vec<(GraphData, f64)> = (2..10).map(chain_graph).collect();
+        let (model, _) = GnnModel::train(
+            &samples[..3],
+            &GnnParams {
+                epochs: 4,
+                hidden: 8,
+                ..GnnParams::default()
+            },
+        );
+        let graphs: Vec<GraphData> = samples.iter().map(|(g, _)| g.clone()).collect();
+        let want: Vec<u64> = graphs.iter().map(|g| model.predict(g).to_bits()).collect();
+        let batched: Vec<u64> = model
+            .predict_batch(&graphs)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(batched, want);
+        // One warm scratch across differently-shaped graphs.
+        let mut scratch = GnnScratch::default();
+        for (g, &w) in graphs.iter().zip(&want) {
+            assert_eq!(model.predict_with(g, &mut scratch).to_bits(), w);
+        }
+        // And again in reverse order (shrinking shapes).
+        for (g, &w) in graphs.iter().zip(&want).rev() {
+            assert_eq!(model.predict_with(g, &mut scratch).to_bits(), w);
+        }
     }
 
     #[test]

@@ -3,12 +3,56 @@
 use crate::context::EvalContext;
 use aig::analysis::levels;
 use aig::cut::CutDb;
+use aig::incremental::{DirtyRegion, IncrementalAnalysis};
 use aig::{Aig, NodeId};
 use cells::Library;
-use features::extract;
-use gbt::GbtModel;
+use features::{extract, FeatureVector, IncrementalFeatures};
+use gbt::{Forest, GbtModel};
 use sta::IncrementalSta;
 use techmap::{GateId, MapContext, MapOptions, MappedDesign, Mapper, SizingTable};
+
+/// Everything [`CostEvaluator::evaluate_edit`] /
+/// [`CostEvaluator::resync_edit`] need to know about one in-place
+/// edit, bundled so evaluators with different state granularities can
+/// share the SA loops' call sites.
+pub struct EditScope<'a> {
+    /// Live cut database of the edited graph.
+    pub cuts: &'a CutDb,
+    /// Watermark: every per-node quantity below this id is unchanged
+    /// since the evaluator's previous call. `0` declares the whole
+    /// graph suspect (whole-graph accept, compaction sweep, slot
+    /// re-clone).
+    pub dirty_since: NodeId,
+    /// The edit's merged dirty footprint plus the engine's live
+    /// [`IncrementalAnalysis`], when the caller maintains them.
+    /// Evaluators with per-node *delta* state ([`MlCost`]'s
+    /// [`IncrementalFeatures`]) consume this; `None` — or a zero
+    /// watermark — forces their full-recompute path. Watermark-based
+    /// evaluators ([`GroundTruthCost`]) ignore it.
+    pub delta: Option<(&'a DirtyRegion, &'a IncrementalAnalysis)>,
+}
+
+impl<'a> EditScope<'a> {
+    /// Scope with the watermark hint only.
+    pub fn new(cuts: &'a CutDb, dirty_since: NodeId) -> Self {
+        EditScope {
+            cuts,
+            dirty_since,
+            delta: None,
+        }
+    }
+
+    /// Attaches the edit's dirty footprint and the live analysis.
+    #[must_use]
+    pub fn with_delta(
+        mut self,
+        region: &'a DirtyRegion,
+        analysis: &'a IncrementalAnalysis,
+    ) -> Self {
+        self.delta = Some((region, analysis));
+        self
+    }
+}
 
 /// Delay/area estimate for one AIG.
 ///
@@ -38,19 +82,19 @@ pub trait CostEvaluator {
     }
 
     /// Prices a graph that was **edited in place** since this
-    /// evaluator's previous call: `cuts` is the live cut database of
-    /// `aig`, and every per-node quantity below `dirty_since` is
-    /// unchanged since that previous call (the SA loop accumulates
-    /// the watermark across rejected moves). Metrics are identical to
-    /// [`CostEvaluator::evaluate`]; the point is cost — evaluators
-    /// with per-node state (the ground-truth mapper) reuse their
-    /// clean-prefix rows and skip cut enumeration entirely. The
-    /// default ignores the hints.
+    /// evaluator's previous call: `scope` carries the live cut
+    /// database, the clean-prefix watermark (accumulated by the SA
+    /// loop across rejected moves) and, on the transaction-engine
+    /// path, the edit's dirty footprint plus the live analysis.
+    /// Metrics are identical to [`CostEvaluator::evaluate`]; the
+    /// point is cost — evaluators with per-node state reuse
+    /// everything outside the edit (the ground-truth mapper its
+    /// clean-prefix DP rows, the ML evaluator its feature deltas).
+    /// The default ignores the hints.
     fn evaluate_edit(
         &mut self,
         aig: &Aig,
-        _cuts: &CutDb,
-        _dirty_since: NodeId,
+        _scope: &EditScope<'_>,
         ctx: &mut EvalContext,
     ) -> CostMetrics {
         self.evaluate_ctx(aig, ctx)
@@ -58,20 +102,26 @@ pub trait CostEvaluator {
 
     /// Notifies an evaluator with per-node state that the graph it
     /// just priced through [`CostEvaluator::evaluate_edit`] was
-    /// rolled back: `aig` is the restored graph, `cuts` its restored
-    /// cut database, and `dirty_since` the rejected edit's watermark.
-    /// Stateful evaluators re-sync their state to the restored graph
-    /// *now* (cost bounded by the edit), so watermarks never
-    /// accumulate across a long reject streak into a whole-graph
-    /// recompute. Results are unaffected — state is pure w.r.t. the
-    /// graph — so the default is a no-op.
-    fn resync_edit(
-        &mut self,
-        _aig: &Aig,
-        _cuts: &CutDb,
-        _dirty_since: NodeId,
-        _ctx: &mut EvalContext,
-    ) {
+    /// rolled back: `aig` is the restored graph and `scope` describes
+    /// the rejected edit against it (restored cut database, same
+    /// watermark, and — on the engine path — the move's captured
+    /// footprint over the *restored* analysis). Stateful evaluators
+    /// re-sync their state to the restored graph *now* (cost bounded
+    /// by the edit), so watermarks never accumulate across a long
+    /// reject streak into a whole-graph recompute. Results are
+    /// unaffected — state is pure w.r.t. the graph — so the default
+    /// is a no-op.
+    fn resync_edit(&mut self, _aig: &Aig, _scope: &EditScope<'_>, _ctx: &mut EvalContext) {}
+
+    /// Whether the speculative engine must call
+    /// [`CostEvaluator::resync_edit`] after rolling a scored move
+    /// back. Watermark-based evaluators answer `false`: leaving their
+    /// state mirroring the *edited* graph and lowering the watermark
+    /// is cheaper than a second pass per speculated move. Delta-based
+    /// evaluators ([`MlCost`]) answer `true`: their state must track
+    /// the slot's replica exactly, footprint by footprint.
+    fn wants_rollback_resync(&self) -> bool {
+        false
     }
 
     /// Forks an independent sibling evaluator for speculative
@@ -210,17 +260,22 @@ impl CostEvaluator for GroundTruthCost<'_> {
     fn evaluate_edit(
         &mut self,
         aig: &Aig,
-        cuts: &CutDb,
-        dirty_since: NodeId,
+        scope: &EditScope<'_>,
         _ctx: &mut EvalContext,
     ) -> CostMetrics {
         let opts = self.mapper.options();
-        if cuts.k() != opts.cut_size || cuts.max_cuts() != opts.max_cuts {
+        if scope.cuts.k() != opts.cut_size || scope.cuts.max_cuts() != opts.max_cuts {
             return self.evaluate(aig); // foreign cut parameters: full path
         }
         let rebuilt = self
             .mapper
-            .sync_design(&mut self.map_ctx, aig, cuts, dirty_since, &mut self.design)
+            .sync_design(
+                &mut self.map_ctx,
+                aig,
+                scope.cuts,
+                scope.dirty_since,
+                &mut self.design,
+            )
             .expect("builtin library maps every strashed AIG");
         if rebuilt {
             self.design.finish_full(&self.sizing);
@@ -248,8 +303,8 @@ impl CostEvaluator for GroundTruthCost<'_> {
     /// immediately (cost bounded by the rejected edit), so the SA
     /// loop's watermark never degrades toward a whole-graph DP
     /// recompute across reject streaks.
-    fn resync_edit(&mut self, aig: &Aig, cuts: &CutDb, dirty_since: NodeId, ctx: &mut EvalContext) {
-        let _ = self.evaluate_edit(aig, cuts, dirty_since, ctx);
+    fn resync_edit(&mut self, aig: &Aig, scope: &EditScope<'_>, ctx: &mut EvalContext) {
+        let _ = self.evaluate_edit(aig, scope, ctx);
     }
 
     /// Forks share the library and mapping options and *clone the
@@ -282,9 +337,21 @@ impl CostEvaluator for GroundTruthCost<'_> {
 ///
 /// Predicts post-mapping delay and area without mapping, as in the
 /// paper's proposed flow.
+///
+/// For in-place SA steps ([`CostEvaluator::evaluate_edit`]) the
+/// evaluator keeps a persistent [`IncrementalFeatures`] state and
+/// re-derives only the features the edit's [`DirtyRegion`] can have
+/// moved; inference always runs through pre-flattened [`Forest`]s.
+/// Predictions are bit-identical to the whole-graph
+/// `extract` + [`GbtModel::predict_f64`] path (the differential suite
+/// asserts this on random edit walks), so the engine-on/off and
+/// speculation byte-identity guarantees carry over unchanged.
 pub struct MlCost<'a> {
     delay_model: &'a GbtModel,
     area_model: &'a GbtModel,
+    delay_forest: Forest,
+    area_forest: Forest,
+    feats: IncrementalFeatures,
 }
 
 impl<'a> MlCost<'a> {
@@ -293,17 +360,58 @@ impl<'a> MlCost<'a> {
         MlCost {
             delay_model,
             area_model,
+            delay_forest: Forest::flatten(delay_model),
+            area_forest: Forest::flatten(area_model),
+            feats: IncrementalFeatures::default(),
+        }
+    }
+
+    fn metrics_of(&self, f: &FeatureVector) -> CostMetrics {
+        CostMetrics {
+            delay: self.delay_forest.predict_row_f64(f.as_slice()),
+            area: self.area_forest.predict_row_f64(f.as_slice()),
         }
     }
 }
 
 impl CostEvaluator for MlCost<'_> {
     fn evaluate(&mut self, aig: &Aig) -> CostMetrics {
+        // Whole-graph path: the persistent feature state no longer
+        // mirrors this graph — drop it (the next in-place step
+        // rebuilds).
+        self.feats.invalidate();
         let f = extract(aig);
-        CostMetrics {
-            delay: self.delay_model.predict_f64(f.as_slice()),
-            area: self.area_model.predict_f64(f.as_slice()),
+        self.metrics_of(&f)
+    }
+
+    /// In-place steps sync the persistent [`IncrementalFeatures`]
+    /// over the edit's footprint (see the `features` module docs for
+    /// the delta contract) instead of re-walking the graph; metrics
+    /// are bit-identical to [`CostEvaluator::evaluate`]'s.
+    fn evaluate_edit(
+        &mut self,
+        aig: &Aig,
+        scope: &EditScope<'_>,
+        _ctx: &mut EvalContext,
+    ) -> CostMetrics {
+        match scope.delta {
+            Some((region, analysis)) if scope.dirty_since > 0 && self.feats.is_valid() => {
+                self.feats.sync(aig, region, analysis);
+            }
+            _ => self.feats.rebuild(aig),
         }
+        let f = self.feats.features(aig);
+        self.metrics_of(&f)
+    }
+
+    /// Re-syncs the persistent feature state to the rolled-back graph
+    /// (cost bounded by the rejected edit's footprint).
+    fn resync_edit(&mut self, aig: &Aig, scope: &EditScope<'_>, ctx: &mut EvalContext) {
+        let _ = self.evaluate_edit(aig, scope, ctx);
+    }
+
+    fn wants_rollback_resync(&self) -> bool {
+        true
     }
 
     fn fork(&self) -> Option<Box<dyn CostEvaluator + Send + '_>> {

@@ -29,10 +29,10 @@
 //! kept verbatim as the oracle.
 
 use crate::context::EvalContext;
-use crate::cost::{CostEvaluator, CostMetrics};
+use crate::cost::{CostEvaluator, CostMetrics, EditScope};
 use crate::speculate::{SpecStats, SpeculationOptions};
 use aig::cut::CutDb;
-use aig::incremental::{EditOp, IncrementalAnalysis, Transaction};
+use aig::incremental::{DirtyRegion, EditOp, IncrementalAnalysis, Transaction};
 use aig::{Aig, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -330,6 +330,10 @@ pub fn optimize_with(
     // path this stays `MAX`; whole-graph evaluations leave rows of a
     // different graph entirely and reset it to 0.
     let mut rows_since: NodeId = 0;
+    // A rejected move's footprint, captured before the rollback so
+    // delta-based evaluators can re-sync over exactly the nodes the
+    // rollback restored (the buffer is reused across iterations).
+    let mut move_region = DirtyRegion::default();
 
     for it in 0..opts.iterations {
         let recipe = &actions[rng.gen_range(0..actions.len())];
@@ -358,20 +362,30 @@ pub fn optimize_with(
                 let mut txn = Transaction::begin(&mut current, inc);
                 run_inplace_plan(plan, &mut txn, db, ctx.resynth(), start, None);
                 let move_min = txn.min_touched();
-                metrics = evaluator.evaluate_edit(txn.aig(), db, rows_since.min(move_min), ctx);
+                let scope = EditScope::new(db, rows_since.min(move_min))
+                    .with_delta(txn.touched_region(), txn.analysis());
+                metrics = evaluator.evaluate_edit(txn.aig(), &scope, ctx);
                 cost = scalar(&metrics);
                 accept = metropolis(cost - current_cost, temp, &mut rng);
                 if accept {
                     txn.commit();
                     db.commit_edit();
                 } else {
+                    // Capture the move's footprint: the rollback
+                    // restores exactly these nodes, so they are also
+                    // the delta a feature-maintaining evaluator must
+                    // re-sync over.
+                    move_region.clear();
+                    move_region.merge(txn.touched_region());
                     txn.rollback();
                     db.rollback_edit();
                     // Bring stateful evaluators back to `current` now
                     // (cost bounded by the rejected edit), instead of
                     // letting watermarks accumulate toward a
                     // whole-graph DP recompute.
-                    evaluator.resync_edit(&current, db, rows_since.min(move_min), ctx);
+                    let scope =
+                        EditScope::new(db, rows_since.min(move_min)).with_delta(&move_region, inc);
+                    evaluator.resync_edit(&current, &scope, ctx);
                 }
                 rows_since = NodeId::MAX; // rows now match `current`
             }

@@ -67,7 +67,7 @@
 //! serial oracle.
 
 use crate::context::EvalContext;
-use crate::cost::{CostEvaluator, CostMetrics};
+use crate::cost::{CostEvaluator, CostMetrics, EditScope};
 use crate::sa::{
     metropolis, plan_window, run_inplace_plan, should_compact, SaOptions, SaResult,
     INPLACE_CUT_SIZE, INPLACE_MAX_CUTS,
@@ -140,6 +140,16 @@ pub(crate) struct SpecSlot {
     /// Evaluator-state watermark of the slot's *forked* evaluator
     /// (mirrors the serial loop's `rows_since`).
     rows_since: NodeId,
+    /// Replica churn a *delta-based* evaluator
+    /// ([`CostEvaluator::wants_rollback_resync`]) has not absorbed
+    /// yet: the footprints of commit-log replays since the
+    /// evaluator's last resync. Merged into the next score's
+    /// [`EditScope::delta`] region; cleared by the rollback resync
+    /// and by every whole-graph resync point (`rows_since = 0`).
+    pending: DirtyRegion,
+    /// Scratch for the merged scope region (pending ∪ move
+    /// footprint); a field so the allocation is reused across scores.
+    scope_region: DirtyRegion,
 }
 
 impl SpecSlot {
@@ -151,6 +161,8 @@ impl SpecSlot {
             ctx: EvalContext::with_shared(resynth),
             epoch: usize::MAX,
             rows_since: 0,
+            pending: DirtyRegion::default(),
+            scope_region: DirtyRegion::default(),
         }
     }
 }
@@ -490,6 +502,11 @@ fn sync_slot(
             let mut txn = Transaction::begin(&mut slot.replica, &mut slot.inc);
             replay_ops(&mut txn, &mut slot.db, ops);
             let min = txn.min_touched();
+            // Delta-based evaluators need the replay's footprint in
+            // their next scope region (the watermark alone is enough
+            // only for watermark-based ones). Merge dedups, so the
+            // accumulator stays bounded by the replica size.
+            slot.pending.merge(txn.touched_region());
             txn.commit();
             slot.rows_since = slot.rows_since.min(min);
         }
@@ -498,6 +515,7 @@ fn sync_slot(
         slot.inc.clone_from(master_inc);
         slot.db.clone_from(master_db);
         slot.rows_since = 0;
+        slot.pending.clear(); // zero watermark already forces a rebuild
     }
     slot.epoch = log.len();
     debug_assert_eq!(slot.replica.num_nodes(), master.num_nodes());
@@ -526,24 +544,39 @@ fn score_one(
             );
             let move_min = txn.min_touched();
             let dirty = txn.touched_region().clone();
-            let metrics = eval.evaluate_edit(
-                txn.aig(),
-                &slot.db,
-                slot.rows_since.min(move_min),
-                &mut slot.ctx,
-            );
+            // The scope region covers everything a delta-based
+            // evaluator's state may lag the edited replica by: the
+            // move's own footprint plus replays it has not absorbed.
+            slot.scope_region.clear();
+            slot.scope_region.merge(&slot.pending);
+            slot.scope_region.merge(txn.touched_region());
+            let since = slot.rows_since.min(move_min);
+            let scope =
+                EditScope::new(&slot.db, since).with_delta(&slot.scope_region, txn.analysis());
+            let metrics = eval.evaluate_edit(txn.aig(), &scope, &mut slot.ctx);
             txn.rollback();
             slot.db.rollback_edit();
-            // No rollback resync: the serial loop re-syncs its
-            // evaluator after every reject, paying a second pass per
-            // move. A slot instead leaves the forked evaluator
-            // mirroring the *edited* graph — `evaluate_edit` synced
-            // it everywhere (rows below the watermark were already
-            // clean, rows above were brought up to date), so the
-            // rolled-back replica differs from the evaluator state
-            // only inside this move's footprint and `move_min` alone
-            // is the conservative watermark for the next score. One
-            // evaluator pass per speculated move instead of two.
+            if eval.wants_rollback_resync() {
+                // Delta-based evaluators must track the replica
+                // exactly; re-sync over the same footprint against
+                // the restored analysis, which also absorbs the
+                // pending replays.
+                let scope =
+                    EditScope::new(&slot.db, since).with_delta(&slot.scope_region, &slot.inc);
+                eval.resync_edit(&slot.replica, &scope, &mut slot.ctx);
+                slot.pending.clear();
+            }
+            // Watermark-based evaluators skip the rollback resync:
+            // the serial loop re-syncs after every reject, paying a
+            // second pass per move. A slot instead leaves the forked
+            // evaluator mirroring the *edited* graph —
+            // `evaluate_edit` synced it everywhere (rows below the
+            // watermark were already clean, rows above were brought
+            // up to date), so the rolled-back replica differs from
+            // the evaluator state only inside this move's footprint
+            // and `move_min` alone is the conservative watermark for
+            // the next score. One evaluator pass per speculated move
+            // instead of two.
             slot.rows_since = move_min;
             Scored {
                 metrics,
@@ -556,6 +589,7 @@ fn score_one(
             let candidate = actions[planned.ridx].apply_with(&slot.replica, slot.ctx.resynth());
             let metrics = eval.evaluate_ctx(&candidate, &mut slot.ctx);
             slot.rows_since = 0;
+            slot.pending.clear(); // zero watermark forces a rebuild
             Scored {
                 metrics,
                 ops: Vec::new(),

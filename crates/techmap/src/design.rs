@@ -66,7 +66,17 @@ enum ShapeFit {
     /// The graph grew by appended nodes/inputs/outputs only: the
     /// tables extend in place and the patch stays footprint-bounded.
     Grown,
-    /// Uninitialized, invalidated, or the graph shrank/changed
+    /// Only the node count shrank (same inputs/outputs): a rejected
+    /// fresh-cone append was rolled back, restoring every surviving
+    /// row bit-exactly. The patch retires the dropped rows' gates
+    /// through the normal release cascade and truncates the tables
+    /// afterwards ([`MappedDesign::shrink`]) — footprint-bounded,
+    /// no rebuild. Requires a nonzero watermark: a compaction sweep
+    /// also shrinks the node count but *re-ranks* ids, which only
+    /// the watermark reset (`dirty_since == 0`) distinguishes, so
+    /// [`Mapper::sync_design`] demotes that case to `Fresh`.
+    Shrunk,
+    /// Uninitialized, invalidated, or the graph changed
     /// incompatibly: full rebuild.
     Fresh,
 }
@@ -233,9 +243,46 @@ impl MappedDesign {
             // object — the design extends in place instead of
             // rebuilding (see `grow`).
             ShapeFit::Grown
+        } else if now.0 < self.shape.0 && now.1 == self.shape.1 && now.2 == self.shape.2 {
+            // Only nodes disappeared, off the top: the rollback of a
+            // rejected append (sweeps re-rank ids and are demoted to
+            // `Fresh` by the watermark gate in `sync_design`).
+            ShapeFit::Shrunk
         } else {
             ShapeFit::Fresh
         }
+    }
+
+    /// Truncates the per-node tables after a sync on a graph that
+    /// shrank back below the recorded shape (a rejected append was
+    /// rolled back). Called *after* the patch: `apply_rows` needs the
+    /// dropped rows' emitted keys to cascade their demand away, and by
+    /// the rollback's exactness every dropped row is fully
+    /// dematerialized once the cascade settles — asserted here. The
+    /// dropped rows' gates were retired into the free list and their
+    /// nets released by the cascade itself.
+    fn shrink(&mut self, n: usize) {
+        debug_assert!(
+            (n..self.base_refs.len()).all(|i| {
+                self.base_refs[i] == 0
+                    && self.compl_refs[i] == 0
+                    && !self.planned[i]
+                    && self.main_gate[i] == NONE
+                    && self.post_inv[i] == NONE
+                    && self.compl_inv[i] == NONE
+                    && self.base_net[i] == NONE
+            }),
+            "dropped rows must be fully dematerialized by the patch"
+        );
+        self.base_refs.truncate(n);
+        self.compl_refs.truncate(n);
+        self.planned.truncate(n);
+        self.main_gate.truncate(n);
+        self.post_inv.truncate(n);
+        self.compl_inv.truncate(n);
+        self.base_net.truncate(n);
+        self.emitted.truncate(n);
+        self.reemit_mark.truncate(n);
     }
 
     fn reset(&mut self, aig: &Aig, lib: &Library) {
@@ -437,7 +484,11 @@ impl MappedDesign {
                 }
             } else {
                 self.base_refs[vi] -= 1;
-                if self.base_refs[vi] == 0 && aig.is_and(v) {
+                // Beyond the graph: a dropped row of a shrunk sync
+                // (necessarily an appended AND-cone node — the input
+                // count is unchanged), still owed its release.
+                let is_and = vi >= aig.num_nodes() || aig.is_and(v);
+                if self.base_refs[vi] == 0 && is_and {
                     let charged = if self.main_gate[vi] != NONE {
                         self.retire_list.push(v);
                         true
@@ -769,13 +820,26 @@ impl Mapper<'_> {
                 design.grow(aig);
                 (false, since)
             }
-            ShapeFit::Fresh => {
+            ShapeFit::Shrunk if dirty_since > 0 => {
+                // Rejected append rolled back: the tables stay at the
+                // recorded (larger) size through the patch — the
+                // release cascade reads the dropped rows' emitted
+                // keys — and are truncated right after it.
+                (false, since)
+            }
+            ShapeFit::Shrunk | ShapeFit::Fresh => {
+                // A zero watermark under a shrink is a compaction
+                // sweep: ids were re-ranked, the tables describe
+                // other nodes — rebuild.
                 design.reset(aig, self.library());
                 (true, 0)
             }
         };
         design.begin_sync();
         design.apply_rows(ctx, aig, self.library(), since);
+        if fit == ShapeFit::Shrunk && !fresh {
+            design.shrink(aig.num_nodes());
+        }
         // The design now mirrors every accumulated row change.
         ctx.consume_changed_rows();
         Ok(fresh)

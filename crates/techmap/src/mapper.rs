@@ -684,7 +684,21 @@ impl<'a> Mapper<'a> {
                 since = since.min(prev_n as NodeId);
                 prev_n
             }
-            _ => {
+            Some(_) => {
+                // The graph shrank back below the context's rows (a
+                // rejected fresh-cone append rolled back). Rows below
+                // the caller's watermark were restored bit-exactly,
+                // so the watermark survives and the fallback
+                // recomputes only `[since, n)`; the per-row cutoff
+                // sits out this one call (its version snapshot is
+                // sized for the larger graph) and resumes on the
+                // next. Clamped below `n` so the no-op fast path
+                // cannot skip the row/snapshot resize to the smaller
+                // graph.
+                since = since.min(n.saturating_sub(1) as NodeId);
+                0
+            }
+            None => {
                 since = 0;
                 0
             }

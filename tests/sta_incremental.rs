@@ -13,7 +13,7 @@ use aig::{Aig, Lit, NodeId};
 use cells::sky130ish;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use saopt::{optimize_seeds, CostEvaluator, EvalContext, GroundTruthCost, SaOptions};
+use saopt::{optimize_seeds, CostEvaluator, EditScope, EvalContext, GroundTruthCost, SaOptions};
 use techmap::{GateId, MapOptions, Mapper, NetDriver, NetId};
 use transform::{InplaceMode, Recipe, ResynthCache, Transform};
 
@@ -76,7 +76,7 @@ fn drive_edit_walk(g0: &Aig, seed: u64, steps: usize) {
             db.rollback_edit();
             continue;
         }
-        let m_inc = gt.evaluate_edit(txn.aig(), &db, since, &mut ctx);
+        let m_inc = gt.evaluate_edit(txn.aig(), &EditScope::new(&db, since), &mut ctx);
         let m_full = oracle.evaluate(txn.aig());
         assert!(
             m_inc.delay.to_bits() == m_full.delay.to_bits(),
@@ -96,10 +96,10 @@ fn drive_edit_walk(g0: &Aig, seed: u64, steps: usize) {
         } else {
             txn.rollback();
             db.rollback_edit();
-            gt.resync_edit(&g, &db, since, &mut ctx);
+            gt.resync_edit(&g, &EditScope::new(&db, since), &mut ctx);
             // The re-synced state must price the restored graph
             // bit-identically too.
-            let m_back = gt.evaluate_edit(&g, &db, NodeId::MAX, &mut ctx);
+            let m_back = gt.evaluate_edit(&g, &EditScope::new(&db, NodeId::MAX), &mut ctx);
             let m_ref = oracle.evaluate(&g);
             assert!(
                 m_back.delay.to_bits() == m_ref.delay.to_bits()
