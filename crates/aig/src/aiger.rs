@@ -35,46 +35,67 @@ use crate::lit::Lit;
 pub fn to_ascii(aig: &Aig) -> String {
     let (map, num_ands) = compact_map(aig);
     let m = aig.num_inputs() + num_ands;
-    let mut s = format!(
-        "aag {} {} 0 {} {}\n",
-        m,
-        aig.num_inputs(),
-        aig.num_outputs(),
-        num_ands
+    // One buffer, sized once: every line is appended with the manual
+    // decimal formatter, so a 1M-node dump does zero intermediate
+    // `format!` allocations.
+    let mut out = Vec::with_capacity(
+        40 + 9 * (aig.num_inputs() + aig.num_outputs()) + 27 * num_ands + aig.name().len(),
     );
+    out.extend_from_slice(b"aag ");
+    push_dec(&mut out, m as u32);
+    out.push(b' ');
+    push_dec(&mut out, aig.num_inputs() as u32);
+    out.extend_from_slice(b" 0 ");
+    push_dec(&mut out, aig.num_outputs() as u32);
+    out.push(b' ');
+    push_dec(&mut out, num_ands as u32);
+    out.push(b'\n');
     for i in 0..aig.num_inputs() {
-        s.push_str(&format!("{}\n", 2 * (i + 1)));
+        push_dec(&mut out, 2 * (i as u32 + 1));
+        out.push(b'\n');
     }
     for o in aig.outputs() {
-        s.push_str(&format!("{}\n", mapped_lit(o.lit, &map)));
+        push_dec(&mut out, mapped_lit(o.lit, &map));
+        out.push(b'\n');
     }
+    let (f0s, f1s) = aig.fanin_arrays();
     for id in aig.and_ids() {
-        let [f0, f1] = aig.fanins(id);
+        let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
         let lhs = map[id as usize] * 2;
         let (r0, r1) = ordered_rhs(mapped_lit(f0, &map), mapped_lit(f1, &map));
-        s.push_str(&format!("{lhs} {r0} {r1}\n"));
+        push_dec(&mut out, lhs);
+        out.push(b' ');
+        push_dec(&mut out, r0);
+        out.push(b' ');
+        push_dec(&mut out, r1);
+        out.push(b'\n');
     }
-    s.push_str(&symbol_table(aig));
-    s
+    append_symbol_table(&mut out, aig);
+    // SAFETY-free guarantee: everything appended is ASCII.
+    String::from_utf8(out).expect("AIGER ASCII output is valid UTF-8")
 }
 
 /// Serializes `aig` in binary AIGER (`aig`) format.
 pub fn to_binary(aig: &Aig) -> Vec<u8> {
     let (map, num_ands) = compact_map(aig);
     let m = aig.num_inputs() + num_ands;
-    let mut out = format!(
-        "aig {} {} 0 {} {}\n",
-        m,
-        aig.num_inputs(),
-        aig.num_outputs(),
-        num_ands
-    )
-    .into_bytes();
+    let mut out = Vec::with_capacity(40 + 9 * aig.num_outputs() + 3 * num_ands + aig.name().len());
+    out.extend_from_slice(b"aig ");
+    push_dec(&mut out, m as u32);
+    out.push(b' ');
+    push_dec(&mut out, aig.num_inputs() as u32);
+    out.extend_from_slice(b" 0 ");
+    push_dec(&mut out, aig.num_outputs() as u32);
+    out.push(b' ');
+    push_dec(&mut out, num_ands as u32);
+    out.push(b'\n');
     for o in aig.outputs() {
-        out.extend_from_slice(format!("{}\n", mapped_lit(o.lit, &map)).as_bytes());
+        push_dec(&mut out, mapped_lit(o.lit, &map));
+        out.push(b'\n');
     }
+    let (f0s, f1s) = aig.fanin_arrays();
     for id in aig.and_ids() {
-        let [f0, f1] = aig.fanins(id);
+        let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
         let lhs = map[id as usize] * 2;
         let (r0, r1) = ordered_rhs(mapped_lit(f0, &map), mapped_lit(f1, &map));
         // Binary encoding: delta0 = lhs - r0, delta1 = r0 - r1,
@@ -82,7 +103,7 @@ pub fn to_binary(aig: &Aig) -> Vec<u8> {
         push_leb(&mut out, lhs - r0);
         push_leb(&mut out, r0 - r1);
     }
-    out.extend_from_slice(symbol_table(aig).as_bytes());
+    append_symbol_table(&mut out, aig);
     out
 }
 
@@ -274,6 +295,10 @@ fn build(
     symbols: &[&str],
 ) -> Result<Aig, AigError> {
     let mut g = Aig::new();
+    // The header names the exact shape: reserve the node lanes and
+    // the strash table once instead of growing through ~20 rehashes
+    // on a 1M-node ingest.
+    g.reserve_nodes(1 + h.i + h.a, h.a);
     // var (aiger) -> literal in our graph
     let max_var = h.i + h.a;
     let mut map: Vec<Lit> = vec![Lit::INVALID; max_var + 1];
@@ -307,11 +332,16 @@ fn build(
         let lit = lookup(&map, l)?;
         g.add_output(lit, None::<&str>);
     }
-    // Symbol table + comments.
+    // Symbol table + comments. The first comment line is the design
+    // name by this module's own convention (see `append_symbol_table`),
+    // so a write/read/write cycle is byte-identical, name included.
     let mut out_names: Vec<Option<String>> = vec![None; h.o];
     let mut in_names: Vec<Option<String>> = vec![None; h.i];
-    for line in symbols {
+    let mut design_name: Option<&str> = None;
+    let mut lines = symbols.iter();
+    while let Some(&line) = lines.next() {
         if line.starts_with('c') {
+            design_name = lines.next().copied().filter(|n| !n.is_empty());
             break;
         }
         if let Some(rest) = line.strip_prefix('i') {
@@ -347,12 +377,18 @@ fn build(
             let l = map2[o.lit.var() as usize].complement_if(o.lit.is_complement());
             named.add_output(l, out_names[k].clone());
         }
+        if let Some(n) = design_name {
+            named.set_name(n);
+        }
         return Ok(named);
     }
     for (k, name) in out_names.into_iter().enumerate() {
         if name.is_some() {
             g.rename_output(k, name);
         }
+    }
+    if let Some(n) = design_name {
+        g.set_name(n);
     }
     Ok(g)
 }
@@ -444,22 +480,46 @@ fn read_leb(bytes: &[u8], pos: &mut usize) -> Result<u32, AigError> {
     }
 }
 
-fn symbol_table(aig: &Aig) -> String {
-    let mut s = String::new();
+/// Appends `v` in decimal (no `format!` temporaries on the hot dump
+/// loops).
+fn push_dec(out: &mut Vec<u8>, mut v: u32) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+fn append_symbol_table(out: &mut Vec<u8>, aig: &Aig) {
     for i in 0..aig.num_inputs() {
         if let Some(name) = aig.input_name(i) {
-            s.push_str(&format!("i{i} {name}\n"));
+            out.push(b'i');
+            push_dec(out, i as u32);
+            out.push(b' ');
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'\n');
         }
     }
     for (i, o) in aig.outputs().iter().enumerate() {
         if let Some(name) = &o.name {
-            s.push_str(&format!("o{i} {name}\n"));
+            out.push(b'o');
+            push_dec(out, i as u32);
+            out.push(b' ');
+            out.extend_from_slice(name.as_bytes());
+            out.push(b'\n');
         }
     }
     if !aig.name().is_empty() {
-        s.push_str(&format!("c\n{}\n", aig.name()));
+        out.extend_from_slice(b"c\n");
+        out.extend_from_slice(aig.name().as_bytes());
+        out.push(b'\n');
     }
-    s
 }
 
 #[cfg(test)]

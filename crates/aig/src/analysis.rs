@@ -6,7 +6,7 @@
 //! optimization flow.
 
 use crate::graph::Aig;
-use crate::lit::NodeId;
+use crate::lit::{Lit, NodeId};
 
 /// Per-node logic levels of an [`Aig`].
 ///
@@ -55,8 +55,9 @@ pub fn levels_into(aig: &Aig, out: &mut Levels) {
     out.level.clear();
     out.level.resize(aig.num_nodes(), 0);
     let level = &mut out.level;
+    let (f0s, f1s) = aig.fanin_arrays();
     aig.for_each_and_topo(|id| {
-        let [f0, f1] = aig.fanins(id);
+        let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
         level[id as usize] = 1 + level[f0.var() as usize].max(level[f1.var() as usize]);
     });
     out.max_level = aig
@@ -83,8 +84,13 @@ pub fn fanout_counts(aig: &Aig) -> Vec<u32> {
 pub fn fanout_counts_into(aig: &Aig, fanout: &mut Vec<u32>) {
     fanout.clear();
     fanout.resize(aig.num_nodes(), 0);
-    for id in aig.and_ids() {
-        let [f0, f1] = aig.fanins(id);
+    // Flat lane scan: no per-node id filtering, the INVALID check on
+    // `fanin0` doubles as the is-AND test.
+    let (f0s, f1s) = aig.fanin_arrays();
+    for (f0, f1) in f0s.iter().zip(f1s.iter()) {
+        if *f0 == Lit::INVALID {
+            continue;
+        }
         fanout[f0.var() as usize] += 1;
         fanout[f1.var() as usize] += 1;
     }

@@ -35,64 +35,90 @@ pub const MAX_NAMES_INPUTS: usize = 10;
 /// # Ok::<(), aig::AigError>(())
 /// ```
 pub fn to_blif(aig: &Aig, model: &str) -> String {
-    let mut s = format!(".model {model}\n");
     let in_name = |idx: usize| {
         aig.input_name(idx)
             .map(str::to_owned)
             .unwrap_or_else(|| format!("pi{idx}"))
     };
     let names: Vec<String> = (0..aig.num_inputs()).map(in_name).collect();
-    s.push_str(".inputs");
-    for n in &names {
-        s.push(' ');
-        s.push_str(n);
-    }
-    s.push('\n');
     let out_name = |k: usize| {
         aig.outputs()[k]
             .name
             .clone()
             .unwrap_or_else(|| format!("po{k}"))
     };
-    s.push_str(".outputs");
+    // One pre-sized buffer: every `.names` for an AND is at most two
+    // fanin names plus a generated `n<id>` (<= 11 bytes) plus cover
+    // row and punctuation. Generated names write digits in place —
+    // no per-node String is ever allocated.
+    let name_bytes: usize = names.iter().map(|n| n.len() + 1).sum();
+    let mut s = String::with_capacity(
+        64 + model.len() + 2 * name_bytes + 48 * aig.num_ands() + 32 * aig.num_outputs(),
+    );
+    s.push_str(".model ");
+    s.push_str(model);
+    s.push_str("\n.inputs");
+    for n in &names {
+        s.push(' ');
+        s.push_str(n);
+    }
+    s.push_str("\n.outputs");
     for k in 0..aig.num_outputs() {
         s.push(' ');
         s.push_str(&out_name(k));
     }
     s.push('\n');
-    // Signal name per node.
-    let mut sig: Vec<String> = vec!["$false".to_owned(); aig.num_nodes()];
+    // Signal name per node: inputs borrow their PI name, node 0 is
+    // the constant source, every AND prints as `n<id>`.
+    let mut sig: Vec<Option<&str>> = vec![None; aig.num_nodes()];
+    sig[0] = Some("$false");
     for (idx, &pi) in aig.inputs().iter().enumerate() {
-        sig[pi as usize] = names[idx].clone();
+        sig[pi as usize] = Some(&names[idx]);
     }
+    let push_sig = |s: &mut String, sig: &[Option<&str>], var: u32| match sig[var as usize] {
+        Some(n) => s.push_str(n),
+        None => {
+            s.push('n');
+            push_dec_str(s, var);
+        }
+    };
+    let (f0s, f1s) = aig.fanin_arrays();
     let mut const_used = false;
     for id in aig.and_ids() {
-        sig[id as usize] = format!("n{id}");
-        let [f0, f1] = aig.fanins(id);
-        let row = |l: Lit| if l.is_complement() { '0' } else { '1' };
-        s.push_str(&format!(
-            ".names {} {} n{id}\n{}{} 1\n",
-            sig[f0.var() as usize],
-            sig[f1.var() as usize],
-            row(f0),
-            row(f1)
-        ));
+        let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
+        s.push_str(".names ");
+        push_sig(&mut s, &sig, f0.var());
+        s.push(' ');
+        push_sig(&mut s, &sig, f1.var());
+        s.push_str(" n");
+        push_dec_str(&mut s, id);
+        s.push('\n');
+        s.push(if f0.is_complement() { '0' } else { '1' });
+        s.push(if f1.is_complement() { '0' } else { '1' });
+        s.push_str(" 1\n");
         const_used |= f0.var() == 0 || f1.var() == 0;
     }
     for (k, o) in aig.outputs().iter().enumerate() {
         let name = out_name(k);
         if o.lit.var() == 0 {
             // Constant output.
-            s.push_str(&format!(".names {name}\n"));
+            s.push_str(".names ");
+            s.push_str(&name);
+            s.push('\n');
             if o.lit.is_complement() {
                 s.push_str("1\n");
             }
         } else {
-            let pol = if o.lit.is_complement() { "0 1" } else { "1 1" };
-            s.push_str(&format!(
-                ".names {} {name}\n{pol}\n",
-                sig[o.lit.var() as usize]
-            ));
+            s.push_str(".names ");
+            push_sig(&mut s, &sig, o.lit.var());
+            s.push(' ');
+            s.push_str(&name);
+            s.push('\n');
+            s.push_str(if o.lit.is_complement() {
+                "0 1\n"
+            } else {
+                "1 1\n"
+            });
         }
     }
     if const_used {
@@ -100,6 +126,21 @@ pub fn to_blif(aig: &Aig, model: &str) -> String {
     }
     s.push_str(".end\n");
     s
+}
+
+/// Appends `v` in decimal without going through `format!`.
+fn push_dec_str(s: &mut String, mut v: u32) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    s.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 /// Parses a combinational BLIF model into an AIG.
@@ -148,8 +189,7 @@ pub fn from_blif(text: &str) -> Result<Aig, AigError> {
 
     let mut i = 0usize;
     while i < lines.len() {
-        let (ln, line) = (&lines[i].0, lines[i].1.trim().to_owned());
-        let ln = *ln;
+        let (ln, line) = (lines[i].0, lines[i].1.trim());
         i += 1;
         let mut tok = line.split_whitespace();
         match tok.next() {
@@ -179,26 +219,26 @@ pub fn from_blif(text: &str) -> Result<Aig, AigError> {
                 }
                 let mut rows = Vec::new();
                 while i < lines.len() && !lines[i].1.trim_start().starts_with('.') {
-                    let (rln, row) = (&lines[i].0, lines[i].1.trim().to_owned());
+                    let (rln, row) = (lines[i].0, lines[i].1.trim());
                     i += 1;
-                    let parts: Vec<&str> = row.split_whitespace().collect();
-                    let (mask, value) = match parts.as_slice() {
-                        [v] if ios.len() == 1 => (String::new(), *v),
-                        [m, v] => ((*m).to_owned(), *v),
-                        _ => return Err(err(*rln, "bad cover row")),
+                    let mut parts = row.split_whitespace();
+                    let (mask, value) = match (parts.next(), parts.next(), parts.next()) {
+                        (Some(v), None, _) if ios.len() == 1 => ("", v),
+                        (Some(m), Some(v), None) => (m, v),
+                        _ => return Err(err(rln, "bad cover row")),
                     };
                     let value = match value {
                         "1" => '1',
                         "0" => '0',
-                        _ => return Err(err(*rln, "cover output must be 0 or 1")),
+                        _ => return Err(err(rln, "cover output must be 0 or 1")),
                     };
                     if mask.len() != ios.len() - 1 {
-                        return Err(err(*rln, "cover width mismatch"));
+                        return Err(err(rln, "cover width mismatch"));
                     }
                     if !mask.chars().all(|c| matches!(c, '0' | '1' | '-')) {
-                        return Err(err(*rln, "cover entries must be 0, 1 or -"));
+                        return Err(err(rln, "cover entries must be 0, 1 or -"));
                     }
-                    rows.push((mask, value));
+                    rows.push((mask.to_owned(), value));
                 }
                 tables.push(Names {
                     line: ln,

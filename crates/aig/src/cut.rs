@@ -35,7 +35,7 @@
 //! sequence.
 
 use crate::graph::Aig;
-use crate::lit::NodeId;
+use crate::lit::{Lit, NodeId};
 use std::collections::BinaryHeap;
 
 /// Maximum number of leaves a [`Cut`] can hold.
@@ -253,6 +253,17 @@ impl CutSet {
     pub fn num_cuts(&self) -> usize {
         self.arena.len()
     }
+
+    /// Pre-sizes the span table and cut arena for a graph of `nodes`
+    /// nodes at up to `max_cuts` cuts each (capacity only; contents
+    /// untouched). A following [`enumerate_cuts_into`] then performs
+    /// no incremental regrowth.
+    pub fn reserve_nodes(&mut self, nodes: usize, max_cuts: usize) {
+        let grow = |cap: usize, len: usize| cap.saturating_sub(len);
+        self.span.reserve(grow(nodes, self.span.len()));
+        let cuts = nodes.saturating_mul(max_cuts.min(8) + 1);
+        self.arena.reserve(grow(cuts, self.arena.len()));
+    }
 }
 
 /// Duplicates each `2^p`-bit block of `tt`, i.e. inserts a don't-care
@@ -387,20 +398,24 @@ pub fn enumerate_cuts_into(aig: &Aig, k: usize, max_cuts: usize, out: &mut CutSe
         push_list(arena, span, pi, &[Cut::trivial(pi)]);
     }
 
+    let (f0s, f1s) = aig.fanin_arrays();
     aig.for_each_and_topo(|id| {
-        node_cut_list(aig, id, k, max_cuts, arena, span, merged, list);
+        let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
+        node_cut_list(f0, f1, id, k, max_cuts, arena, span, merged, list);
         push_list(arena, span, id, list);
     });
 }
 
-/// Computes the cut list of AND node `id` into `list`, reading the
-/// fanins' lists through `(arena, span)`. This is the shared inner
-/// loop of [`enumerate_cuts_into`] (full enumeration) and
-/// [`CutDb`] (incremental re-enumeration); both therefore keep
-/// *identical* per-node cut lists by construction.
+/// Computes the cut list of AND node `id` (fanins `f0`/`f1`, as read
+/// from [`Aig::fanin_arrays`]) into `list`, reading the fanins' lists
+/// through `(arena, span)`. This is the shared inner loop of
+/// [`enumerate_cuts_into`] (full enumeration) and [`CutDb`]
+/// (incremental re-enumeration); both therefore keep *identical*
+/// per-node cut lists by construction.
 #[allow(clippy::too_many_arguments)]
 fn node_cut_list(
-    aig: &Aig,
+    f0: Lit,
+    f1: Lit,
     id: NodeId,
     k: usize,
     max_cuts: usize,
@@ -409,7 +424,6 @@ fn node_cut_list(
     merged: &mut Vec<Cut>,
     list: &mut Vec<Cut>,
 ) {
-    let [f0, f1] = aig.fanins(id);
     list.clear();
     list.push(Cut::trivial(id));
     let (s0, e0) = span[f0.var() as usize];
@@ -584,6 +598,29 @@ impl Clone for CutDb {
             queued: self.queued.clone(),
         }
     }
+
+    /// [`Clone::clone`] into an existing database, reusing its arena,
+    /// span, and version allocations (the speculative engine re-syncs
+    /// worker replicas from the master once per wave — on the steady
+    /// state this copies element-for-element with no heap traffic).
+    /// Semantics match `clone()`: the destination takes a **fresh**
+    /// [`CutDb::instance_id`], so version snapshots taken against
+    /// either database never cross-match.
+    fn clone_from(&mut self, src: &Self) {
+        self.instance_id = next_cutdb_id();
+        self.k = src.k;
+        self.max_cuts = src.max_cuts;
+        self.arena.clone_from(&src.arena);
+        self.span.clone_from(&src.span);
+        self.versions.clone_from(&src.versions);
+        self.vgen = src.vgen;
+        self.live = src.live;
+        self.journal.clone_from(&src.journal);
+        self.merged.clone_from(&src.merged);
+        self.list.clone_from(&src.list);
+        self.heap.clone_from(&src.heap);
+        self.queued.clone_from(&src.queued);
+    }
 }
 
 impl CutDb {
@@ -636,6 +673,19 @@ impl CutDb {
         self.vgen
     }
 
+    /// Pre-sizes the per-node tables and the cut arena for a graph of
+    /// `nodes` nodes, so a following [`CutDb::build`] (or
+    /// `clone_from` of a database that large) performs no incremental
+    /// regrowth. Capacity only — contents are untouched.
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        let grow = |cap: usize, len: usize| cap.saturating_sub(len);
+        self.span.reserve(grow(nodes, self.span.len()));
+        self.versions.reserve(grow(nodes, self.versions.len()));
+        self.queued.reserve(grow(nodes, self.queued.len()));
+        let cuts = nodes.saturating_mul(self.max_cuts.min(8) + 1);
+        self.arena.reserve(grow(cuts, self.arena.len()));
+    }
+
     /// The cut-size bound `k`.
     pub fn k(&self) -> usize {
         self.k
@@ -683,9 +733,11 @@ impl CutDb {
         }
         let mut list = std::mem::take(&mut self.list);
         let mut merged = std::mem::take(&mut self.merged);
+        let (f0s, f1s) = aig.fanin_arrays();
         aig.for_each_and_topo(|id| {
             node_cut_list(
-                aig,
+                f0s[id as usize],
+                f1s[id as usize],
                 id,
                 self.k,
                 self.max_cuts,
@@ -721,10 +773,12 @@ impl CutDb {
         self.queued.resize(n, false);
         let mut list = std::mem::take(&mut self.list);
         let mut merged = std::mem::take(&mut self.merged);
+        let (f0s, f1s) = aig.fanin_arrays();
         for id in old_n as NodeId..n as NodeId {
             if aig.is_and(id) {
                 node_cut_list(
-                    aig,
+                    f0s[id as usize],
+                    f1s[id as usize],
                     id,
                     self.k,
                     self.max_cuts,
@@ -784,10 +838,12 @@ impl CutDb {
         }
         let mut list = std::mem::take(&mut self.list);
         let mut merged = std::mem::take(&mut self.merged);
+        let (f0s, f1s) = aig.fanin_arrays();
         while let Some(std::cmp::Reverse(id)) = self.heap.pop() {
             self.queued[id as usize] = false;
             node_cut_list(
-                aig,
+                f0s[id as usize],
+                f1s[id as usize],
                 id,
                 self.k,
                 self.max_cuts,

@@ -1,7 +1,41 @@
 //! The And-Inverter Graph container.
+//!
+//! # Storage layout (struct-of-arrays)
+//!
+//! Node fanins live in two parallel arrays, `fanin0` / `fanin1`,
+//! indexed by node id ([`Aig::fanin_arrays`] exposes them to hot
+//! loops). A node is an AND gate iff its `fanin0` entry is a real
+//! literal; the constant node 0 and primary inputs hold
+//! [`Lit::INVALID`] in both lanes. The former array-of-structs
+//! (`Node { fanin: [Lit; 2] }`) layout paid for both lanes on every
+//! touch; the split keeps single-lane scans (topological DFS seeding,
+//! liveness marking, fanout counting) at half the bandwidth and makes
+//! whole-graph resyncs (`clone_from`) flat `memcpy`s per lane.
+//!
+//! # Structural-hash invariants
+//!
+//! The strash table ([`crate::strash::StrashTable`], open addressing,
+//! reservable, rebuild-free on `clone_from`) maps the packed fanin
+//! pair `(lo.raw() << 32) | hi.raw()` (with `lo.raw() <= hi.raw()`) of
+//! every *canonically owned* AND node to its id:
+//!
+//! * [`Aig::and`] never creates a duplicate pair — it returns the
+//!   owner found in the table;
+//! * [`Aig::replace_fanins`] transfers ownership exactly: the old key
+//!   is dropped iff `id` owned it, the new key is claimed iff no
+//!   other node owns it, and the returned [`FaninEdit`] records both
+//!   decisions so [`Aig::undo_fanin_edit`] (applied in reverse
+//!   journal order) restores the table byte for byte;
+//! * a pair can be *unowned* only transiently inside a transaction
+//!   (two nodes holding equal fanins after a rewire — the second one
+//!   keeps its key out of the table until the journal resolves).
+//!
+//! Fanins of AND nodes are never [`Lit::INVALID`], which is what makes
+//! the packed key `u64::MAX` safe as the table's empty sentinel.
 
 use crate::lit::{Lit, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use crate::strash::StrashTable;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -25,11 +59,6 @@ pub struct Output {
     pub name: Option<String>,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Node {
-    fanin: [Lit; 2],
-}
-
 /// Undo record for one [`Aig::replace_fanins`] call (see
 /// [`Aig::undo_fanin_edit`]); part of the transaction rollback
 /// machinery in [`crate::incremental`].
@@ -42,11 +71,11 @@ pub(crate) struct FaninEdit {
     noop: bool,
 }
 
-impl Node {
-    #[inline]
-    fn is_and(&self) -> bool {
-        self.fanin[0] != Lit::INVALID
-    }
+/// Packs a sorted fanin pair into the strash key (see module docs).
+#[inline]
+fn strash_key(x: Lit, y: Lit) -> u64 {
+    debug_assert!(x.raw() <= y.raw());
+    ((x.raw() as u64) << 32) | y.raw() as u64
 }
 
 /// A dependency-order snapshot of the graph's AND nodes: the listing
@@ -134,11 +163,15 @@ impl std::ops::Deref for TopoIndex {
 /// assert!(g.num_ands() <= 9);
 /// ```
 pub struct Aig {
-    nodes: Vec<Node>,
+    /// First fanin per node id; [`Lit::INVALID`] for the constant and
+    /// primary inputs (struct-of-arrays, see module docs).
+    fanin0: Vec<Lit>,
+    /// Second fanin per node id, same convention as `fanin0`.
+    fanin1: Vec<Lit>,
     inputs: Vec<NodeId>,
     input_names: Vec<Option<String>>,
     outputs: Vec<Output>,
-    strash: HashMap<(u32, u32), NodeId>,
+    strash: StrashTable,
     /// AND nodes with a fanin variable *greater* than their own id.
     ///
     /// Fresh nodes from [`Aig::and`] always reference earlier ids, so
@@ -160,7 +193,8 @@ pub struct Aig {
 impl Clone for Aig {
     fn clone(&self) -> Self {
         Aig {
-            nodes: self.nodes.clone(),
+            fanin0: self.fanin0.clone(),
+            fanin1: self.fanin1.clone(),
             inputs: self.inputs.clone(),
             input_names: self.input_names.clone(),
             outputs: self.outputs.clone(),
@@ -171,6 +205,23 @@ impl Clone for Aig {
             topo_cache: Mutex::new(self.topo_cache.lock().unwrap().clone()),
             name: self.name.clone(),
         }
+    }
+
+    /// Buffer-reusing whole-graph resync: every lane is copied into
+    /// the destination's existing allocation (growing it at most once
+    /// to the source length), and the strash slot arrays are copied
+    /// flat — no rehash. This is the speculation-slot full-resync
+    /// path; after a first sync at peak size it is allocation-free.
+    fn clone_from(&mut self, src: &Self) {
+        self.fanin0.clone_from(&src.fanin0);
+        self.fanin1.clone_from(&src.fanin1);
+        self.inputs.clone_from(&src.inputs);
+        self.input_names.clone_from(&src.input_names);
+        self.outputs.clone_from(&src.outputs);
+        self.strash.clone_from(&src.strash);
+        self.forward.clone_from(&src.forward);
+        *self.topo_cache.get_mut().unwrap() = src.topo_cache.lock().unwrap().clone();
+        self.name.clone_from(&src.name);
     }
 }
 
@@ -184,13 +235,12 @@ impl Aig {
     /// Creates an empty AIG containing only the constant-false node.
     pub fn new() -> Self {
         Aig {
-            nodes: vec![Node {
-                fanin: [Lit::INVALID, Lit::INVALID],
-            }],
+            fanin0: vec![Lit::INVALID],
+            fanin1: vec![Lit::INVALID],
             inputs: Vec::new(),
             input_names: Vec::new(),
             outputs: Vec::new(),
-            strash: HashMap::new(),
+            strash: StrashTable::new(),
             forward: BTreeSet::new(),
             topo_cache: Mutex::new(None),
             name: String::new(),
@@ -206,6 +256,26 @@ impl Aig {
         g
     }
 
+    /// Pre-sizes the node lanes and the strash table for a graph of
+    /// `nodes` total nodes of which `ands` are AND gates, so a
+    /// known-size build (benchgen large tier, AIGER ingest) never
+    /// grows incrementally.
+    pub fn reserve_nodes(&mut self, nodes: usize, ands: usize) {
+        let extra = nodes.saturating_sub(self.fanin0.len());
+        self.fanin0.reserve(extra);
+        self.fanin1.reserve(extra);
+        self.strash.reserve(self.strash.len() + ands);
+    }
+
+    /// Bytes held by the per-node storage: both fanin lanes plus the
+    /// strash slot arrays (capacities, not lengths — this is the
+    /// resident footprint the bytes/node bench series tracks).
+    pub fn node_storage_bytes(&self) -> usize {
+        self.fanin0.capacity() * std::mem::size_of::<Lit>()
+            + self.fanin1.capacity() * std::mem::size_of::<Lit>()
+            + self.strash.storage_bytes()
+    }
+
     /// A free-form design name (used in reports and AIGER comments).
     pub fn name(&self) -> &str {
         &self.name
@@ -219,7 +289,7 @@ impl Aig {
     /// Total number of nodes including the constant and inputs.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.fanin0.len()
     }
 
     /// Number of primary inputs.
@@ -237,7 +307,7 @@ impl Aig {
     /// Number of AND nodes (the paper's "node count" proxy for area).
     #[inline]
     pub fn num_ands(&self) -> usize {
-        self.nodes.len() - 1 - self.inputs.len()
+        self.fanin0.len() - 1 - self.inputs.len()
     }
 
     /// The primary-input node ids in creation order.
@@ -266,7 +336,7 @@ impl Aig {
     pub fn node_kind(&self, id: NodeId) -> NodeKind {
         if id == 0 {
             NodeKind::Const
-        } else if self.nodes[id as usize].is_and() {
+        } else if self.fanin0[id as usize] != Lit::INVALID {
             NodeKind::And
         } else {
             NodeKind::Input
@@ -276,13 +346,13 @@ impl Aig {
     /// Whether node `id` is an AND gate.
     #[inline]
     pub fn is_and(&self, id: NodeId) -> bool {
-        id != 0 && self.nodes[id as usize].is_and()
+        id != 0 && self.fanin0[id as usize] != Lit::INVALID
     }
 
     /// Whether node `id` is a primary input.
     #[inline]
     pub fn is_input(&self, id: NodeId) -> bool {
-        id != 0 && !self.nodes[id as usize].is_and()
+        id != 0 && self.fanin0[id as usize] == Lit::INVALID
     }
 
     /// The two fanin literals of AND node `id`.
@@ -292,9 +362,22 @@ impl Aig {
     /// Panics if `id` is not an AND node.
     #[inline]
     pub fn fanins(&self, id: NodeId) -> [Lit; 2] {
-        let n = &self.nodes[id as usize];
-        assert!(n.is_and(), "node {id} is not an AND gate");
-        n.fanin
+        let f0 = self.fanin0[id as usize];
+        assert!(f0 != Lit::INVALID, "node {id} is not an AND gate");
+        [f0, self.fanin1[id as usize]]
+    }
+
+    /// The raw fanin lanes, indexed by node id: `(fanin0, fanin1)`,
+    /// both of length [`Aig::num_nodes`], holding [`Lit::INVALID`] in
+    /// both lanes for the constant and primary inputs.
+    ///
+    /// This is the bulk-scan interface for hot loops (levels, fanout
+    /// counts, simulation, cut enumeration): one bounds check per
+    /// slice instead of per node, and single-lane passes read half
+    /// the bytes of the former array-of-structs layout.
+    #[inline]
+    pub fn fanin_arrays(&self) -> (&[Lit], &[Lit]) {
+        (&self.fanin0, &self.fanin1)
     }
 
     /// Adds a fresh primary input and returns its (plain) literal.
@@ -304,10 +387,9 @@ impl Aig {
 
     /// Adds a named primary input and returns its (plain) literal.
     pub fn add_named_input(&mut self, name: Option<impl Into<String>>) -> Lit {
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(Node {
-            fanin: [Lit::INVALID, Lit::INVALID],
-        });
+        let id = self.fanin0.len() as NodeId;
+        self.fanin0.push(Lit::INVALID);
+        self.fanin1.push(Lit::INVALID);
         self.inputs.push(id);
         self.input_names.push(name.map(Into::into));
         self.topo_cache_append(id, false);
@@ -360,7 +442,7 @@ impl Aig {
 
     /// Registers `lit` as a primary output; returns the output index.
     pub fn add_output(&mut self, lit: Lit, name: Option<impl Into<String>>) -> usize {
-        debug_assert!((lit.var() as usize) < self.nodes.len());
+        debug_assert!((lit.var() as usize) < self.fanin0.len());
         self.outputs.push(Output {
             lit,
             name: name.map(Into::into),
@@ -403,12 +485,13 @@ impl Aig {
             return a;
         }
         let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
-        let key = (x.raw(), y.raw());
-        if let Some(&id) = self.strash.get(&key) {
+        let key = strash_key(x, y);
+        if let Some(id) = self.strash.get(key) {
             return Lit::new(id, false);
         }
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(Node { fanin: [x, y] });
+        let id = self.fanin0.len() as NodeId;
+        self.fanin0.push(x);
+        self.fanin1.push(y);
         self.strash.insert(key, id);
         self.topo_cache_append(id, true);
         Lit::new(id, false)
@@ -432,8 +515,8 @@ impl Aig {
         }
         let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         self.strash
-            .get(&(x.raw(), y.raw()))
-            .map(|&id| Lit::new(id, false))
+            .get(strash_key(x, y))
+            .map(|id| Lit::new(id, false))
     }
 
     /// Rewires the fanins of AND node `id` in place, keeping the
@@ -450,9 +533,8 @@ impl Aig {
     /// [`Aig::undo_fanin_edit`] (the transaction rollback path);
     /// non-transactional callers simply drop it.
     pub(crate) fn replace_fanins(&mut self, id: NodeId, a: Lit, b: Lit) -> FaninEdit {
-        let node = &self.nodes[id as usize];
-        debug_assert!(node.is_and(), "node {id} is not an AND gate");
-        let old = node.fanin;
+        let old = [self.fanin0[id as usize], self.fanin1[id as usize]];
+        debug_assert!(old[0] != Lit::INVALID, "node {id} is not an AND gate");
         let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         if [x, y] == old {
             return FaninEdit {
@@ -463,25 +545,22 @@ impl Aig {
                 noop: true,
             };
         }
-        let old_key = (old[0].raw(), old[1].raw());
-        let removed_old_key = if self.strash.get(&old_key) == Some(&id) {
-            self.strash.remove(&old_key);
+        let old_key = strash_key(old[0], old[1]);
+        let removed_old_key = if self.strash.get(old_key) == Some(id) {
+            self.strash.remove(old_key);
             true
         } else {
             false
         };
-        self.nodes[id as usize].fanin = [x, y];
+        self.fanin0[id as usize] = x;
+        self.fanin1[id as usize] = y;
         if x.var().max(y.var()) > id {
             self.forward.insert(id);
         } else {
             self.forward.remove(&id);
         }
         self.topo_cache_check_rewire(id, [x, y]);
-        let mut inserted_new_key = false;
-        self.strash.entry((x.raw(), y.raw())).or_insert_with(|| {
-            inserted_new_key = true;
-            id
-        });
+        let inserted_new_key = self.strash.try_insert(strash_key(x, y), id);
         FaninEdit {
             id,
             old,
@@ -499,13 +578,14 @@ impl Aig {
         if e.noop {
             return;
         }
-        let cur = self.nodes[e.id as usize].fanin;
+        let cur = [self.fanin0[e.id as usize], self.fanin1[e.id as usize]];
         if e.inserted_new_key {
-            let key = (cur[0].raw(), cur[1].raw());
-            debug_assert_eq!(self.strash.get(&key), Some(&e.id));
-            self.strash.remove(&key);
+            let key = strash_key(cur[0], cur[1]);
+            debug_assert_eq!(self.strash.get(key), Some(e.id));
+            self.strash.remove(key);
         }
-        self.nodes[e.id as usize].fanin = e.old;
+        self.fanin0[e.id as usize] = e.old[0];
+        self.fanin1[e.id as usize] = e.old[1];
         if e.old[0].var().max(e.old[1].var()) > e.id {
             self.forward.insert(e.id);
         } else {
@@ -513,7 +593,7 @@ impl Aig {
         }
         self.topo_cache_check_rewire(e.id, e.old);
         if e.removed_old_key {
-            self.strash.insert((e.old[0].raw(), e.old[1].raw()), e.id);
+            self.strash.insert(strash_key(e.old[0], e.old[1]), e.id);
         }
     }
 
@@ -523,18 +603,20 @@ impl Aig {
     pub(crate) fn pop_node(&mut self, id: NodeId) {
         assert_eq!(
             id as usize + 1,
-            self.nodes.len(),
+            self.fanin0.len(),
             "pop_node only removes the last node"
         );
         debug_assert!(
             !self.forward.contains(&id),
             "pop_node on a forward node {id}: undo substitutions before appends"
         );
-        let node = self.nodes.pop().expect("non-empty");
-        if node.is_and() {
-            let key = (node.fanin[0].raw(), node.fanin[1].raw());
-            debug_assert_eq!(self.strash.get(&key), Some(&id));
-            self.strash.remove(&key);
+        let f0 = self.fanin0.pop().expect("non-empty");
+        let f1 = self.fanin1.pop().expect("non-empty");
+        let was_and = f0 != Lit::INVALID;
+        if was_and {
+            let key = strash_key(f0, f1);
+            debug_assert_eq!(self.strash.get(key), Some(id));
+            self.strash.remove(key);
         } else {
             debug_assert_eq!(self.inputs.last(), Some(&id));
             self.inputs.pop();
@@ -549,9 +631,9 @@ impl Aig {
             match Arc::get_mut(arc) {
                 Some(ix)
                     if ix.pos.len() == id as usize + 1
-                        && (!node.is_and() || ix.order.last() == Some(&id)) =>
+                        && (!was_and || ix.order.last() == Some(&id)) =>
                 {
-                    if node.is_and() {
+                    if was_and {
                         ix.order.pop();
                     }
                     ix.pos.pop();
@@ -643,7 +725,7 @@ impl Aig {
     /// appended cone into an earlier node, use
     /// [`Aig::for_each_and_topo`] for dependency-ordered traversal.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (1..self.nodes.len() as NodeId).filter(move |&id| self.nodes[id as usize].is_and())
+        (1..self.fanin0.len() as NodeId).filter(move |&id| self.fanin0[id as usize] != Lit::INVALID)
     }
 
     /// Whether ascending id order is a valid topological order (no AND
@@ -680,14 +762,15 @@ impl Aig {
         if let Some(ix) = cache.as_ref() {
             return Arc::clone(ix);
         }
-        let n = self.nodes.len();
+        let (fanin0, fanin1) = (&self.fanin0[..], &self.fanin1[..]);
+        let n = fanin0.len();
         let mut order = Vec::with_capacity(self.num_ands());
         let mut pos = vec![TopoIndex::NOT_AND; n];
         // 0 = unvisited, 1 = on the current DFS path, 2 = emitted.
         let mut state = vec![0u8; n];
         let mut stack: Vec<(NodeId, bool)> = Vec::new();
         for root in 1..n as NodeId {
-            if !self.nodes[root as usize].is_and() || state[root as usize] == 2 {
+            if fanin0[root as usize] == Lit::INVALID || state[root as usize] == 2 {
                 continue;
             }
             stack.push((root, false));
@@ -703,10 +786,11 @@ impl Aig {
                 }
                 state[id as usize] = 1;
                 stack.push((id, true));
-                let [f0, f1] = self.nodes[id as usize].fanin;
+                let f0 = fanin0[id as usize];
+                let f1 = fanin1[id as usize];
                 for f in [f1, f0] {
                     let v = f.var();
-                    if v != 0 && self.nodes[v as usize].is_and() && state[v as usize] != 2 {
+                    if v != 0 && fanin0[v as usize] != Lit::INVALID && state[v as usize] != 2 {
                         debug_assert!(state[v as usize] != 1, "combinational cycle at node {v}");
                         stack.push((v, false));
                     }
@@ -759,14 +843,15 @@ impl Aig {
         if from < floor {
             return false;
         }
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.fanin0.len()];
         let mut stack = vec![from];
         while let Some(v) = stack.pop() {
             if seen[v as usize] {
                 continue;
             }
             seen[v as usize] = true;
-            let [f0, f1] = self.nodes[v as usize].fanin;
+            let f0 = self.fanin0[v as usize];
+            let f1 = self.fanin1[v as usize];
             for f in [f0.var(), f1.var()] {
                 if f == target {
                     return true;
@@ -782,7 +867,7 @@ impl Aig {
     /// Iterates over all node ids (constant, inputs, ANDs) in
     /// topological order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
-        0..self.nodes.len() as NodeId
+        0..self.fanin0.len() as NodeId
     }
 
     /// Rebuilds the AIG keeping only logic reachable from the outputs
@@ -792,14 +877,14 @@ impl Aig {
     pub fn sweep(&self) -> Aig {
         let mut out = Aig::new();
         out.name = self.name.clone();
-        let mut map: Vec<Lit> = vec![Lit::INVALID; self.nodes.len()];
+        let mut map: Vec<Lit> = vec![Lit::INVALID; self.fanin0.len()];
         map[0] = Lit::FALSE;
         for (idx, &pi) in self.inputs.iter().enumerate() {
             let lit = out.add_named_input(self.input_names[idx].clone());
             map[pi as usize] = lit;
         }
         // Mark reachable nodes.
-        let mut live = vec![false; self.nodes.len()];
+        let mut live = vec![false; self.fanin0.len()];
         let mut stack: Vec<NodeId> = self.outputs.iter().map(|o| o.lit.var()).collect();
         while let Some(id) = stack.pop() {
             if live[id as usize] {
@@ -807,9 +892,8 @@ impl Aig {
             }
             live[id as usize] = true;
             if self.is_and(id) {
-                let [f0, f1] = self.nodes[id as usize].fanin;
-                stack.push(f0.var());
-                stack.push(f1.var());
+                stack.push(self.fanin0[id as usize].var());
+                stack.push(self.fanin1[id as usize].var());
             }
         }
         // Copy live ANDs in dependency order.
@@ -817,7 +901,8 @@ impl Aig {
             if !live[id as usize] {
                 return;
             }
-            let [f0, f1] = self.nodes[id as usize].fanin;
+            let f0 = self.fanin0[id as usize];
+            let f1 = self.fanin1[id as usize];
             let a = map[f0.var() as usize].complement_if(f0.is_complement());
             let b = map[f1.var() as usize].complement_if(f1.is_complement());
             map[id as usize] = out.and(a, b);
@@ -832,7 +917,7 @@ impl Aig {
     /// Number of AND nodes reachable from the outputs (i.e. the size
     /// after a [`Aig::sweep`], without building the swept copy).
     pub fn num_live_ands(&self) -> usize {
-        let mut live = vec![false; self.nodes.len()];
+        let mut live = vec![false; self.fanin0.len()];
         let mut stack: Vec<NodeId> = self.outputs.iter().map(|o| o.lit.var()).collect();
         let mut count = 0usize;
         while let Some(id) = stack.pop() {
@@ -842,9 +927,8 @@ impl Aig {
             live[id as usize] = true;
             if self.is_and(id) {
                 count += 1;
-                let [f0, f1] = self.nodes[id as usize].fanin;
-                stack.push(f0.var());
-                stack.push(f1.var());
+                stack.push(self.fanin0[id as usize].var());
+                stack.push(self.fanin1[id as usize].var());
             }
         }
         count
@@ -1110,5 +1194,60 @@ mod tests {
         assert_eq!(s.ands, 1);
         assert_eq!(s.levels, 1);
         assert!(format!("{s}").contains("and = 1"));
+    }
+
+    #[test]
+    fn fanin_arrays_match_fanins() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, !b);
+        let y = g.and(x, b);
+        let (f0, f1) = g.fanin_arrays();
+        assert_eq!(f0.len(), g.num_nodes());
+        assert_eq!(f1.len(), g.num_nodes());
+        assert_eq!(f0[0], Lit::INVALID);
+        assert_eq!(f0[a.var() as usize], Lit::INVALID);
+        for id in [x.var(), y.var()] {
+            assert_eq!([f0[id as usize], f1[id as usize]], g.fanins(id));
+        }
+    }
+
+    #[test]
+    fn clone_from_matches_clone() {
+        let g = crate::test_support::random_aig(11, 8, 200, 4);
+        let mut dst = crate::test_support::random_aig(22, 3, 40, 2);
+        dst.clone_from(&g);
+        assert_eq!(crate::aiger::to_ascii(&dst), crate::aiger::to_ascii(&g));
+        // The strash must be live in the destination: probing every
+        // AND pair finds the owning node, exactly as in the source.
+        for id in g.and_ids() {
+            let [f0, f1] = g.fanins(id);
+            assert_eq!(dst.find_and(f0, f1), g.find_and(f0, f1));
+            assert_eq!(dst.find_and(f0, f1), Some(Lit::new(id, false)));
+        }
+    }
+
+    #[test]
+    fn reserve_nodes_prevents_regrowth() {
+        let mut g = Aig::new();
+        g.reserve_nodes(1000, 900);
+        let cap = {
+            let (f0, _) = g.fanin_arrays();
+            f0.len() // length is 1; capacity probe below via bytes
+        };
+        assert_eq!(cap, 1);
+        let bytes = g.node_storage_bytes();
+        let mut lits = vec![g.add_input(), g.add_input(), g.add_input()];
+        for i in 0..900usize {
+            let a = lits[i % lits.len()];
+            let b = !lits[(i * 7 + 1) % lits.len()];
+            lits.push(g.and(a, b));
+        }
+        assert_eq!(
+            g.node_storage_bytes(),
+            bytes,
+            "reserved lanes and strash must not regrow"
+        );
     }
 }

@@ -484,7 +484,8 @@ impl IncrementalAnalysis {
         self.consumers.resize_with(n, Vec::new);
         self.queued.clear();
         self.queued.resize(n, false);
-        aig.for_each_and_topo(|id| self.absorb_and(aig, id));
+        let (f0s, f1s) = aig.fanin_arrays();
+        aig.for_each_and_topo(|id| self.absorb_and([f0s[id as usize], f1s[id as usize]], id));
         self.dirty.clear();
         self.out_snapshot.clear();
         for o in aig.outputs() {
@@ -517,9 +518,9 @@ impl IncrementalAnalysis {
         self.dirty.clear();
         for id in old_n as NodeId..n as NodeId {
             if aig.is_and(id) {
-                self.absorb_and(aig, id);
-                self.dirty.nodes.push(id);
                 let [f0, f1] = aig.fanins(id);
+                self.absorb_and([f0, f1], id);
+                self.dirty.nodes.push(id);
                 self.dirty.fanout_touched.push(f0.var());
                 self.dirty.fanout_touched.push(f1.var());
             }
@@ -746,7 +747,7 @@ impl IncrementalAnalysis {
         self.fanout.push(0);
         self.consumers.push(Vec::new());
         self.queued.push(false);
-        self.absorb_and(aig, id);
+        self.absorb_and(aig.fanins(id), id);
     }
 
     /// Exactly reverts one appended-AND absorb.
@@ -772,8 +773,7 @@ impl IncrementalAnalysis {
         }
     }
 
-    fn absorb_and(&mut self, aig: &Aig, id: NodeId) {
-        let [f0, f1] = aig.fanins(id);
+    fn absorb_and(&mut self, [f0, f1]: [Lit; 2], id: NodeId) {
         self.level[id as usize] =
             1 + self.level[f0.var() as usize].max(self.level[f1.var() as usize]);
         self.fanout[f0.var() as usize] += 1;

@@ -91,6 +91,7 @@ pub mod incremental;
 mod lit;
 pub mod par;
 pub mod sim;
+mod strash;
 pub mod tt;
 
 pub use error::AigError;

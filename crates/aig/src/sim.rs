@@ -127,8 +127,9 @@ impl SimTable {
 
     fn propagate_serial(&mut self, aig: &Aig) {
         let words = self.words;
+        let (f0s, f1s) = aig.fanin_arrays();
         aig.for_each_and_topo(|id| {
-            let [f0, f1] = aig.fanins(id);
+            let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
             for w in 0..words {
                 let a = self.lit_word(f0, w);
                 let b = self.lit_word(f1, w);
@@ -149,11 +150,12 @@ impl SimTable {
         } else {
             Some(aig.topo_and_order())
         };
+        let (f0s, f1s) = aig.fanin_arrays();
         let ptr = SharedRows(self.data.as_mut_ptr());
         crate::par::par_ranges(words, min_chunk, |wr| {
             let p = ptr;
             let step = |id: NodeId| {
-                let [f0, f1] = aig.fanins(id);
+                let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
                 for w in wr.clone() {
                     // SAFETY: every index touched has word component
                     // in this worker's exclusive range `wr`.
@@ -204,13 +206,14 @@ impl SimTable {
         // Levels narrower than one amortizing chunk run inline on the
         // calling thread (par_ranges spawns nothing for one range).
         let min_chunk = (Self::PAR_MIN_CHUNK_WORK / words.max(1)).max(1);
+        let (f0s, f1s) = aig.fanin_arrays();
         let ptr = SharedRows(self.data.as_mut_ptr());
         for l in 1..=max_level {
             let nodes = &ids[offsets[l] as usize..offsets[l + 1] as usize];
             crate::par::par_ranges(nodes.len(), min_chunk, |r| {
                 let p = ptr;
                 for &id in &nodes[r] {
-                    let [f0, f1] = aig.fanins(id);
+                    let (f0, f1) = (f0s[id as usize], f1s[id as usize]);
                     for w in 0..words {
                         // SAFETY: this worker exclusively owns the
                         // rows of its node range; fanin rows are from

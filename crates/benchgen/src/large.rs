@@ -1,0 +1,203 @@
+//! Large-design scale tier: deterministic 10k/100k/1M-AND designs.
+//!
+//! The paper's suite (Table III) tops out near four thousand nodes;
+//! the scaling benchmarks need designs two-plus orders of magnitude
+//! larger with the *same* local structure, so per-step incremental
+//! cost can be compared across sizes. [`large_mix`] composes
+//! independent ~1k-AND **tiles** — wide-multiplier datapaths, CRC/mix
+//! coding pipelines, and compare/mux/priority control blocks from the
+//! [`crate::word`] vocabulary — over one shared set of primary
+//! inputs, each tile feeding its own outputs. Tiles share no AND
+//! structure (each draws a distinct 64-bit LCG state that rotates
+//! *and* selectively complements its input views, so structural
+//! hashing cannot merge them), which keeps an SA edit's true
+//! footprint tile-local no matter how many tiles the design has: the
+//! property the size-sweep gates measure.
+//!
+//! Generation is pure: the same target always yields the same graph,
+//! byte for byte.
+
+use crate::designs::Design;
+use crate::word::{
+    add, crc_round, equal, input_word, mix_round, mul, mux_word, parity, priority_encode,
+    shl_barrel, sub,
+};
+use aig::{Aig, Lit};
+
+/// A rotated, seed-complemented view of a shared input word: rotation
+/// and the complement mask together give every tile a structurally
+/// distinct cone over the same primary inputs.
+fn view(w: &[Lit], rot: usize, mask: u64) -> Vec<Lit> {
+    let k = rot % w.len();
+    w[k..]
+        .iter()
+        .chain(&w[..k])
+        .enumerate()
+        .map(|(i, &l)| if mask >> (i & 63) & 1 == 1 { !l } else { l })
+        .collect()
+}
+
+/// One independent tile; returns its result word.
+fn tile(g: &mut Aig, a: &[Lit], b: &[Lit], c: &[Lit], seed: u64) -> Vec<Lit> {
+    let ar = view(a, (seed % 29) as usize, seed);
+    let br = view(b, (seed / 29 % 23) as usize, seed.rotate_right(32));
+    match seed % 3 {
+        0 => {
+            // Wide-multiplier datapath.
+            let p = mul(g, &ar[..12], &br[..12]);
+            let q = mul(g, &p[6..18], &ar[..12]);
+            let (s, _) = add(g, &q[..16], &p[..16]);
+            s
+        }
+        1 => {
+            // Coding pipeline: CRC and mixing rounds over a product.
+            let mut state = mul(g, &ar[..8], &br[..8]);
+            for r in 0..4usize {
+                let din = br[(seed as usize).wrapping_add(r) % br.len()];
+                state = crc_round(g, &state, din, 0x80F ^ (seed & 0xFF));
+                state = mix_round(g, &state, 1 + (r + seed as usize % 7) % 5);
+            }
+            mul(g, &state[..10], &ar[..10])
+        }
+        _ => {
+            // Datapath plus control: compare, barrel shift, mux,
+            // priority encode.
+            let p = mul(g, &ar[..10], &br[..10]);
+            let (d, _) = sub(g, &p[..16], &br[..16]);
+            let sh = &c[(seed % 11) as usize..][..4];
+            let y = shl_barrel(g, &d, sh);
+            let eq = equal(g, &p[..12], &br[..12]);
+            let m = mux_word(g, eq, &y[..16], &d);
+            let (idx, valid) = priority_encode(g, &m);
+            let mut out = mul(g, &m[..8], &ar[..8]);
+            out.push(valid);
+            out.extend(idx.into_iter().take(4));
+            out
+        }
+    }
+}
+
+/// A deterministic large-tier design with at least `target_ands` AND
+/// nodes (overshoot is bounded by one tile, on the order of a
+/// thousand ANDs). See the module docs for the construction.
+///
+/// # Panics
+///
+/// Panics if `target_ands` is zero.
+pub fn large_mix(target_ands: usize) -> Design {
+    named_mix(target_ands, &format!("large{target_ands}"))
+}
+
+/// The ~10k-AND large-tier design (`large10k`).
+pub fn large_10k() -> Design {
+    named_mix(10_000, "large10k")
+}
+
+/// The ~100k-AND large-tier design (`large100k`).
+pub fn large_100k() -> Design {
+    named_mix(100_000, "large100k")
+}
+
+/// The ~1M-AND large-tier design (`large1m`).
+pub fn large_1m() -> Design {
+    named_mix(1_000_000, "large1m")
+}
+
+fn named_mix(target_ands: usize, name: &str) -> Design {
+    assert!(target_ands > 0, "target_ands must be positive");
+    let mut g = Aig::new();
+    // The target names the final shape up front: one reservation
+    // instead of ~20 doubling regrowths of the node lanes and the
+    // strash table on the way to a million nodes.
+    let cap = target_ands + target_ands / 8 + 4096;
+    g.reserve_nodes(cap + 81, cap);
+    let a = input_word(&mut g, 32, "a");
+    let b = input_word(&mut g, 32, "b");
+    let c = input_word(&mut g, 16, "c");
+    let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut t = 0usize;
+    while g.num_ands() < target_ands {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let word = tile(&mut g, &a, &b, &c, seed);
+        // Each tile drives its own ports, so liveness — and an SA
+        // edit's cone — stays tile-local.
+        let par = parity(&mut g, &word);
+        g.add_output(par, Some(format!("t{t}p")));
+        g.add_output(word[0], Some(format!("t{t}a")));
+        g.add_output(word[word.len() / 2], Some(format!("t{t}b")));
+        g.add_output(word[word.len() - 1], Some(format!("t{t}c")));
+        t += 1;
+    }
+    let mut aig = g;
+    aig.set_name(name);
+    Design {
+        name: name.to_owned(),
+        category: "large-mix",
+        aig,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let mut d1 = large_mix(10_000);
+        let d2 = large_10k();
+        assert_eq!(d2.name, "large10k");
+        assert_eq!(d1.aig.num_nodes(), d2.aig.num_nodes());
+        d1.aig.set_name("large10k"); // only the embedded name differs
+        assert_eq!(
+            aig::aiger::to_binary(&d1.aig),
+            aig::aiger::to_binary(&d2.aig),
+            "generation must be pure"
+        );
+        let ands = d2.aig.num_ands();
+        assert!(
+            (10_000..14_000).contains(&ands),
+            "overshoot bounded by one tile, got {ands}"
+        );
+        assert_eq!(d2.aig.num_inputs(), 80);
+        assert!(d2.aig.num_outputs() >= 16, "per-tile ports");
+    }
+
+    #[test]
+    fn tiles_do_not_collapse_under_strash() {
+        // 100 tiles' worth of structure: every tile must add ANDs,
+        // or the generator could spin forever on a strash collision.
+        let d = large_mix(60_000);
+        assert!(d.aig.num_ands() >= 60_000);
+        // All outputs non-constant under random simulation.
+        let sim = aig::sim::SimTable::random(&d.aig, 4, 7);
+        let mut nonconst = 0usize;
+        for o in d.aig.outputs() {
+            let sig = sim.lit_signature(o.lit);
+            if sig.iter().any(|&w| w != 0) && sig.iter().any(|&w| w != u64::MAX) {
+                nonconst += 1;
+            }
+        }
+        assert!(
+            nonconst * 2 >= d.aig.num_outputs(),
+            "too many constant outputs: {nonconst}/{}",
+            d.aig.num_outputs()
+        );
+    }
+
+    #[test]
+    fn reservation_prevents_lane_regrowth() {
+        // The generator reserves up front; building must not have
+        // outgrown its reservation (the capacity claim `named_mix`
+        // makes).
+        let d = large_mix(10_000);
+        let bytes = d.aig.node_storage_bytes();
+        let per_node = bytes as f64 / d.aig.num_nodes() as f64;
+        // SoA lanes: 2 lits + level + flags + strash ~ tens of bytes.
+        assert!(
+            per_node < 80.0,
+            "storage per node unexpectedly high: {per_node:.1} B"
+        );
+    }
+}

@@ -22,9 +22,11 @@
 #![warn(rust_2018_idioms)]
 
 mod designs;
+mod large;
 pub mod word;
 
 pub use designs::{
     ex00, ex02, ex08, ex11, ex16, ex28, ex54, ex68, iwls_like_suite, multiplier, Design,
     TEST_DESIGNS, TRAIN_DESIGNS,
 };
+pub use large::{large_100k, large_10k, large_1m, large_mix};

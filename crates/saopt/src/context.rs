@@ -67,6 +67,12 @@ pub struct EvalContext {
     /// Cumulative count of speculative worker slots built for this
     /// context (pool misses; reuse does not increment it).
     spec_spawned: usize,
+    /// Pool of graph-shaped mapping buffers for ground-truth
+    /// evaluators constructed against this context
+    /// ([`techmap::MapPool`]): capacity survives across evaluator
+    /// lifetimes exactly like the engine and speculation buffers
+    /// above.
+    map_pool: techmap::MapPool,
 }
 
 impl Default for EvalContext {
@@ -100,7 +106,30 @@ impl EvalContext {
             engine: None,
             spec_slots: Vec::new(),
             spec_spawned: 0,
+            map_pool: techmap::MapPool::new(),
         }
+    }
+
+    /// The context's pool of graph-shaped mapping buffers (hand it to
+    /// [`crate::GroundTruthCost::with_pool`] /
+    /// [`crate::GroundTruthCost::recycle`]).
+    pub fn map_pool(&mut self) -> &mut techmap::MapPool {
+        &mut self.map_pool
+    }
+
+    /// Pre-sizes the context's reusable buffers for an `nodes`-node
+    /// graph (capacity only): the proxy level table, the in-place
+    /// engine's cut database when present, and the mapping pool's
+    /// checkout floor. Call once before a large-tier run so nothing
+    /// graph-shaped grows mid-flight.
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        let lv = &mut self.levels.level;
+        lv.reserve(nodes.saturating_sub(lv.len()));
+        if let Some((_, db)) = &mut self.engine {
+            db.reserve_nodes(nodes);
+        }
+        self.map_pool
+            .reserve_nodes(nodes, techmap::MapOptions::default().max_cuts);
     }
 
     /// Takes the warm engine buffers (the SA loop re-fills them for

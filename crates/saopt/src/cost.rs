@@ -219,6 +219,44 @@ impl<'a> GroundTruthCost<'a> {
         }
     }
 
+    /// Creates an evaluator whose graph-shaped mapping buffers are
+    /// checked out of `pool` instead of built from scratch — pair
+    /// with [`GroundTruthCost::recycle`] at teardown so the grown
+    /// capacity survives into the next evaluator (see
+    /// [`techmap::MapPool`]). Metrics are identical to
+    /// [`GroundTruthCost::with_options`]'s: pooled buffers carry
+    /// capacity (and the graph-independent shortlist memo), never
+    /// per-graph content.
+    pub fn with_pool(lib: &'a Library, opts: MapOptions, pool: &mut techmap::MapPool) -> Self {
+        GroundTruthCost {
+            lib,
+            mapper: Mapper::new(lib, opts),
+            map_ctx: pool.take_context(),
+            sizing: SizingTable::new(lib),
+            sta_bufs: sta::StaBuffers::new(),
+            resize_loads: Vec::new(),
+            design: pool.take_design(),
+            inc_sta: IncrementalSta::new(),
+            sta_seeds: Vec::new(),
+        }
+    }
+
+    /// Returns the evaluator's mapping buffers to `pool` for the next
+    /// [`GroundTruthCost::with_pool`] checkout.
+    pub fn recycle(self, pool: &mut techmap::MapPool) {
+        pool.put_context(self.map_ctx);
+        pool.put_design(self.design);
+    }
+
+    /// Pre-sizes every graph-shaped buffer this evaluator owns for an
+    /// `nodes`-node AIG (capacity only), so a large-tier run grows
+    /// nothing mid-flight.
+    pub fn reserve_nodes(&mut self, nodes: usize) {
+        let max_cuts = self.mapper.options().max_cuts;
+        self.map_ctx.reserve_nodes(nodes, max_cuts);
+        self.design.reserve_nodes(nodes);
+    }
+
     /// Enables or disables the mapper's per-row DP cutoff (default
     /// **on**; see [`MapContext::set_row_cutoff`]). Off reverts
     /// [`CostEvaluator::evaluate_edit`] to recomputing every DP row
@@ -458,6 +496,25 @@ mod tests {
         assert!(m1.delay > 0.0 && m1.area > 0.0);
         assert_eq!(m1, m2, "evaluation must be deterministic");
         assert_eq!(gt.name(), "ground-truth");
+    }
+
+    #[test]
+    fn pooled_ground_truth_matches_fresh_and_reuses() {
+        let lib = sky130ish();
+        let g = sample_aig();
+        let baseline = GroundTruthCost::new(&lib).evaluate(&g);
+        let mut pool = techmap::MapPool::new();
+        pool.reserve_nodes(g.num_nodes(), MapOptions::default().max_cuts);
+        for _ in 0..3 {
+            let mut gt = GroundTruthCost::with_pool(&lib, MapOptions::default(), &mut pool);
+            assert_eq!(gt.evaluate(&g), baseline, "pooled buffers carry no content");
+            gt.recycle(&mut pool);
+        }
+        assert_eq!(
+            pool.misses(),
+            2,
+            "one context and one design are built, every later run reuses them"
+        );
     }
 
     #[test]

@@ -349,6 +349,33 @@ impl MapContext {
         self.last_recomputed_rows
     }
 
+    /// Pre-sizes every graph-shaped buffer for an `nodes`-node AIG
+    /// (capacity only; contents untouched): the DP tables, the cut
+    /// arena, netlist-construction scratch, and the per-row-cutoff
+    /// state. A context reserved for the largest graph it will see
+    /// performs no buffer regrowth across an SA run — the point of
+    /// the owner-supplied [`crate::MapPool`].
+    pub fn reserve_nodes(&mut self, nodes: usize, max_cuts: usize) {
+        fn up<T>(v: &mut Vec<T>, cap: usize) {
+            v.reserve(cap.saturating_sub(v.len()));
+        }
+        self.cuts.reserve_nodes(nodes, max_cuts);
+        up(&mut self.fanout, nodes);
+        up(&mut self.chosen, nodes);
+        up(&mut self.arrival, nodes);
+        up(&mut self.flow, nodes);
+        up(&mut self.net_of, nodes);
+        up(&mut self.inv_of, nodes);
+        up(&mut self.live, nodes);
+        up(&mut self.seen_versions, nodes);
+        up(&mut self.row_changed, nodes);
+        up(&mut self.fanout_scratch, nodes);
+        up(&mut self.consumers, nodes);
+        up(&mut self.prev_fanins, nodes);
+        up(&mut self.queued, nodes);
+        up(&mut self.remove_cnt, nodes);
+    }
+
     /// Resets the accumulated changed-row record after a design has
     /// applied it (see `changed_rows`).
     pub(crate) fn consume_changed_rows(&mut self) {

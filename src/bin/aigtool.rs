@@ -16,7 +16,8 @@
 //! scripts: semicolon-separated mnemonics, e.g. "b;rw;rf;rwz;b"
 //!   (b, rw, rwz, rf, rfz, sw, bd, rs, pt, rsb)
 //! libraries: "sky130ish" (default), "asap7ish", or a liberty-lite file.
-//! designs: ex00 ex02 ex08 ex11 ex16 ex28 ex54 ex68 multN (e.g. mult8)
+//! designs: ex00 ex02 ex08 ex11 ex16 ex28 ex54 ex68 multN (e.g. mult8),
+//!   and the scale tier large10k / large100k / large1m / largeN
 //! ```
 
 use aig::{aiger, Aig};
@@ -216,6 +217,14 @@ fn cmd_gen(rest: &[String]) -> ToolResult {
     let name = positional(rest)?;
     let design = if let Some(bits) = name.strip_prefix("mult") {
         benchgen::multiplier(bits.parse()?)
+    } else if name == "large10k" {
+        benchgen::large_10k()
+    } else if name == "large100k" {
+        benchgen::large_100k()
+    } else if name == "large1m" {
+        benchgen::large_1m()
+    } else if let Some(ands) = name.strip_prefix("large") {
+        benchgen::large_mix(ands.parse()?)
     } else {
         benchgen::iwls_like_suite()
             .into_iter()
